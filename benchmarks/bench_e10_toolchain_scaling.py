@@ -1,0 +1,107 @@
+"""E10 — toolchain scaling with system size.
+
+Composes synthetic clusters of growing size (nodes x sockets x cores per
+CPU) and reports composition time and element counts — the engineering
+envelope of the Sec. IV processing tool.  Shape to reproduce: near-linear
+growth of time with composed element count.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit_table
+
+from repro.composer import Composer
+from repro.ir import IRModel
+from repro.repository import MemoryStore, ModelRepository
+
+SIZES = [(1, 1), (2, 2), (4, 2), (8, 2), (16, 2)]  # (nodes, sockets)
+CORES = 16
+
+
+def _synthetic_repo(nodes: int, sockets: int) -> ModelRepository:
+    cpu = (
+        "<cpu name='SynthCpu'>"
+        f"<group prefix='core' quantity='{CORES}'>"
+        "<core frequency='2' frequency_unit='GHz'/>"
+        "<cache name='L1' size='32' unit='KiB'/>"
+        "</group>"
+        "<cache name='L3' size='16' unit='MiB'/>"
+        "</cpu>"
+    )
+    socket_block = "".join(
+        f"<socket><cpu id='PE{s}' type='SynthCpu'/></socket>"
+        for s in range(sockets)
+    )
+    system = (
+        "<system id='SynthCluster'><cluster>"
+        f"<group prefix='n' quantity='{nodes}'>"
+        f"<node>{socket_block}"
+        "<group prefix='mem' quantity='4'><memory type='DDR' size='4' unit='GB'/></group>"
+        "</node></group>"
+        "</cluster></system>"
+    )
+    return ModelRepository(
+        [MemoryStore({"cpu.xpdl": cpu, "system.xpdl": system})]
+    )
+
+
+def test_e10_compose_scaling(benchmark):
+    def measure_all():
+        rows = []
+        for nodes, sockets in SIZES:
+            compose_best = ir_best = float("inf")
+            for _ in range(3):  # best-of-3: shake off warmup/GC noise
+                repo = _synthetic_repo(nodes, sockets)
+                t0 = time.perf_counter()
+                cm = Composer(repo).compose("SynthCluster")
+                compose_best = min(compose_best, time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                blob = IRModel.from_model(cm.root).to_bytes()
+                ir_best = min(ir_best, time.perf_counter() - t0)
+            elements = sum(1 for _ in cm.root.walk())
+            rows.append(
+                (nodes, sockets, elements, compose_best, ir_best, len(blob))
+            )
+        return rows
+
+    data = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+
+    rows = [
+        [
+            str(n),
+            str(s),
+            str(n * s * CORES),
+            str(elems),
+            f"{c * 1e3:.1f}",
+            f"{i * 1e3:.1f}",
+            f"{blob / 1024:.0f}",
+            f"{c / elems * 1e6:.1f}",
+        ]
+        for n, s, elems, c, i, blob in data
+    ]
+    emit_table(
+        "E10",
+        "toolchain scaling: compose + IR emission vs cluster size",
+        [
+            "nodes",
+            "sockets",
+            "cores",
+            "elements",
+            "compose (ms)",
+            "IR (ms)",
+            "IR (KiB)",
+            "us/element",
+        ],
+        rows,
+    )
+
+    # Shape: once past the fixed setup cost (small models are dominated by
+    # repository indexing + validation), per-element cost stays roughly
+    # flat, i.e. near-linear scaling over the larger sizes.
+    per_elem = [c / elems for _n, _s, elems, c, _i, _b in data][-3:]
+    assert max(per_elem) < 5 * min(per_elem)
+    # Element counts grow with the requested size.
+    counts = [elems for _n, _s, elems, _c, _i, _b in data]
+    assert counts == sorted(counts)

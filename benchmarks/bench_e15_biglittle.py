@@ -1,0 +1,91 @@
+"""E15 (extension) — big.LITTLE cluster selection from the platform model.
+
+The odroid_xu3 model carries everything needed to answer "which cluster
+should run this job?": per-cluster PSMs, shared-ISA instruction energies
+with per-microarchitecture scaling, and idle power.  Sweep the deadline for
+a fixed job and report the feasible cluster/state choices and their system
+energy (chosen cluster busy + other cluster idling).
+
+Shape: tight deadlines force the big cluster at high states; relaxed
+deadlines hand the job to the LITTLE cluster for a multi-x energy win —
+the race-vs-crawl asymmetry big.LITTLE exists for.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_table
+
+from repro.composer import compose_model
+from repro.simhw import testbed_from_model
+
+MIX = {"vadd_f32": 30_000_000, "vmul_f32": 20_000_000, "ldr": 20_000_000}
+DEADLINES_MS = [45, 60, 90, 150, 250, 400]
+
+
+def _choices(bed):
+    """(cluster, state, duration s, system energy J) per running state."""
+    out = []
+    big, little = bed.machine("big"), bed.machine("little")
+    idle = {
+        "big": 0.05,  # gated
+        "little": little.psm.idle_state().power.magnitude,
+    }
+    for name, machine, other_idle in (
+        ("big", big, idle["little"]),
+        ("little", little, idle["big"]),
+    ):
+        for state in machine.psm.by_frequency():
+            if state.is_off():
+                continue
+            machine.cursor.current = state.name
+            run = machine.run_stream(MIX)
+            energy = run.energy.magnitude + other_idle * run.duration.magnitude
+            out.append((name, state.name, run.duration.magnitude, energy))
+    return out
+
+
+def test_e15_cluster_selection(benchmark, repo):
+    composed = compose_model(repo, "odroid_xu3")
+    bed = testbed_from_model(composed.root)
+
+    choices = benchmark.pedantic(lambda: _choices(bed), rounds=3, iterations=1)
+
+    rows = []
+    picks = []
+    for deadline_ms in DEADLINES_MS:
+        feasible = [
+            c for c in choices if c[2] <= deadline_ms * 1e-3
+        ]
+        if not feasible:
+            rows.append([f"{deadline_ms}", "-", "-", "-", "infeasible"])
+            picks.append(None)
+            continue
+        cluster, state, dur, energy = min(feasible, key=lambda c: c[3])
+        rows.append(
+            [
+                f"{deadline_ms}",
+                cluster,
+                state,
+                f"{dur * 1e3:.1f}",
+                f"{energy * 1e3:.1f}",
+            ]
+        )
+        picks.append(cluster)
+    emit_table(
+        "E15",
+        "big.LITTLE cluster selection by deadline (odroid_xu3 model)",
+        ["deadline (ms)", "cluster", "state", "run (ms)", "energy (mJ)"],
+        rows,
+        notes="energy = chosen cluster busy + other cluster idling; "
+        "big gated at 0.05 W when unused",
+    )
+
+    # Shape: big under pressure, LITTLE with slack, and the handoff exists.
+    feasible_picks = [p for p in picks if p is not None]
+    assert feasible_picks[0] == "big"
+    assert feasible_picks[-1] == "little"
+    switched = feasible_picks.index("little")
+    assert all(p == "little" for p in feasible_picks[switched:])
+    # Crawling wins big on energy vs the tightest feasible deadline.
+    energies = [float(r[4]) for r in rows if r[4] != "infeasible"]
+    assert energies[-1] < energies[0] * 0.6

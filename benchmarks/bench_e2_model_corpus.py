@@ -1,0 +1,74 @@
+"""E2 — the Listing 1-11 model corpus: parse -> compose -> IR inventory.
+
+Regenerates the structural inventory of every concrete system the paper
+models, proving the full corpus round-trips through the toolchain.  Rows:
+descriptors referenced, composed elements, cores / caches / memories /
+devices / links, IR size on disk.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_table
+
+from repro.analysis import count_cores, total_static_power
+from repro.composer import Composer
+from repro.ir import IRModel
+from repro.modellib import PAPER_SYSTEMS
+
+
+def test_e2_corpus_inventory(benchmark, repo):
+    def compose_all():
+        composer = Composer(repo)
+        return {name: composer.compose(name) for name in PAPER_SYSTEMS}
+
+    composed = benchmark.pedantic(compose_all, rounds=3, iterations=1)
+
+    rows = []
+    for name in PAPER_SYSTEMS:
+        cm = composed[name]
+        ir = IRModel.from_model(cm.root, {"system": name})
+        blob = ir.to_bytes()
+        rows.append(
+            [
+                name,
+                str(len(cm.referenced)),
+                str(len(ir)),
+                str(count_cores(cm.root)),
+                str(cm.count("cache")),
+                str(cm.count("memory")),
+                str(cm.count("device")),
+                str(
+                    sum(
+                        1
+                        for e in cm.root.walk()
+                        if e.kind == "interconnect" and e.attrs.get("head")
+                    )
+                ),
+                f"{len(blob) / 1024:.1f}",
+                str(cm.sink.error_count),
+            ]
+        )
+    emit_table(
+        "E2",
+        "paper model corpus through the toolchain (Listings 1-11)",
+        [
+            "system",
+            "descriptors",
+            "elements",
+            "cores",
+            "caches",
+            "memories",
+            "devices",
+            "links",
+            "IR KiB",
+            "errors",
+        ],
+        rows,
+    )
+
+    assert all(r[-1] == "0" for r in rows)
+    liu = composed["liu_gpu_server"]
+    assert count_cores(liu.root) == 2500
+    assert total_static_power(liu.root).to("W") == 33.0
+    xs = composed["XScluster"]
+    assert xs.count("node") == 4 and xs.count("device") == 8

@@ -1,0 +1,81 @@
+"""E3 — the SpMV conditional-composition case study (Sec. II, ref [3]).
+
+Regenerates the density sweep: per density, the runtime of the CPU variant,
+the GPU variant, and of tuned (calibrated) selection; plus the totals for
+the three policies.  Shape to reproduce: a CPU/GPU crossover exists, and
+tuned selection is at least as good as the best static choice over the
+sweep (the paper reports "an overall performance improvement").
+"""
+
+from __future__ import annotations
+
+from conftest import emit_table
+
+from repro.composition import Dispatcher, SpmvProblem, make_spmv_component
+
+DENSITIES = [2e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1]
+N = 4096
+
+
+def test_e3_spmv_density_sweep(benchmark, liu_ctx, liu_testbed):
+    comp = make_spmv_component()
+    disp = Dispatcher(liu_ctx, liu_testbed, policy="tuned")
+    training = [
+        SpmvProblem(n=N, density=d, seed=1).call_context() for d in DENSITIES
+    ]
+    disp.calibrate(comp, "density", training)
+
+    def run_sweep():
+        out = []
+        for d in DENSITIES:
+            call = SpmvProblem(n=N, density=d).call_context()
+            cpu = comp.variant("cpu_csr").execute(liu_testbed, call)
+            gpu = comp.variant("gpu_csr").execute(liu_testbed, call)
+            tuned = disp.invoke(comp, call)
+            out.append((d, cpu, gpu, tuned))
+        return out
+
+    sweep = benchmark.pedantic(run_sweep, rounds=3, iterations=1)
+
+    rows = []
+    tot_cpu = tot_gpu = tot_tuned = 0.0
+    for d, cpu, gpu, tuned in sweep:
+        tot_cpu += cpu.time.magnitude
+        tot_gpu += gpu.time.magnitude
+        tot_tuned += tuned.time.magnitude
+        winner = "cpu" if cpu.time < gpu.time else "gpu"
+        rows.append(
+            [
+                f"{d:.0e}",
+                f"{cpu.time.magnitude * 1e3:9.4f}",
+                f"{gpu.time.magnitude * 1e3:9.4f}",
+                f"{tuned.time.magnitude * 1e3:9.4f}",
+                tuned.variant,
+                winner,
+            ]
+        )
+    rows.append(
+        [
+            "TOTAL",
+            f"{tot_cpu * 1e3:9.4f}",
+            f"{tot_gpu * 1e3:9.4f}",
+            f"{tot_tuned * 1e3:9.4f}",
+            f"{min(tot_cpu, tot_gpu) / tot_tuned:.2f}x vs best static",
+            "",
+        ]
+    )
+    emit_table(
+        "E3",
+        f"SpMV conditional composition, n={N} (case study of [3])",
+        ["density", "cpu (ms)", "gpu (ms)", "tuned (ms)", "chosen", "truth"],
+        rows,
+        notes="GPU variant requires gpu_sparse_blas + CUDA device; CPU "
+        "requires cpu_sparse_blas (selectability constraints)",
+    )
+
+    # Shape: crossover exists, tuned never loses to the best static choice.
+    winners = {r[5] for r in rows[:-1]}
+    assert winners == {"cpu", "gpu"}
+    assert tot_tuned <= min(tot_cpu, tot_gpu) * 1.0001
+    for _d, cpu, gpu, tuned in sweep:
+        assert tuned.time.magnitude <= min(cpu.time.magnitude, gpu.time.magnitude) * 1.0001

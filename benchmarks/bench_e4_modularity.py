@@ -1,0 +1,48 @@
+"""E4 — modularity: XPDL's distributed descriptors vs monolithic PDL.
+
+Quantifies Sec. II-D / III: the same platform (the 4-node XScluster of
+Listing 11) described as an XPDL descriptor closure vs flattened PEPPHER
+PDL documents.  Shape to reproduce: XPDL has no duplicated content and
+reuses shared descriptors multiple times; the PDL flattening repeats shared
+subtrees in every node document (high duplication ratio).
+"""
+
+from __future__ import annotations
+
+from conftest import emit_table
+
+from repro.pdl import (
+    comparison_rows,
+    measure_pdl,
+    measure_xpdl,
+    xpdl_to_pdl,
+)
+
+
+def test_e4_modularity_metrics(benchmark, repo, xs_cluster):
+    def measure_both():
+        mx = measure_xpdl(repo, "XScluster")
+        mp = measure_pdl(xpdl_to_pdl(xs_cluster.root))
+        return mx, mp
+
+    mx, mp = benchmark.pedantic(measure_both, rounds=3, iterations=1)
+
+    rows = [[m, x, p] for m, x, p in comparison_rows(mx, mp)]
+    emit_table(
+        "E4",
+        "specification modularity, XScluster: XPDL vs PDL (Sec. II-D)",
+        ["metric", "XPDL", "PDL"],
+        rows,
+    )
+    top = sorted(mx.reuse_counts.items(), key=lambda kv: -kv[1])[:5]
+    emit_table(
+        "E4b",
+        "most-reused XPDL descriptors in the XScluster closure",
+        ["descriptor", "references"],
+        [[k, str(v)] for k, v in top],
+    )
+
+    assert mx.duplicated_lines == 0
+    assert mp.duplication_ratio > 0.3
+    assert mx.reuse_counts["Intel_Xeon_E5_2630L"] >= 2
+    assert mx.reuse_counts["pcie3"] >= 2

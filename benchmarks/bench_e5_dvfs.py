@@ -1,0 +1,94 @@
+"""E5 — DVFS optimization over the E5-2630L power state machine.
+
+For a fixed workload, sweep the deadline and report the energy of finishing
+in each P-state (running then idling in the lowest state, with transition
+overheads) plus the optimizer's choice.  Shape to reproduce: under tight
+deadlines only high states are feasible; as the deadline relaxes the
+energy-optimal state moves down the DVFS ladder (the race-to-idle/pace
+crossover), exactly what the PSM data of Listing 13 enables.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_table
+
+from repro.model import PowerStateMachine
+from repro.power import PowerStateMachineModel, evaluate_state, optimize_state
+from repro.units import Quantity
+
+CYCLES = 1.5e9
+DEADLINES_S = [0.76, 0.8, 0.9, 1.0, 1.25, 1.5, 2.0, 3.0]
+
+
+def _e5_psm(liu_server) -> PowerStateMachineModel:
+    elem = next(
+        p
+        for p in liu_server.root.find_all(PowerStateMachine)
+        if p.name == "psm_E5_2630L"
+    )
+    return PowerStateMachineModel.from_element(elem)
+
+
+def test_e5_dvfs_deadline_sweep(benchmark, liu_server):
+    psm = _e5_psm(liu_server)
+
+    def sweep():
+        out = []
+        for d in DEADLINES_S:
+            deadline = Quantity.of(d, "s")
+            ranked = optimize_state(psm, CYCLES, deadline)
+            out.append((d, ranked))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=5, iterations=1)
+
+    # Only running states appear as columns; the C1 sleep state is where
+    # the remaining deadline is spent.
+    state_names = [
+        s.name for s in psm.by_frequency() if not s.is_off()
+    ]
+    rows = []
+    for d, ranked in results:
+        by_state = {c.state: c for c in ranked}
+        cells = [f"{d:.2f}"]
+        for name in state_names:
+            c = by_state[name]
+            cells.append(
+                f"{c.total_energy.magnitude:7.2f}" if c.feasible else "infeas"
+            )
+        best = next((c for c in ranked if c.feasible), None)
+        cells.append(best.state if best else "-")
+        rows.append(cells)
+    emit_table(
+        "E5",
+        f"energy (J) to finish {CYCLES:.1e} cycles by deadline, per P-state",
+        ["deadline (s)"] + [f"{n} (J)" for n in state_names] + ["optimal"],
+        rows,
+        notes="runs in the chosen state, then idles in the lowest-power "
+        "state; PSM transition overheads included",
+    )
+
+    # Shape: the optimal state moves down the ladder as deadlines relax.
+    optimal = [r[-1] for r in rows]
+    assert optimal[0] == "P3"  # tightest deadline needs 2.0 GHz
+    assert optimal[-1] == "P1"  # loosest deadline paces at 1.2 GHz
+    order = {name: i for i, name in enumerate(state_names)}
+    ranks = [order[o] for o in optimal]
+    assert all(a >= b for a, b in zip(ranks, ranks[1:]))  # monotone descent
+
+
+def test_e5_transition_overhead_visible(benchmark, liu_server):
+    """Switching costs are charged: entering a state from elsewhere costs
+    more than starting there."""
+    psm = _e5_psm(liu_server)
+    deadline = Quantity.of(1.0, "s")
+
+    def both():
+        stay = evaluate_state(psm, "P1", 1e9, deadline, start_state="P1")
+        switch = evaluate_state(psm, "P1", 1e9, deadline, start_state="P3")
+        return stay, switch
+
+    stay, switch = benchmark.pedantic(both, rounds=5, iterations=1)
+    assert switch.switch_energy.magnitude > stay.switch_energy.magnitude
+    # The switch also consumes deadline slack: less idle time remains.
+    assert switch.idle_time.magnitude < stay.idle_time.magnitude

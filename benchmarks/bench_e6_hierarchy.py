@@ -1,0 +1,75 @@
+"""E6 — hierarchical energy modeling: synthesized attributes (Sec. III-D).
+
+Regenerates the static-power / core-count roll-up tables for the paper's
+two server-class systems, per physical subtree — the attribute-grammar
+"synthesized attributes" the paper describes, including the node-level
+residual (motherboard share) attributed at the node.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_table
+
+from repro.analysis import SynthesisEngine, physical_children
+
+
+def _rollup_rows(engine, root, depth=0, max_depth=2):
+    rows = []
+    power = engine.evaluate("static_power", root)
+    rows.append(
+        [
+            "  " * depth + f"{root.kind}#{root.label()}",
+            f"{power.to('W'):.2f}",
+            str(engine.evaluate("core_count", root)),
+            str(engine.evaluate("cuda_device_count", root)),
+            f"{engine.evaluate('memory_total', root) / 2**30:.1f}",
+        ]
+    )
+    if depth < max_depth:
+        for child in physical_children(root):
+            if engine.evaluate("static_power", child).magnitude > 0 or (
+                engine.evaluate("core_count", child) > 0
+            ):
+                rows.extend(
+                    _rollup_rows(engine, child, depth + 1, max_depth)
+                )
+    return rows
+
+
+def test_e6_liu_rollup(benchmark, liu_server):
+    engine = SynthesisEngine()
+
+    def roll():
+        engine.clear_cache()
+        return _rollup_rows(engine, liu_server.root)
+
+    rows = benchmark.pedantic(roll, rounds=5, iterations=1)
+    emit_table(
+        "E6",
+        "synthesized attribute roll-up: liu_gpu_server (Sec. III-D)",
+        ["subtree", "static power (W)", "cores", "cuda devs", "mem (GiB)"],
+        rows,
+    )
+    assert rows[0][1] == "33.00"
+    assert rows[0][2] == "2500"
+
+
+def test_e6_cluster_rollup(benchmark, xs_cluster):
+    engine = SynthesisEngine()
+
+    def roll():
+        engine.clear_cache()
+        return _rollup_rows(engine, xs_cluster.root, max_depth=2)
+
+    rows = benchmark.pedantic(roll, rounds=3, iterations=1)
+    emit_table(
+        "E6b",
+        "synthesized attribute roll-up: XScluster",
+        ["subtree", "static power (W)", "cores", "cuda devs", "mem (GiB)"],
+        rows,
+    )
+    total = float(rows[0][1])
+    # 4 nodes x (4 DIMMs x 1.2 W + K20c 25 W + K40c 28 W)
+    # + 4 infiniband links x 8 W.
+    assert total == 4 * (4 * 1.2 + 25 + 28) + 4 * 8
+    assert rows[0][3] == "8"  # all CUDA devices found

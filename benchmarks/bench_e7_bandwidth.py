@@ -1,0 +1,70 @@
+"""E7 — bandwidth downgrading static analysis (Sec. IV).
+
+Regenerates the per-link table of nominal vs effective bandwidth in the
+myriad_server model: the HDMI link's 1.275 GB/s nominal rate is limited by
+the board's 1 GB/s LPDDR, while SPI/USB/JTAG stay below their endpoints'
+capabilities.  Also reports a multi-hop widest-path query on the cluster.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_table
+
+from repro.analysis import downgrade_bandwidths, path_bandwidth
+
+
+def test_e7_downgrade_table(benchmark, myriad_server):
+    def run():
+        return downgrade_bandwidths(myriad_server.root.clone())
+
+    reports = benchmark.pedantic(run, rounds=5, iterations=1)
+
+    rows = []
+    downgraded = 0
+    for r in reports:
+        nominal = r.nominal.to("MB/s") if r.nominal else float("nan")
+        effective = r.effective.to("MB/s") if r.effective else float("nan")
+        was_downgraded = (
+            r.nominal is not None
+            and r.effective is not None
+            and r.effective < r.nominal
+        )
+        downgraded += was_downgraded
+        rows.append(
+            [
+                r.interconnect.label(),
+                r.interconnect.attrs.get("type", "?"),
+                f"{nominal:.1f}",
+                f"{effective:.1f}",
+                (r.limiting or "-") if was_downgraded else "-",
+            ]
+        )
+    emit_table(
+        "E7",
+        "bandwidth downgrading: myriad_server links (Sec. IV)",
+        ["link", "type", "nominal (MB/s)", "effective (MB/s)", "limited by"],
+        rows,
+        notes="effective = min(link, endpoint capabilities)",
+    )
+
+    assert downgraded >= 1  # the HDMI link hits the LPDDR wall
+    hdmi = next(r for r in reports if r.interconnect.attrs.get("type") == "hdmi")
+    assert hdmi.effective.to("GB/s") == 1.0
+
+
+def test_e7_cluster_path_query(benchmark, xs_cluster):
+    root = xs_cluster.root
+    downgrade_bandwidths(root)
+
+    def query():
+        return path_bandwidth(root, "n0", "n2")
+
+    bw, path = benchmark.pedantic(query, rounds=5, iterations=1)
+    emit_table(
+        "E7b",
+        "widest path n0 -> n2 over the Infiniband ring",
+        ["path", "bottleneck (GB/s)"],
+        [[" -> ".join(path), f"{bw.to('GB/s'):.2f}"]],
+    )
+    assert len(path) == 3  # two ring hops
+    assert bw.to("GB/s") == 6.8

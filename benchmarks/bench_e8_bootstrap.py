@@ -1,0 +1,65 @@
+"""E8 — microbenchmark bootstrap accuracy vs repetitions and meter noise.
+
+The deployment-time bootstrapping of Sec. III-C depends on measurement
+quality.  This bench sweeps (meter noise, repetitions) and reports the mean
+relative error of the derived per-instruction energies against the hidden
+ground truth.  Shape to reproduce: error grows with noise, shrinks with
+repetitions (~1/sqrt(R)), and is well under 5% at the defaults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import emit_table
+
+from repro.microbench import MicrobenchRunner, generate_driver
+from repro.simhw import PowerMeter, testbed_from_model
+
+NOISES_W = [0.01, 0.05, 0.2]
+REPETITIONS = [1, 3, 5, 10]
+INSTRUCTIONS = ["fadd", "fmul", "mov", "load", "store"]
+
+
+def _mean_error(machine, noise: float, reps: int, seed: int) -> float:
+    meter = PowerMeter(seed=seed, noise_std_w=noise)
+    runner = MicrobenchRunner(machine, meter, repetitions=reps)
+    errs = []
+    for inst in INSTRUCTIONS:
+        run = runner.run(generate_driver(inst, inst))
+        truth = machine.truth.energy(inst, run.frequency).magnitude
+        errs.append(abs(run.energy_per_instruction.magnitude - truth) / truth)
+    return float(np.mean(errs))
+
+
+def test_e8_accuracy_grid(benchmark, liu_server):
+    bed = testbed_from_model(liu_server.root)
+    machine = bed.machine("gpu_host")
+
+    def grid():
+        out = {}
+        for noise in NOISES_W:
+            for reps in REPETITIONS:
+                out[(noise, reps)] = _mean_error(machine, noise, reps, seed=3)
+        return out
+
+    errors = benchmark.pedantic(grid, rounds=1, iterations=1)
+
+    rows = []
+    for noise in NOISES_W:
+        rows.append(
+            [f"{noise:.2f}"]
+            + [f"{errors[(noise, r)]:.2%}" for r in REPETITIONS]
+        )
+    emit_table(
+        "E8",
+        "bootstrap mean relative error vs meter noise x repetitions",
+        ["noise (W)"] + [f"R={r}" for r in REPETITIONS],
+        rows,
+        notes=f"over {', '.join(INSTRUCTIONS)} on the simulated E5-2630L",
+    )
+
+    # Shape: more noise hurts, more repetitions help, defaults are accurate.
+    assert errors[(0.01, 5)] < errors[(0.2, 5)]
+    assert errors[(0.2, 10)] < errors[(0.2, 1)]
+    assert errors[(0.05, 5)] < 0.05

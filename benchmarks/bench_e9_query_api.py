@@ -1,0 +1,98 @@
+"""E9 — runtime query API cost (Sec. IV).
+
+The query API is meant for *run-time* introspection inside adaptive
+applications, so its operations must be cheap.  Timed: xpdl_init (loading
+the runtime file), attribute getters, browsing, path queries, and the
+derived-attribute analysis functions, on the composed liu_gpu_server model
+(2694 elements).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from conftest import emit_table
+
+from repro.ir import IRModel
+from repro.runtime import query_all, xpdl_init
+
+
+@pytest.fixture(scope="module")
+def model_file(tmp_path_factory, liu_server):
+    path = str(tmp_path_factory.mktemp("e9") / "liu.xir")
+    IRModel.from_model(liu_server.root, {"system": "liu_gpu_server"}).save(path)
+    return path
+
+
+def test_e9_init(benchmark, model_file):
+    ctx = benchmark(xpdl_init, model_file)
+    assert len(ctx.ir) == 2694
+    emit_table(
+        "E9a",
+        "runtime model file",
+        ["file size (KiB)", "elements"],
+        [[f"{os.path.getsize(model_file) / 1024:.1f}", "2694"]],
+    )
+
+
+def test_e9_getter(benchmark, model_file):
+    ctx = xpdl_init(model_file)
+    gpu = ctx.by_id("gpu1")
+
+    def getters():
+        return gpu.get_compute_capability(), gpu.get_quantity("static_power")
+
+    cc, sp = benchmark(getters)
+    assert cc == "3.5"
+
+
+def test_e9_browse(benchmark, model_file):
+    ctx = xpdl_init(model_file)
+
+    def browse():
+        node = ctx.root
+        for _ in range(3):
+            kids = node.children()
+            if not kids:
+                break
+            node = kids[0]
+        return node
+
+    benchmark(browse)
+
+
+def test_e9_by_id(benchmark, model_file):
+    ctx = xpdl_init(model_file)
+    ctx.by_id("gpu1")  # warm the index
+
+    def lookup():
+        return ctx.by_id("gpu1")
+
+    handle = benchmark(lookup)
+    assert handle is not None
+
+
+def test_e9_path_query(benchmark, model_file):
+    ctx = xpdl_init(model_file)
+
+    def query():
+        return query_all(ctx, "//cache[@name='L3']")
+
+    result = benchmark(query)
+    assert len(result) == 1
+
+
+def test_e9_analysis_functions(benchmark, model_file):
+    ctx = xpdl_init(model_file)
+
+    def analyze():
+        return (
+            ctx.count_cores(),
+            ctx.count_cuda_devices(),
+            ctx.total_static_power(),
+        )
+
+    cores, cuda, power = benchmark(analyze)
+    assert cores == 2500 and cuda == 1

@@ -1,0 +1,99 @@
+"""Shared fixtures and the table emitter for the experiment benches.
+
+Every experiment (E1-E12, see DESIGN.md §5 and EXPERIMENTS.md) prints the
+rows it regenerates through :func:`emit_table`, which bypasses pytest's
+capture so tables appear in ``pytest benchmarks/ --benchmark-only`` output
+and land in ``benchmarks/results/<exp>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+from repro.composer import Composer
+from repro.ir import IRModel
+from repro.modellib import standard_repository
+from repro.runtime import xpdl_init_from_model
+from repro.simhw import testbed_from_model
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Tables emitted during this session, replayed in the terminal summary
+#: (pytest's fd-level capture swallows direct writes during the test).
+_SESSION_TABLES: list[str] = []
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _SESSION_TABLES:
+        return
+    terminalreporter.section("experiment tables (also in benchmarks/results/)")
+    for text in _SESSION_TABLES:
+        terminalreporter.write_line("")
+        for line in text.rstrip().splitlines():
+            terminalreporter.write_line(line)
+
+
+def emit_table(
+    exp: str,
+    title: str,
+    headers: list[str],
+    rows: list[list[str]],
+    *,
+    notes: str = "",
+) -> str:
+    """Render, print (uncaptured) and persist one experiment table."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt(cells) -> str:
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = [f"== {exp}: {title} ==", fmt(headers), fmt(["-" * w for w in widths])]
+    lines += [fmt(r) for r in rows]
+    if notes:
+        lines.append(f"note: {notes}")
+    text = "\n".join(lines) + "\n"
+    sys.__stdout__.write("\n" + text)
+    sys.__stdout__.flush()
+    _SESSION_TABLES.append(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{exp}.txt"), "w") as fh:
+        fh.write(text)
+    return text
+
+
+@pytest.fixture(scope="session")
+def repo():
+    return standard_repository()
+
+
+@pytest.fixture(scope="session")
+def liu_server(repo):
+    return Composer(repo).compose("liu_gpu_server")
+
+
+@pytest.fixture(scope="session")
+def xs_cluster(repo):
+    return Composer(repo).compose("XScluster")
+
+
+@pytest.fixture(scope="session")
+def myriad_server(repo):
+    return Composer(repo).compose("myriad_server")
+
+
+@pytest.fixture(scope="session")
+def liu_testbed(liu_server):
+    return testbed_from_model(liu_server.root)
+
+
+@pytest.fixture(scope="session")
+def liu_ctx(liu_server):
+    return xpdl_init_from_model(
+        IRModel.from_model(liu_server.root, {"system": "liu_gpu_server"})
+    )

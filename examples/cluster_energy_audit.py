@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Cluster-wide energy audit of the XScluster model (Listing 11).
+
+Walks the composed 4-node cluster, rolls up synthesized attributes
+(Sec. III-D) per subtree, estimates the energy of a simple bulk-synchronous
+workload across nodes — compute on every CPU, transfers over the Infiniband
+ring — and shows the bandwidth-downgrading analysis on the way.
+
+Run:  python examples/cluster_energy_audit.py
+"""
+
+from repro import compose_model, standard_repository
+from repro.analysis import (
+    SynthesisEngine,
+    downgrade_bandwidths,
+    path_bandwidth,
+    physical_children,
+)
+from repro.model import Node
+from repro.simhw import links_from_interconnect, testbed_from_model
+from repro.units import Quantity
+
+repo = standard_repository()
+composed = compose_model(repo, "XScluster")
+root = composed.root
+
+# --- synthesized-attribute roll-up (Sec. III-D) ---------------------------
+engine = SynthesisEngine()
+print("synthesized attribute roll-up:")
+print(f"{'subtree':32s} {'st.power':>9} {'cores':>7} {'cuda':>5} {'mem GiB':>8}")
+
+
+def show(elem, depth=0, max_depth=1):
+    power = engine.evaluate("static_power", elem)
+    cores = engine.evaluate("core_count", elem)
+    cuda = engine.evaluate("cuda_device_count", elem)
+    mem = engine.evaluate("memory_total", elem) / 2**30
+    label = "  " * depth + f"{elem.kind}#{elem.label()}"
+    print(f"{label:32s} {power.to('W'):8.1f}W {cores:7d} {cuda:5d} {mem:8.1f}")
+    if depth < max_depth:
+        for child in physical_children(elem):
+            if engine.evaluate("core_count", child):
+                show(child, depth + 1, max_depth)
+
+
+show(root)
+
+# --- bandwidth downgrading + widest-path queries ---------------------------
+print("\ninterconnect analysis:")
+for report in downgrade_bandwidths(root):
+    eff = report.effective
+    print(
+        f"  {report.interconnect.label():8s} "
+        f"type={report.interconnect.attrs.get('type', '?'):12s} "
+        f"effective={eff.format('GB/s') if eff else '?'}"
+    )
+bw, path = path_bandwidth(root, "n0", "n2")
+print(f"  widest path n0 -> n2: {' -> '.join(path)} at {bw.format('GB/s')}")
+
+# --- a bulk-synchronous step on the simulated cluster ----------------------
+print("\nbulk-synchronous step (per node: compute, then ring exchange):")
+bed = testbed_from_model(root)
+cpu_machines = [m for n, m in bed.machines.items() if "fadd" in m.truth]
+print(f"  CPU machines: {len(cpu_machines)} (2 sockets x 4 nodes)")
+
+work = {"fmul": 40_000_000, "fadd": 40_000_000, "load": 60_000_000}
+compute_results = [m.run_stream(work) for m in cpu_machines]
+step_time = max(r.duration.magnitude for r in compute_results)
+compute_energy = sum(r.energy.magnitude for r in compute_results)
+
+ib = next(ic for name, ic in bed.links.items() if name.startswith("conn3"))
+send = ib["send"]
+payload = 64 * 2**20  # 64 MiB per neighbor exchange
+transfer = send.transfer(payload)
+n_links = 4
+
+total_time = step_time + transfer.time.magnitude
+total_energy = compute_energy + n_links * transfer.energy.magnitude
+print(f"  compute: {step_time * 1e3:8.2f} ms, {compute_energy:7.2f} J across CPUs")
+print(
+    f"  exchange: {transfer.time.magnitude * 1e3:7.2f} ms per link, "
+    f"{transfer.energy.magnitude * 1e3:.2f} mJ x {n_links} links"
+)
+print(f"  step wall time {total_time * 1e3:.2f} ms, energy {total_energy:.2f} J")
+
+# Static floor while the step runs: every always-on watt counts.
+static = engine.evaluate("static_power", root)
+print(
+    f"  static floor during the step: "
+    f"{(static * Quantity.of(total_time, 's')).format('J')} "
+    f"({static.format('W')} cluster-wide)"
+)

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""DVFS optimization against the power state machine (Listing 13 world).
+
+Loads the E5-2630L's PSM from the composed model, sweeps deadlines for a
+fixed workload and shows where race-to-idle beats pacing; then runs a
+phase-structured workload through the energy accountant with per-phase
+state requests, including the Myriad1 power-domain shutdown bookkeeping.
+
+Run:  python examples/dvfs_optimizer.py
+"""
+
+from repro import compose_model, standard_repository
+from repro.model import Instructions, PowerDomains, PowerStateMachine
+from repro.power import (
+    EnergyAccountant,
+    InstructionEnergyModel,
+    Phase,
+    PowerDomainSet,
+    PowerStateMachineModel,
+    ResidencyTracker,
+    best_state,
+    optimize_state,
+)
+from repro.units import Quantity
+
+repo = standard_repository()
+composed = compose_model(repo, "liu_gpu_server")
+
+psm = PowerStateMachineModel.from_element(
+    next(
+        p
+        for p in composed.root.find_all(PowerStateMachine)
+        if p.name == "psm_E5_2630L"
+    )
+)
+print("power state machine:", ", ".join(
+    f"{s.name}({s.frequency.format('GHz')}, {s.power.format('W')})"
+    for s in psm.by_frequency()
+))
+print("complete transition table:", psm.is_complete())
+
+# --- deadline sweep ---------------------------------------------------------
+cycles = 1.5e9
+print(f"\noptimal state for {cycles:.1e} cycles by deadline:")
+for d in (0.76, 0.9, 1.0, 1.3, 2.0, 4.0):
+    ranked = optimize_state(psm, cycles, Quantity.of(d, "s"))
+    best = next((c for c in ranked if c.feasible), None)
+    if best is None:
+        print(f"  {d:5.2f} s: infeasible at every state")
+        continue
+    print(
+        f"  {d:5.2f} s: run in {best.state} "
+        f"({best.run_time.format('s')} busy, "
+        f"{best.idle_time.format('s')} idle) "
+        f"-> {best.total_energy.format('J')}"
+    )
+
+# --- phase-structured workload through the accountant -----------------------
+instrs_elem = next(
+    i for i in composed.root.find_all(Instructions) if i.name == "x86_base_isa"
+)
+# Give the two '?' instructions we use values (normally bootstrapped).
+instructions = InstructionEnergyModel.from_element(instrs_elem)
+instructions.set_energy("fadd", Quantity.of(81, "pJ"))
+instructions.set_energy("load", Quantity.of(208, "pJ"))
+
+acct = EnergyAccountant(psm, instructions, initial_state="P3")
+phases = [
+    Phase("burst", {"fadd": 200_000_000, "load": 80_000_000}, state="P3"),
+    Phase("steady", {"fadd": 400_000_000}, state="P1"),
+    Phase("finish", {"load": 50_000_000}, state="P2"),
+]
+breakdown = acct.run(phases)
+print("\nphase-structured workload (state per phase):")
+for cost in breakdown.phases:
+    print(
+        f"  {cost.phase:7s} in {cost.state}: {cost.time.format('ms')}, "
+        f"static {cost.static_energy.format('J')}, "
+        f"dynamic {cost.dynamic_energy.format('J')}, "
+        f"switch {cost.switch_energy.format('nJ')}"
+    )
+print(
+    f"  total: {breakdown.time.format('s')}, "
+    f"{breakdown.total_energy.format('J')} "
+    f"(avg {breakdown.average_power().format('W')})"
+)
+
+# --- Myriad1 power-domain shutdown (Listing 12) ------------------------------
+myriad = compose_model(repo, "myriad_server")
+pds = PowerDomainSet.from_element(
+    next(
+        p
+        for p in myriad.root.find_all(PowerDomains)
+        if (p.name or "").startswith("Myriad1")
+    )
+)
+tracker = ResidencyTracker(pds)
+mw = {n: Quantity.of(45, "mW") for n in pds.names()}
+print("\nMyriad1 wind-down (Listing 12 semantics):")
+ok, reason = pds.can_switch_off("CMX_pd")
+print(f"  CMX off while shaves run? {ok} ({reason})")
+tracker.advance(Quantity.of(5, "ms"), mw)
+for shave in pds.group_members("Shave_pds"):
+    pds.switch_off(shave)
+tracker.advance(Quantity.of(5, "ms"), mw)
+ok, _ = pds.can_switch_off("CMX_pd")
+print(f"  CMX off after all shaves off? {ok}")
+pds.switch_off("CMX_pd")
+print(f"  on domains now: {pds.on_domains()}")
+print(f"  static energy so far: {tracker.total_energy().format('mJ')}")

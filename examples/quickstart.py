@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: load the bundled model library, compose the paper's GPU
+server, run the static analyses, write the runtime model file and query it
+— the whole Sec. IV pipeline in ~50 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+import tempfile
+import os
+
+from repro import compose_model, standard_repository, xpdl_init
+from repro.analysis import downgrade_bandwidths, lint_model, total_static_power
+from repro.ir import IRModel
+from repro.runtime import query_all, query_first
+
+# 1. The model repository: every descriptor from the paper's Listings 1-15.
+repo = standard_repository()
+print(f"repository: {len(repo.identifiers())} descriptors")
+print(" ", ", ".join(repo.identifiers()[:8]), "...")
+
+# 2. Compose the Linkoping GPU server (Listings 7-10): resolve type refs
+#    and inheritance, bind params, check constraints, expand groups.
+composed = compose_model(repo, "liu_gpu_server")
+print(f"\ncomposed liu_gpu_server from {len(composed.referenced)} descriptors")
+print(f"  elements: {sum(1 for _ in composed.root.walk())}")
+print(f"  diagnostics: {composed.sink.error_count} errors, "
+      f"{composed.sink.warning_count} warnings")
+
+# 3. Static analysis: bandwidth downgrading, lint, synthesized attributes.
+downgrade_bandwidths(composed.root, composed.sink)
+report = lint_model(composed.root, composed.sink)
+print(f"  lint: {report.placeholders} '?' placeholders awaiting "
+      "microbenchmarking")
+print(f"  total static power: {total_static_power(composed.root)}")
+
+# 4. Emit the light-weight runtime model file...
+workdir = tempfile.mkdtemp(prefix="xpdl-")
+model_file = os.path.join(workdir, "liu_gpu_server.xir")
+IRModel.from_model(composed.root, {"system": "liu_gpu_server"}).save(model_file)
+print(f"\nruntime model written: {model_file} "
+      f"({os.path.getsize(model_file)} bytes)")
+
+# 5. ... and introspect it at "run time" through the query API
+#    (the Python spelling of the paper's generated C++ API).
+ctx = xpdl_init(model_file)
+print(f"\nxpdl_init -> {len(ctx.ir)} elements")
+print(f"  cores:            {ctx.count_cores()}")
+print(f"  CUDA devices:     {ctx.count_cuda_devices()}")
+print(f"  static power:     {ctx.total_static_power()}")
+print(f"  sparse BLAS?      {ctx.has_installed('sparse_blas')}")
+
+gpu = ctx.by_id("gpu1")
+print(f"\n  gpu1: type={gpu.get_type()} "
+      f"compute_capability={gpu.get_compute_capability()} "
+      f"static_power={gpu.get_quantity('static_power')}")
+
+l3 = query_first(ctx, "//cache[@name='L3']")
+print(f"  L3 cache: {l3.get_quantity('size').format('MiB')}")
+
+links = query_all(ctx, "//interconnect[@id='connection1']")
+print(f"  PCIe link: {links[0].get_quantity('max_bandwidth').format('GiB/s')}")

@@ -1,0 +1,9 @@
+"""Shim so `pip install -e .` works offline without the `wheel` package.
+
+All real metadata lives in pyproject.toml; pip falls back to
+`setup.py develop` (legacy editable) when PEP 660 builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

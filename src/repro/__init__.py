@@ -1,0 +1,55 @@
+"""XPDL — Extensible Platform Description Language (full reproduction).
+
+Reproduction of *XPDL: Extensible Platform Description Language to Support
+Energy Modeling and Optimization* (Kessler, Li, Atalar, Dobre; ICPP-EMS
+2015).  See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+experiment index.
+
+Typical entry points::
+
+    from repro import standard_repository, compose_model, xpdl_init
+
+    repo = standard_repository()
+    composed = compose_model(repo, "liu_gpu_server")
+
+    from repro.ir import IRModel
+    IRModel.from_model(composed.root).save("liu.xir")
+    ctx = xpdl_init("liu.xir")
+    ctx.count_cores(), ctx.total_static_power()
+"""
+
+from .composer import ComposedModel, Composer, compose_model
+from .diagnostics import (
+    Diagnostic,
+    DiagnosticSink,
+    Severity,
+    XpdlError,
+)
+from .ir import IRModel
+from .modellib import PAPER_SYSTEMS, standard_repository
+from .repository import ModelRepository
+from .runtime import QueryContext, xpdl_init, xpdl_init_from_model
+from .schema import CORE_SCHEMA
+from .units import Quantity
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComposedModel",
+    "Composer",
+    "compose_model",
+    "Diagnostic",
+    "DiagnosticSink",
+    "Severity",
+    "XpdlError",
+    "IRModel",
+    "PAPER_SYSTEMS",
+    "standard_repository",
+    "ModelRepository",
+    "QueryContext",
+    "xpdl_init",
+    "xpdl_init_from_model",
+    "CORE_SCHEMA",
+    "Quantity",
+    "__version__",
+]

@@ -1,0 +1,103 @@
+"""Configurable filtering of "uninteresting" values.
+
+Sec. IV: the XPDL processing tool "filters out uninteresting values ...
+The XPDL processing tool should be configurable, thus the filtering rules
+for uninteresting values and static analysis / model elicitation rules can
+be tailored."
+
+A :class:`FilterConfig` holds predicates; :func:`filter_model` applies them
+to a composed tree before IR emission, dropping attributes and whole
+subtrees that the deployment does not need (e.g. microbenchmark build flags
+once bootstrapping is done, or JTAG debug links for a performance model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..model import ModelElement
+
+#: Predicate deciding whether an attribute survives: (element, name, value).
+AttrPredicate = Callable[[ModelElement, str, str], bool]
+#: Predicate deciding whether an element subtree survives.
+ElemPredicate = Callable[[ModelElement], bool]
+
+
+@dataclass
+class FilterConfig:
+    """A set of keep-predicates; everything defaults to 'keep'."""
+
+    keep_attr: list[AttrPredicate] = field(default_factory=list)
+    keep_element: list[ElemPredicate] = field(default_factory=list)
+
+    # -- combinators ------------------------------------------------------
+    def drop_attrs(self, *names: str) -> "FilterConfig":
+        """Drop the named attributes everywhere."""
+        banned = set(names)
+        self.keep_attr.append(lambda _e, n, _v: n not in banned)
+        return self
+
+    def drop_elements(self, *kinds: str) -> "FilterConfig":
+        """Drop subtrees of the given element kinds."""
+        banned = set(kinds)
+        self.keep_element.append(lambda e: e.kind not in banned)
+        return self
+
+    def drop_attr_when(self, pred: AttrPredicate) -> "FilterConfig":
+        self.keep_attr.append(lambda e, n, v: not pred(e, n, v))
+        return self
+
+    # -- application --------------------------------------------------------
+    def attr_survives(self, elem: ModelElement, name: str, value: str) -> bool:
+        return all(p(elem, name, value) for p in self.keep_attr)
+
+    def element_survives(self, elem: ModelElement) -> bool:
+        return all(p(elem) for p in self.keep_element)
+
+
+def runtime_default_filter() -> FilterConfig:
+    """The default filter for runtime-IR emission.
+
+    Drops build metadata that only matters during bootstrapping
+    (microbenchmark cflags/lflags/file) and toolchain bookkeeping
+    (``resolved_extends``); keeps everything performance- or
+    energy-relevant.
+    """
+    cfg = FilterConfig()
+    cfg.drop_attrs("cflags", "lflags", "resolved_extends")
+    return cfg
+
+
+def filter_model(
+    root: ModelElement, config: FilterConfig
+) -> tuple[ModelElement, int, int]:
+    """Apply ``config`` to a copy of ``root``.
+
+    Returns (filtered tree, attributes dropped, elements dropped).
+    """
+    dropped_attrs = 0
+    dropped_elems = 0
+
+    def rec(elem: ModelElement) -> ModelElement | None:
+        nonlocal dropped_attrs, dropped_elems
+        if not config.element_survives(elem):
+            dropped_elems += 1
+            return None
+        dup = type(elem)(attrs={}, span=elem.span)
+        if hasattr(elem, "tag"):  # GenericElement keeps its tag
+            dup.tag = elem.tag  # type: ignore[attr-defined]
+        for name, value in elem.attrs.items():
+            if config.attr_survives(elem, name, value):
+                dup.attrs[name] = value
+            else:
+                dropped_attrs += 1
+        for child in elem.children:
+            kept = rec(child)
+            if kept is not None:
+                dup.add(kept)
+        return dup
+
+    filtered = rec(root)
+    assert filtered is not None, "root element must survive filtering"
+    return filtered, dropped_attrs, dropped_elems

@@ -1,0 +1,264 @@
+"""Model lint: consistency checks beyond per-element schema validation.
+
+Checks that need the whole (composed) tree:
+
+* duplicate identifiers within one scope (expanded group members are
+  separate scopes, matching how the paper's Listing 11 reuses ``gpu1``
+  inside every replicated node);
+* power state machines: transition endpoints must name declared states, the
+  switchable transitions should be complete (the paper: a PSM "must model
+  all possible transitions ... that the programmer can initiate"), every
+  state should be reachable;
+* endianness mismatches across directly connected endpoints (warning —
+  legitimate on Myriad1, but worth surfacing);
+* microbenchmark references: every ``inst@mb`` should resolve to a
+  microbenchmark id in the referenced suite;
+* placeholder audit: counts of '?' attributes that will need deployment-time
+  microbenchmarking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..diagnostics import DiagnosticSink
+from ..model import (
+    Inst,
+    Instructions,
+    Interconnect,
+    Microbenchmark,
+    Microbenchmarks,
+    ModelElement,
+    PowerState,
+    PowerStateMachine,
+    Transition,
+)
+from ..units import is_placeholder, is_unit_attribute
+
+
+@dataclass
+class LintReport:
+    """Summary counters next to the diagnostics themselves."""
+
+    duplicate_ids: int = 0
+    psm_problems: int = 0
+    endian_warnings: int = 0
+    dangling_mb_refs: int = 0
+    placeholders: int = 0
+
+
+def lint_model(
+    root: ModelElement, sink: DiagnosticSink | None = None
+) -> LintReport:
+    """Run all lint passes; diagnostics go to ``sink``."""
+    sink = sink if sink is not None else DiagnosticSink()
+    report = LintReport()
+    _check_duplicate_ids(root, sink, report)
+    _check_power_state_machines(root, sink, report)
+    _check_endianness(root, sink, report)
+    _check_microbenchmark_refs(root, sink, report)
+    report.placeholders = count_placeholders(root)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# duplicate ids per scope
+# ---------------------------------------------------------------------------
+
+_SCOPE_KINDS = frozenset({"system", "cluster", "node", "group", "device", "cpu"})
+
+
+def _check_duplicate_ids(
+    root: ModelElement, sink: DiagnosticSink, report: LintReport
+) -> None:
+    def walk_scope(elem: ModelElement, seen: dict[str, ModelElement]) -> None:
+        for child in elem.children:
+            ident = child.ident
+            if ident is not None:
+                if ident in seen:
+                    report.duplicate_ids += 1
+                    sink.error(
+                        "XPDL0600",
+                        f"duplicate id {ident!r} in scope "
+                        f"{seen[ident].parent.label() if seen[ident].parent else '<root>'}",
+                        child.span,
+                    )
+                else:
+                    seen[ident] = child
+            # Expanded-group members and devices open a fresh scope.
+            if child.kind in _SCOPE_KINDS and (
+                child.attrs.get("rank") is not None
+                or child.kind in ("device", "cpu", "node")
+            ):
+                walk_scope(child, {})
+            else:
+                walk_scope(child, seen)
+
+    walk_scope(root, {})
+
+
+# ---------------------------------------------------------------------------
+# power state machines
+# ---------------------------------------------------------------------------
+
+
+def _check_power_state_machines(
+    root: ModelElement, sink: DiagnosticSink, report: LintReport
+) -> None:
+    for psm in root.find_all(PowerStateMachine):
+        states = [s.name for s in psm.find_all(PowerState) if s.name]
+        state_set = set(states)
+        if len(states) != len(state_set):
+            report.psm_problems += 1
+            sink.error(
+                "XPDL0610",
+                f"power state machine {psm.label()} declares duplicate states",
+                psm.span,
+            )
+        transitions = psm.find_all(Transition)
+        present: set[tuple[str, str]] = set()
+        for t in transitions:
+            head, tail = t.attrs.get("head"), t.attrs.get("tail")
+            for end, val in (("head", head), ("tail", tail)):
+                if val is not None and val not in state_set:
+                    report.psm_problems += 1
+                    sink.error(
+                        "XPDL0611",
+                        f"transition {end}={val!r} names no declared state "
+                        f"of {psm.label()}",
+                        t.span,
+                    )
+            if head in state_set and tail in state_set:
+                present.add((head, tail))
+        # Completeness: the paper requires all programmer-initiable
+        # switchings to be modeled.  For pure DVFS machines that is every
+        # ordered state pair.
+        missing = [
+            (a, b)
+            for a in states
+            for b in states
+            if a != b and (a, b) not in present
+        ]
+        if missing:
+            report.psm_problems += len(missing)
+            pairs = ", ".join(f"{a}->{b}" for a, b in missing[:6])
+            more = "" if len(missing) <= 6 else f" (+{len(missing) - 6} more)"
+            sink.warning(
+                "XPDL0612",
+                f"power state machine {psm.label()} is missing transitions: "
+                f"{pairs}{more}",
+                psm.span,
+                "a PSM must model all switchings the programmer can initiate",
+            )
+        # Reachability from the first declared state.
+        if states:
+            reachable = {states[0]}
+            frontier = [states[0]]
+            while frontier:
+                cur = frontier.pop()
+                for a, b in present:
+                    if a == cur and b not in reachable:
+                        reachable.add(b)
+                        frontier.append(b)
+            unreachable = state_set - reachable
+            if unreachable and present:
+                report.psm_problems += len(unreachable)
+                sink.warning(
+                    "XPDL0613",
+                    f"states unreachable from {states[0]!r} in {psm.label()}: "
+                    f"{', '.join(sorted(unreachable))}",
+                    psm.span,
+                )
+
+
+# ---------------------------------------------------------------------------
+# endianness across links
+# ---------------------------------------------------------------------------
+
+
+def _endian_of(elem: ModelElement) -> str | None:
+    e = elem.attrs.get("endian")
+    if e:
+        return e
+    for child in elem.children:
+        e = _endian_of(child)
+        if e:
+            return e
+    return None
+
+
+def _check_endianness(
+    root: ModelElement, sink: DiagnosticSink, report: LintReport
+) -> None:
+    by_id = {e.ident: e for e in root.walk() if e.ident}
+    for ic in root.find_all(Interconnect):
+        head = by_id.get(ic.attrs.get("head") or "")
+        tail = by_id.get(ic.attrs.get("tail") or "")
+        if head is None or tail is None:
+            continue
+        he, te = _endian_of(head), _endian_of(tail)
+        if he and te and he != te:
+            report.endian_warnings += 1
+            sink.warning(
+                "XPDL0620",
+                f"interconnect {ic.label()} connects {he} endpoint "
+                f"{head.label()} to {te} endpoint {tail.label()}; "
+                "transfers need byte swapping",
+                ic.span,
+            )
+
+
+# ---------------------------------------------------------------------------
+# microbenchmark references
+# ---------------------------------------------------------------------------
+
+
+def _check_microbenchmark_refs(
+    root: ModelElement, sink: DiagnosticSink, report: LintReport
+) -> None:
+    suites: dict[str, set[str]] = {}
+    for mbs in root.find_all(Microbenchmarks):
+        ident = mbs.ident or mbs.name
+        if ident:
+            suites[ident] = {
+                mb.ident or "" for mb in mbs.find_all(Microbenchmark)
+            }
+    all_mb_ids = set().union(*suites.values()) if suites else set()
+    for instrs in root.find_all(Instructions):
+        suite_ref = instrs.attrs.get("mb")
+        suite_ids = suites.get(suite_ref or "", all_mb_ids)
+        for inst in instrs.find_all(Inst):
+            mb_ref = inst.attrs.get("mb")
+            if mb_ref and suites and mb_ref not in suite_ids and mb_ref not in suites:
+                report.dangling_mb_refs += 1
+                sink.warning(
+                    "XPDL0630",
+                    f"instruction {inst.label()} references microbenchmark "
+                    f"{mb_ref!r} not present in suite {suite_ref!r}",
+                    inst.span,
+                )
+
+
+# ---------------------------------------------------------------------------
+# placeholder audit
+# ---------------------------------------------------------------------------
+
+
+def count_placeholders(root: ModelElement) -> int:
+    """Number of '?' attribute values awaiting microbenchmarking."""
+    n = 0
+    for elem in root.walk():
+        for name, value in elem.attrs.items():
+            if not is_unit_attribute(name) and is_placeholder(value):
+                n += 1
+    return n
+
+
+def placeholder_sites(root: ModelElement) -> list[tuple[ModelElement, str]]:
+    """All (element, attribute) pairs holding the '?' placeholder."""
+    sites: list[tuple[ModelElement, str]] = []
+    for elem in root.walk():
+        for name, value in elem.attrs.items():
+            if not is_unit_attribute(name) and is_placeholder(value):
+                sites.append((elem, name))
+    return sites

@@ -1,0 +1,234 @@
+"""Synthesized (derived) attributes over the composed model tree.
+
+Sec. III-D: every node of a concrete system model has attributes that are
+either directly given or *synthesized* "by applying a rule combining
+attribute values of the node's children in the model tree, such as adding up
+static power values over the direct hardware subcomponents" — the paper
+itself notes the analogy to attribute grammars.
+
+:class:`SynthesisEngine` is that attribute-grammar evaluator: rules declare
+how to fold children values, results are memoized per node, and the standard
+rule set covers the derived attributes the paper names (total static power,
+core counts, CUDA device counts, total memory).
+
+Aggregation is over the *physical* containment tree: descriptive subtrees
+(power models, instruction sets, microbenchmark suites, software,
+properties) describe behaviour, not additional hardware, and are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..model import ModelElement
+from ..units import POWER, Quantity
+
+#: Element kinds whose subtree is descriptive, not physical containment.
+NON_PHYSICAL_KINDS = frozenset(
+    {
+        "power_model",
+        "power_domains",
+        "power_domain",
+        "power_state_machine",
+        "instructions",
+        "microbenchmarks",
+        "software",
+        "properties",
+        "constraints",
+        "const",
+        "param",
+        "programming_model",
+    }
+)
+
+
+def physical_children(elem: ModelElement) -> list[ModelElement]:
+    """Direct children that are physical hardware (or containers thereof)."""
+    return [c for c in elem.children if c.kind not in NON_PHYSICAL_KINDS]
+
+
+def physical_walk(root: ModelElement) -> Iterable[ModelElement]:
+    """Pre-order walk of the physical containment tree."""
+    if root.kind in NON_PHYSICAL_KINDS:
+        return
+    yield root
+    for c in physical_children(root):
+        yield from physical_walk(c)
+
+
+#: A synthesis rule: (element, synthesized-children-values) -> value.
+Rule = Callable[[ModelElement, list], object]
+
+
+@dataclass
+class SynthesizedAttribute:
+    """Declaration of one derived attribute."""
+
+    name: str
+    rule: Rule
+    doc: str = ""
+
+
+class SynthesisEngine:
+    """Evaluates synthesized attributes with per-node memoization."""
+
+    def __init__(self) -> None:
+        self._attrs: dict[str, SynthesizedAttribute] = {}
+        self._memo: dict[tuple[str, int], object] = {}
+        self.install_standard_rules()
+
+    # -- rule management -------------------------------------------------------
+    def define(self, attr: SynthesizedAttribute) -> None:
+        self._attrs[attr.name] = attr
+        self._memo = {k: v for k, v in self._memo.items() if k[0] != attr.name}
+
+    def names(self) -> list[str]:
+        return sorted(self._attrs)
+
+    def doc(self, name: str) -> str:
+        return self._attrs[name].doc
+
+    # -- evaluation --------------------------------------------------------------
+    def evaluate(self, name: str, elem: ModelElement):
+        """Value of synthesized attribute ``name`` at ``elem``."""
+        try:
+            attr = self._attrs[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown synthesized attribute {name!r}; "
+                f"known: {', '.join(self.names())}"
+            ) from None
+        key = (name, id(elem))
+        if key in self._memo:
+            return self._memo[key]
+        child_values = [
+            self.evaluate(name, c) for c in physical_children(elem)
+        ]
+        value = attr.rule(elem, child_values)
+        self._memo[key] = value
+        return value
+
+    def clear_cache(self) -> None:
+        self._memo.clear()
+
+    # -- standard rules ------------------------------------------------------------
+    def install_standard_rules(self) -> None:
+        self.define(
+            SynthesizedAttribute(
+                "static_power",
+                _rule_static_power,
+                "Sum of static power over the physical subtree; a node's own "
+                "declared static_power contributes on top of its children "
+                "(motherboard-style residual, Sec. III-A).",
+            )
+        )
+        self.define(
+            SynthesizedAttribute(
+                "core_count",
+                _count_rule("core"),
+                "Number of processing cores in the subtree.",
+            )
+        )
+        self.define(
+            SynthesizedAttribute(
+                "cpu_count",
+                _count_rule("cpu"),
+                "Number of CPU packages in the subtree.",
+            )
+        )
+        self.define(
+            SynthesizedAttribute(
+                "device_count",
+                _count_rule("device"),
+                "Number of accelerator devices in the subtree.",
+            )
+        )
+        self.define(
+            SynthesizedAttribute(
+                "cuda_device_count",
+                _rule_cuda_devices,
+                "Number of devices programmable with CUDA in the subtree.",
+            )
+        )
+        self.define(
+            SynthesizedAttribute(
+                "memory_total",
+                _rule_memory_total,
+                "Total capacity of memory modules in the subtree (bytes).",
+            )
+        )
+        self.define(
+            SynthesizedAttribute(
+                "cache_total",
+                _rule_cache_total,
+                "Total cache capacity in the subtree (bytes).",
+            )
+        )
+
+
+def _rule_static_power(elem: ModelElement, children: list) -> Quantity:
+    total = Quantity(0.0, POWER)
+    for cv in children:
+        total = total + cv
+    own = elem.quantity("static_power", POWER)
+    if own is not None:
+        total = total + own
+    return total
+
+
+def _count_rule(kind: str) -> Rule:
+    def rule(elem: ModelElement, children: list) -> int:
+        return (1 if elem.kind == kind else 0) + sum(children)
+
+    return rule
+
+
+def _rule_cuda_devices(elem: ModelElement, children: list) -> int:
+    own = 0
+    if elem.kind in ("device", "gpu"):
+        for pm in elem.children:
+            if pm.kind == "programming_model":
+                models = (pm.attrs.get("type") or "").lower()
+                if "cuda" in models:
+                    own = 1
+                    break
+    return own + sum(children)
+
+
+def _rule_memory_total(elem: ModelElement, children: list) -> float:
+    own = 0.0
+    if elem.kind == "memory":
+        q = elem.quantity("size")
+        if q is not None:
+            own = q.magnitude
+    return own + sum(children)
+
+
+def _rule_cache_total(elem: ModelElement, children: list) -> float:
+    own = 0.0
+    if elem.kind == "cache":
+        q = elem.quantity("size")
+        if q is not None:
+            own = q.magnitude
+    return own + sum(children)
+
+
+#: Shared engine with the standard rules; cheap to use directly.
+STANDARD_ENGINE = SynthesisEngine()
+
+
+def total_static_power(root: ModelElement) -> Quantity:
+    """Aggregate static power of the physical subtree (standard rule)."""
+    engine = SynthesisEngine()
+    return engine.evaluate("static_power", root)
+
+
+def count_cores(root: ModelElement) -> int:
+    engine = SynthesisEngine()
+    return engine.evaluate("core_count", root)
+
+
+def count_cuda_devices(root: ModelElement) -> int:
+    engine = SynthesisEngine()
+    return engine.evaluate("cuda_device_count", root)

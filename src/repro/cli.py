@@ -1,0 +1,462 @@
+"""The ``xpdl`` command-line toolchain (paper Sec. IV).
+
+Subcommands cover the whole processing pipeline::
+
+    xpdl list                          # descriptors in the repository
+    xpdl validate <ident>              # schema validation + lint
+    xpdl compose <ident> [-o out.xir]  # compose + analyses + runtime IR
+    xpdl query <file.xir> <path>       # path queries over a runtime model
+    xpdl info <file.xir>               # analysis functions (cores, power...)
+    xpdl benchgen <suite> -d DIR       # generate microbenchmark drivers
+    xpdl bootstrap <ident>             # run simulated microbenchmarking
+    xpdl codegen-cpp [-o file.hpp]     # generate the C++ query API
+    xpdl codegen-py [-o file.py]       # generate the Python facade
+    xpdl uml [--model <ident>]         # PlantUML views
+    xpdl schema [-o xpdl_schema.xml]   # export the core schema
+    xpdl discover [-d DIR]             # probe this host, emit descriptors
+    xpdl to-pdl <ident>                # flatten to PEPPHER PDL (comparison)
+
+Extra search-path directories are added with ``-I DIR`` (repeatable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .analysis import (
+    count_placeholders,
+    downgrade_bandwidths,
+    lint_model,
+    runtime_default_filter,
+    filter_model,
+)
+from .composer import Composer
+from .diagnostics import XpdlError
+from .ir import IRModel
+from .modellib import standard_repository
+from .runtime import xpdl_init, query_all
+from .schema import CORE_SCHEMA, schema_to_xml
+
+
+def _repository(args):
+    return standard_repository(*(args.include or []))
+
+
+def _print_diagnostics(sink) -> None:
+    text = sink.render()
+    if text:
+        print(text, file=sys.stderr)
+
+
+def cmd_list(args) -> int:
+    repo = _repository(args)
+    for ident in repo.identifiers():
+        entry = repo.index()[ident]
+        print(f"{ident:32s} <{entry.root_tag}>  {entry.store.url}{entry.path}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    repo = _repository(args)
+    from .diagnostics import DiagnosticSink
+    from .schema import SchemaValidator
+
+    identifiers = (
+        repo.identifiers() if args.all else [args.identifier]
+    )
+    if not identifiers or identifiers == [None]:
+        print("xpdl: error: give an identifier or --all", file=sys.stderr)
+        return 2
+    worst = 0
+    for ident in identifiers:
+        sink = DiagnosticSink()
+        model = repo.load(ident, sink).model
+        SchemaValidator().validate(model, sink)
+        lint_model(model, sink)
+        _print_diagnostics(sink)
+        print(
+            f"{ident}: {sink.error_count} error(s), "
+            f"{sink.warning_count} warning(s), "
+            f"{count_placeholders(model)} placeholder(s)"
+        )
+        if sink.has_errors():
+            worst = 1
+    return worst
+
+
+def cmd_compose(args) -> int:
+    repo = _repository(args)
+    composed = Composer(repo).compose(args.identifier)
+    downgrade_bandwidths(composed.root, composed.sink)
+    lint_model(composed.root, composed.sink)
+    _print_diagnostics(composed.sink)
+    root = composed.root
+    if not args.keep_all:
+        root, dropped_attrs, dropped_elems = filter_model(
+            root, runtime_default_filter()
+        )
+    ir = IRModel.from_model(
+        root,
+        {
+            "system": args.identifier,
+            "tool": "xpdl compose",
+            "schema": f"{CORE_SCHEMA.name} {CORE_SCHEMA.version}",
+        },
+    )
+    out = args.output or f"{args.identifier}.xir"
+    ir.save(out)
+    print(
+        f"composed {args.identifier}: {len(ir)} elements, "
+        f"{len(composed.referenced)} descriptors -> {out}"
+    )
+    return 1 if composed.sink.has_errors() else 0
+
+
+def cmd_query(args) -> int:
+    ctx = xpdl_init(args.file)
+    for handle in query_all(ctx, args.path):
+        attrs = " ".join(f'{k}="{v}"' for k, v in handle.attrs().items())
+        print(f"<{handle.kind} {attrs}>")
+    return 0
+
+
+def cmd_info(args) -> int:
+    ctx = xpdl_init(args.file)
+    print(f"system:          {ctx.meta('system', '?')}")
+    print(f"elements:        {len(ctx.ir)}")
+    print(f"cores:           {ctx.count_cores()}")
+    print(f"cpus:            {ctx.count_kind('cpu')}")
+    print(f"devices:         {ctx.count_kind('device')}")
+    print(f"cuda devices:    {ctx.count_cuda_devices()}")
+    print(f"static power:    {ctx.total_static_power()}")
+    installed = [h.label() for h in ctx.installed_software()]
+    print(f"installed:       {', '.join(installed) if installed else '-'}")
+    return 0
+
+
+def cmd_benchgen(args) -> int:
+    from .microbench import generate_build_script, generate_marker_library, generate_suite
+    from .model import Microbenchmarks
+
+    repo = _repository(args)
+    suite = repo.load_model(args.suite)
+    if not isinstance(suite, Microbenchmarks):
+        raise XpdlError(f"{args.suite!r} is not a microbenchmark suite")
+    drivers = generate_suite(suite)
+    os.makedirs(args.directory, exist_ok=True)
+    for d in drivers:
+        with open(os.path.join(args.directory, d.filename), "w") as fh:
+            fh.write(d.source)
+    with open(os.path.join(args.directory, "mb_markers.c"), "w") as fh:
+        fh.write(generate_marker_library())
+    script = generate_build_script(suite, drivers)
+    script_path = os.path.join(args.directory, suite.attrs.get("command", "mbscript.sh"))
+    with open(script_path, "w") as fh:
+        fh.write(script)
+    os.chmod(script_path, 0o755)
+    print(f"generated {len(drivers)} drivers + script in {args.directory}")
+    return 0
+
+
+def cmd_bootstrap(args) -> int:
+    from .microbench import bootstrap_instruction_model
+    from .model import Instructions, Microbenchmarks
+    from .simhw import PowerMeter, testbed_from_model
+
+    repo = _repository(args)
+    composed = Composer(repo).compose(args.identifier)
+    bed = testbed_from_model(composed.root)
+    meter = PowerMeter(seed=args.seed, noise_std_w=args.noise)
+    total = 0
+    for machine in bed.machines.values():
+        isa = machine.truth.isa_name
+        instrs = next(
+            (
+                i
+                for i in composed.root.find_all(Instructions)
+                if (i.name or i.ident) == isa
+            ),
+            None,
+        )
+        if instrs is None:
+            continue
+        suite = next(iter(composed.root.find_all(Microbenchmarks)), None)
+        _model, report = bootstrap_instruction_model(
+            instrs,
+            machine,
+            suite=suite,
+            meter=meter,
+            repetitions=args.repetitions,
+        )
+        for run in report.runs:
+            print(
+                f"{machine.name:16s} {run.instruction:12s} "
+                f"{run.energy_per_instruction.magnitude * 1e12:10.2f} pJ "
+                f"(+-{run.relative_spread():.1%} over {run.repetitions} reps)"
+            )
+        total += len(report.runs)
+    print(f"bootstrapped {total} instruction energies")
+    return 0
+
+
+def cmd_codegen_cpp(args) -> int:
+    from .codegen import generate_cpp_header
+
+    text = generate_cpp_header(CORE_SCHEMA)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_codegen_py(args) -> int:
+    from .codegen import generate_python_api
+
+    text = generate_python_api(CORE_SCHEMA)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_uml(args) -> int:
+    from .codegen import model_to_plantuml, schema_to_plantuml
+
+    if args.model:
+        repo = _repository(args)
+        composed = Composer(repo).compose(args.model)
+        print(model_to_plantuml(composed.root))
+    else:
+        print(schema_to_plantuml(CORE_SCHEMA))
+    return 0
+
+
+def cmd_schema(args) -> int:
+    text = schema_to_xml(CORE_SCHEMA)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_discover(args) -> int:
+    from .discovery import canned_spec, emit_descriptors, probe_linux
+
+    spec = probe_linux() if not args.canned else None
+    if spec is None:
+        spec = canned_spec()
+        print("using canned host spec (probe unavailable or --canned)", file=sys.stderr)
+    for relpath, text in emit_descriptors(spec).items():
+        path = os.path.join(args.directory, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as fh:
+            fh.write(text)
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_diff(args) -> int:
+    from .model import from_document
+    from .tools import diff_models, render_diff
+    from .xpdlxml import parse_xml_file
+
+    repo = _repository(args)
+
+    def load_side(spec: str):
+        if os.path.isfile(spec):
+            return from_document(parse_xml_file(spec))
+        return repo.load_model(spec)
+
+    old = load_side(args.old)
+    new = load_side(args.new)
+    changes = diff_models(old, new)
+    print(render_diff(changes))
+    return 1 if changes else 0
+
+
+def cmd_to_json(args) -> int:
+    from .codegen import model_to_json
+
+    repo = _repository(args)
+    if args.compose:
+        model = Composer(repo).compose(args.identifier).root
+    else:
+        model = repo.load_model(args.identifier)
+    text = model_to_json(model)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_control(args) -> int:
+    from .analysis import control_summary, infer_control_relation
+
+    repo = _repository(args)
+    composed = Composer(repo).compose(args.identifier)
+    relations = infer_control_relation(composed.root, composed.sink)
+    _print_diagnostics(composed.sink)
+    for rel in relations:
+        src = "explicit" if rel.explicit else "inferred"
+        print(f"scope {rel.scope} ({src}):")
+        if rel.root is None:
+            print("  (no processing units)")
+            continue
+
+        def show(node, depth=1):
+            print(f"{'  ' * depth}{node.ident} [{node.role}]")
+            for c in node.children:
+                show(c, depth + 1)
+
+        show(rel.root)
+    return 0
+
+
+def cmd_to_pdl(args) -> int:
+    from .pdl import write_pdl, xpdl_to_pdl
+
+    repo = _repository(args)
+    composed = Composer(repo).compose(args.identifier)
+    for platform in xpdl_to_pdl(composed.root):
+        print(f"<!-- platform {platform.name} -->")
+        print(write_pdl(platform))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xpdl", description="XPDL platform-description toolchain"
+    )
+    parser.add_argument(
+        "-I",
+        "--include",
+        action="append",
+        metavar="DIR",
+        help="extra model search-path directory (repeatable)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list repository descriptors").set_defaults(
+        fn=cmd_list
+    )
+
+    p = sub.add_parser(
+        "validate", help="validate one descriptor (or --all of them)"
+    )
+    p.add_argument("identifier", nargs="?")
+    p.add_argument(
+        "--all", action="store_true", help="validate every repository descriptor"
+    )
+    p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("compose", help="compose a system and emit runtime IR")
+    p.add_argument("identifier")
+    p.add_argument("-o", "--output")
+    p.add_argument(
+        "--keep-all",
+        action="store_true",
+        help="skip the uninteresting-value filter",
+    )
+    p.set_defaults(fn=cmd_compose)
+
+    p = sub.add_parser("query", help="path query over a runtime model file")
+    p.add_argument("file")
+    p.add_argument("path")
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("info", help="analysis summary of a runtime model file")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("benchgen", help="generate microbenchmark drivers")
+    p.add_argument("suite")
+    p.add_argument("-d", "--directory", default="mb_out")
+    p.set_defaults(fn=cmd_benchgen)
+
+    p = sub.add_parser(
+        "bootstrap", help="bootstrap energy models on the simulated testbed"
+    )
+    p.add_argument("identifier")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--noise", type=float, default=0.05, help="meter noise (W)")
+    p.add_argument("-r", "--repetitions", type=int, default=5)
+    p.set_defaults(fn=cmd_bootstrap)
+
+    p = sub.add_parser("codegen-cpp", help="generate the C++ query API header")
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=cmd_codegen_cpp)
+
+    p = sub.add_parser("codegen-py", help="generate the Python query facade")
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=cmd_codegen_py)
+
+    p = sub.add_parser("uml", help="PlantUML view of the schema or a model")
+    p.add_argument("--model")
+    p.set_defaults(fn=cmd_uml)
+
+    p = sub.add_parser("schema", help="export the core schema as XML")
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=cmd_schema)
+
+    p = sub.add_parser("discover", help="probe this host and emit descriptors")
+    p.add_argument("-d", "--directory", default="discovered")
+    p.add_argument("--canned", action="store_true", help="use the canned spec")
+    p.set_defaults(fn=cmd_discover)
+
+    p = sub.add_parser("to-pdl", help="flatten a system to PEPPHER PDL")
+    p.add_argument("identifier")
+    p.set_defaults(fn=cmd_to_pdl)
+
+    p = sub.add_parser("to-json", help="JSON view of a descriptor or system")
+    p.add_argument("identifier")
+    p.add_argument("-o", "--output")
+    p.add_argument(
+        "--compose",
+        action="store_true",
+        help="emit the composed tree rather than the raw descriptor",
+    )
+    p.set_defaults(fn=cmd_to_json)
+
+    p = sub.add_parser(
+        "control", help="show the (inferred or explicit) control hierarchy"
+    )
+    p.add_argument("identifier")
+    p.set_defaults(fn=cmd_control)
+
+    p = sub.add_parser(
+        "diff",
+        help="semantic diff of two descriptors (identifiers or .xpdl paths)",
+    )
+    p.add_argument("old")
+    p.add_argument("new")
+    p.set_defaults(fn=cmd_diff)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except XpdlError as exc:
+        print(f"xpdl: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Code generation and alternative views: C++ API, UML, Python facade."""
+
+from .naming import (
+    children_member,
+    class_name,
+    getter_name,
+    member_name,
+    sanitize,
+    setter_name,
+    strip_namespace,
+)
+from .cpp import api_surface, generate_cpp_header
+from .uml import model_to_plantuml, schema_to_plantuml
+from .pyapi import generate_python_api, materialize_python_api
+from .jsonview import (
+    model_from_json,
+    model_from_json_dict,
+    model_to_json,
+    model_to_json_dict,
+)
+
+__all__ = [
+    "children_member",
+    "class_name",
+    "getter_name",
+    "member_name",
+    "sanitize",
+    "setter_name",
+    "strip_namespace",
+    "api_surface",
+    "generate_cpp_header",
+    "model_to_plantuml",
+    "schema_to_plantuml",
+    "generate_python_api",
+    "model_from_json",
+    "model_from_json_dict",
+    "model_to_json",
+    "model_to_json_dict",
+    "materialize_python_api",
+]

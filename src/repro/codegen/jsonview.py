@@ -1,0 +1,50 @@
+"""JSON view of XPDL models.
+
+Sec. V compares against HPP-DL, whose "syntax is based on JSON rather than
+XML"; the paper's own position is that XPDL's views "only differ in syntax
+but are semantically equivalent, and are (basically) convertible to each
+other".  This module adds the JSON view: a nested-document form of any
+model tree (distinct from the flat runtime-IR JSON), round-trip convertible
+with the XML view.
+
+Mapping: an element becomes an object with ``"kind"``, its attributes
+verbatim (strings, as in the XML), and ``"children"`` (omitted when empty).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..diagnostics import XpdlError
+from ..model import ELEMENT_REGISTRY, ModelElement
+
+
+def model_to_json_dict(model: ModelElement) -> dict:
+    """Nested-document form of a model tree."""
+    doc: dict = {"kind": model.kind}
+    if model.attrs:
+        doc["attrs"] = dict(model.attrs)
+    if model.children:
+        doc["children"] = [model_to_json_dict(c) for c in model.children]
+    return doc
+
+
+def model_to_json(model: ModelElement, *, indent: int = 2) -> str:
+    return json.dumps(model_to_json_dict(model), indent=indent)
+
+
+def model_from_json_dict(doc: dict) -> ModelElement:
+    if not isinstance(doc, dict) or "kind" not in doc:
+        raise XpdlError("JSON model document needs a 'kind' field")
+    elem = ELEMENT_REGISTRY.create(doc["kind"], dict(doc.get("attrs") or {}))
+    for child in doc.get("children") or []:
+        elem.add(model_from_json_dict(child))
+    return elem
+
+
+def model_from_json(text: str) -> ModelElement:
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise XpdlError(f"malformed JSON model: {exc}") from None
+    return model_from_json_dict(doc)

@@ -1,0 +1,54 @@
+"""Name derivation shared by the code generators.
+
+The paper: "C++ class names are derived from name attributes, getter and
+setter names are based on the declared attribute names etc."  These helpers
+fix the derivation rules so every generator (C++, UML, Python) agrees.
+"""
+
+from __future__ import annotations
+
+import re
+
+_IDENT_CLEAN = re.compile(r"[^0-9A-Za-z_]")
+
+
+def strip_namespace(tag: str) -> str:
+    """Drop the ``xpdl:`` pseudo-namespace of abstract base declarations."""
+    return tag.split(":", 1)[1] if ":" in tag else tag
+
+
+def class_name(tag: str) -> str:
+    """Element tag -> class name: ``power_state_machine`` -> ``PowerStateMachine``."""
+    bare = strip_namespace(tag)
+    parts = re.split(r"[_\-.]", bare)
+    return "".join(p[:1].upper() + p[1:] for p in parts if p)
+
+
+def member_name(attr: str) -> str:
+    """Attribute -> member variable: ``static_power`` -> ``static_power_``."""
+    return sanitize(attr) + "_"
+
+
+def getter_name(attr: str) -> str:
+    """Attribute -> getter: ``id`` -> ``get_id`` (paper's m.get_id())."""
+    return "get_" + sanitize(attr)
+
+
+def setter_name(attr: str) -> str:
+    return "set_" + sanitize(attr)
+
+
+def sanitize(name: str) -> str:
+    """Make an attribute name a legal C/C++/Python identifier."""
+    out = _IDENT_CLEAN.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def children_member(tag: str) -> str:
+    """Child element kind -> containment member: ``cache`` -> ``caches_``."""
+    bare = sanitize(strip_namespace(tag))
+    if bare.endswith("s"):
+        return bare + "_list_"
+    return bare + "s_"

@@ -1,0 +1,28 @@
+"""Topological ordering of schema declarations (bases before subclasses)."""
+
+from __future__ import annotations
+
+from ..schema import ElementDecl, Schema
+
+
+def decls_in_base_order(schema: Schema) -> list[ElementDecl]:
+    """Declarations sorted so every base precedes its subclasses.
+
+    Stable: among independent declarations, alphabetical order is kept.
+    """
+    ordered: list[ElementDecl] = []
+    emitted: set[str] = set()
+
+    def emit(decl: ElementDecl) -> None:
+        if decl.tag in emitted:
+            return
+        emitted.add(decl.tag)  # pre-mark: tolerate accidental cycles
+        for base in decl.bases:
+            base_decl = schema.get(base)
+            if base_decl is not None:
+                emit(base_decl)
+        ordered.append(decl)
+
+    for decl in schema.decls():
+        emit(decl)
+    return ordered

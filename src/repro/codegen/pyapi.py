@@ -1,0 +1,133 @@
+"""Python query-API generation — the executable twin of the C++ generator.
+
+Generates Python source for a typed facade over
+:class:`~repro.runtime.query.ModelHandle`: one class per schema element
+declaration with a typed property per attribute.  The generated module is
+plain importable source; :func:`materialize_python_api` also exec-compiles
+it so callers can use the classes without touching the filesystem —
+demonstrating the paper's schema->API generation end to end in a language
+that runs here.
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+
+from ..schema import AttrKind, Schema
+from .order import decls_in_base_order
+from .naming import class_name, sanitize
+
+_PY_CONVERTERS: dict[AttrKind, str] = {
+    AttrKind.STRING: "_identity",
+    AttrKind.NAME: "_identity",
+    AttrKind.REF: "_identity",
+    AttrKind.EXPR: "_identity",
+    AttrKind.ENUM: "_identity",
+    AttrKind.LIST: "_to_list",
+    AttrKind.INT: "_to_int",
+    AttrKind.FLOAT: "_to_float",
+    AttrKind.BOOL: "_to_bool",
+    AttrKind.QUANTITY: "_to_quantity",
+}
+
+
+def generate_python_api(schema: Schema, *, module_doc: str | None = None) -> str:
+    """Generate the facade module source."""
+    out: list[str] = []
+    w = out.append
+    w('"""%s"""' % (module_doc or f"Generated XPDL query facade ({schema.name} {schema.version}). Do not edit."))
+    w("")
+    w("from repro.runtime import ModelHandle")
+    w("from repro.units import read_metric")
+    w("")
+    w("")
+    w("def _identity(v):")
+    w("    return v")
+    w("")
+    w("")
+    w("def _to_list(v):")
+    w("    return [p.strip() for p in v.split(',') if p.strip()] if v else []")
+    w("")
+    w("")
+    w("def _to_int(v):")
+    w("    return int(v) if v is not None else None")
+    w("")
+    w("")
+    w("def _to_float(v):")
+    w("    return float(v) if v is not None else None")
+    w("")
+    w("")
+    w("def _to_bool(v):")
+    w("    return v.strip().lower() in ('true', '1', 'yes') if v is not None else None")
+    w("")
+    w("")
+    w("class _Facade:")
+    w('    """Base wrapper pairing a schema class with a runtime handle."""')
+    w("")
+    w("    KIND = None")
+    w("")
+    w("    def __init__(self, handle: ModelHandle):")
+    w("        self.handle = handle")
+    w("")
+    w("    def __repr__(self):")
+    w("        return f'{type(self).__name__}({self.handle.label()})'")
+    w("")
+    w("")
+    facade_names: dict[str, str] = {}
+    for decl in decls_in_base_order(schema):
+        cname = class_name(decl.tag)
+        facade_names[decl.tag] = cname
+        bases = [class_name(b) for b in decl.bases] or ["_Facade"]
+        w(f"class {cname}({', '.join(bases)}):")
+        if decl.doc:
+            w(f'    """{decl.doc}"""')
+        w("")
+        w(f"    KIND = {decl.tag!r}")
+        w("")
+        attrs = sorted(decl.attributes.values(), key=lambda a: a.name)
+        if not attrs:
+            w("    pass")
+            w("")
+            w("")
+            continue
+        for attr in attrs:
+            prop = sanitize(attr.name)
+            w("    @property")
+            w(f"    def {prop}(self):")
+            if attr.doc:
+                w(f'        """{attr.doc}"""')
+            if attr.kind is AttrKind.QUANTITY:
+                w(
+                    f"        return read_metric(self.handle.attrs(), {attr.name!r})"
+                )
+            else:
+                conv = _PY_CONVERTERS[attr.kind]
+                w(
+                    f"        return {conv}(self.handle.attr({attr.name!r}))"
+                )
+            w("")
+        w("")
+    w("#: Element kind -> facade class, for wrapping arbitrary handles.")
+    w("FACADES = {")
+    for tag, cname in facade_names.items():
+        if tag.startswith("xpdl:"):
+            continue
+        w(f"    {tag!r}: {cname},")
+    w("}")
+    w("")
+    w("")
+    w("def wrap(handle: ModelHandle):")
+    w('    """Wrap a runtime handle in its generated facade class."""')
+    w("    cls = FACADES.get(handle.kind, _Facade)")
+    w("    return cls(handle)")
+    w("")
+    return "\n".join(out)
+
+
+def materialize_python_api(schema: Schema) -> ModuleType:
+    """Exec-compile the generated facade into a live module object."""
+    source = generate_python_api(schema)
+    module = ModuleType(f"xpdl_api_{sanitize(schema.name)}")
+    module.__dict__["__source__"] = source
+    exec(compile(source, f"<generated {schema.name}>", "exec"), module.__dict__)
+    return module

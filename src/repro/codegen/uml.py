@@ -1,0 +1,89 @@
+"""UML view generation.
+
+"Generally, XPDL offers multiple views: XML, UML, and C++ ... These views
+only differ in syntax but are semantically equivalent" (Sec. III).  This
+generator renders the schema (the metamodel) and concrete model trees as
+PlantUML text — the textual UML interchange form, renderable by any PlantUML
+toolchain.
+"""
+
+from __future__ import annotations
+
+from ..model import ModelElement
+from ..schema import AttrKind, Schema
+from .naming import class_name, strip_namespace
+
+
+def schema_to_plantuml(schema: Schema) -> str:
+    """The metamodel as a UML class diagram."""
+    out: list[str] = ["@startuml", "hide empty members", ""]
+    w = out.append
+    for decl in schema.decls():
+        cname = class_name(decl.tag)
+        stereotype = " <<abstract>>" if decl.tag.startswith("xpdl:") else ""
+        w(f"class {cname}{stereotype} {{")
+        for attr in sorted(decl.attributes.values(), key=lambda a: a.name):
+            type_label = attr.kind.value
+            if attr.kind is AttrKind.QUANTITY and attr.dimension is not None:
+                from ..units import dimension_name
+
+                type_label = dimension_name(attr.dimension)
+            marker = " {required}" if attr.required else ""
+            w(f"  {attr.name} : {type_label}{marker}")
+        w("}")
+    w("")
+    for decl in schema.decls():
+        cname = class_name(decl.tag)
+        for base in decl.bases:
+            w(f"{class_name(base)} <|-- {cname}")
+        for spec in decl.children.values():
+            if spec.tag not in schema:
+                continue
+            hi = "*" if spec.max is None else str(spec.max)
+            w(f'{cname} *-- "{spec.min}..{hi}" {class_name(spec.tag)}')
+    w("")
+    w("@enduml")
+    return "\n".join(out) + "\n"
+
+
+def model_to_plantuml(root: ModelElement, *, max_nodes: int = 400) -> str:
+    """A concrete model tree as a UML object diagram.
+
+    Large expanded trees are truncated at ``max_nodes`` with a note, since
+    object diagrams of 20 000 cores help nobody.
+    """
+    out: list[str] = ["@startuml", ""]
+    w = out.append
+    count = 0
+    truncated = False
+    names: dict[int, str] = {}
+
+    def obj_name(elem: ModelElement) -> str:
+        return f"o{names[id(elem)]}"
+
+    def emit(elem: ModelElement) -> None:
+        nonlocal count, truncated
+        if count >= max_nodes:
+            truncated = True
+            return
+        names[id(elem)] = str(count)
+        count += 1
+        title = elem.label().replace('"', "'")
+        w(f'object "{title}" as {obj_name(elem)} <<{strip_namespace(elem.kind)}>>')
+        shown = 0
+        for k, v in elem.plain_attrs().items():
+            if shown >= 4:
+                break
+            w(f"{obj_name(elem)} : {k} = {v}")
+            shown += 1
+        for child in elem.children:
+            emit(child)
+            if id(child) in names:
+                w(f"{obj_name(elem)} *-- {obj_name(child)}")
+
+    emit(root)
+    if truncated:
+        w(f"note top : truncated at {max_nodes} objects")
+    w("")
+    w("@enduml")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,5 @@
+"""Concrete model composition from distributed descriptors."""
+
+from .compose import ComposedModel, Composer, compose_model
+
+__all__ = ["ComposedModel", "Composer", "compose_model"]

@@ -1,0 +1,44 @@
+"""Conditional composition: multi-variant components, dispatch policies and
+the SpMV case study (paper Sec. II, ref. [3])."""
+
+from .component import (
+    CallContext,
+    Component,
+    Constraint,
+    ExecutionResult,
+    Variant,
+    density_at_least,
+    density_below,
+    problem_size_at_least,
+    requires_cuda_device,
+)
+from .dispatch import DispatchRecord, Dispatcher, TuningTable
+from .spmv import (
+    SpmvProblem,
+    execute_cpu_csr,
+    execute_gpu_csr,
+    make_spmv_component,
+    predict_cpu_csr,
+    predict_gpu_csr,
+)
+
+__all__ = [
+    "CallContext",
+    "Component",
+    "Constraint",
+    "ExecutionResult",
+    "Variant",
+    "density_at_least",
+    "density_below",
+    "problem_size_at_least",
+    "requires_cuda_device",
+    "DispatchRecord",
+    "Dispatcher",
+    "TuningTable",
+    "SpmvProblem",
+    "execute_cpu_csr",
+    "execute_gpu_csr",
+    "make_spmv_component",
+    "predict_cpu_csr",
+    "predict_gpu_csr",
+]

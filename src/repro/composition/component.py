@@ -1,0 +1,140 @@
+"""Multi-variant components with platform-conditional selectability.
+
+The PEPPHER/EXCESS pattern the paper builds toward (Sec. II, [3]): an
+annotated component has several implementation variants; each variant
+declares *selectability constraints* that are evaluated against the
+platform model (through the runtime query API) and against dynamic call
+properties (problem size, sparsity, ...).  The composition tool/dispatcher
+then picks among the selectable variants.
+
+In the paper's SpMV case study "each CPU and GPU implementation variant
+specify its specific constraints on availability of specific libraries
+(such as sparse BLAS libraries) in the target system, and ... selection
+constraints based on the density of nonzero elements".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..diagnostics import XpdlError
+from ..runtime import QueryContext
+from ..simhw import SimTestbed
+from ..units import ENERGY, TIME, Quantity
+
+
+@dataclass
+class CallContext:
+    """Dynamic properties of one component invocation."""
+
+    properties: dict[str, float] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> float:
+        try:
+            return self.properties[key]
+        except KeyError:
+            raise XpdlError(
+                f"call context has no property {key!r}; "
+                f"known: {', '.join(sorted(self.properties))}"
+            ) from None
+
+    def get(self, key: str, default: float | None = None) -> float | None:
+        return self.properties.get(key, default)
+
+
+@dataclass
+class ExecutionResult:
+    """Observed cost of running a variant once."""
+
+    variant: str
+    time: Quantity
+    energy: Quantity
+
+    def __post_init__(self) -> None:
+        if self.time.dimension != TIME:
+            raise XpdlError("ExecutionResult.time must be a time quantity")
+        if self.energy.dimension != ENERGY:
+            raise XpdlError("ExecutionResult.energy must be an energy quantity")
+
+
+#: Selectability predicate: platform introspection + dynamic properties.
+Constraint = Callable[[QueryContext, CallContext], bool]
+#: Analytic cost prediction from the platform model (seconds).
+CostModel = Callable[[QueryContext, CallContext], float]
+#: Actual execution on the simulated testbed.
+Executor = Callable[[SimTestbed, CallContext], ExecutionResult]
+
+
+@dataclass
+class Variant:
+    """One implementation variant of a component."""
+
+    name: str
+    execute: Executor
+    #: Installed-software capabilities this variant needs (matched against
+    #: the platform's <installed> descriptors via has_installed()).
+    requires_software: tuple[str, ...] = ()
+    #: Extra constraints (platform + call properties).
+    constraints: tuple[Constraint, ...] = ()
+    #: Optional model-based cost prediction used by the 'predict' policy.
+    cost_model: CostModel | None = None
+
+    def selectable(self, platform: QueryContext, call: CallContext) -> bool:
+        """Evaluate all selectability constraints."""
+        for req in self.requires_software:
+            if not platform.has_installed(req):
+                return False
+        return all(c(platform, call) for c in self.constraints)
+
+
+@dataclass
+class Component:
+    """A multi-variant component."""
+
+    name: str
+    variants: tuple[Variant, ...]
+
+    def variant(self, name: str) -> Variant:
+        for v in self.variants:
+            if v.name == name:
+                return v
+        raise XpdlError(
+            f"component {self.name!r} has no variant {name!r}; "
+            f"variants: {', '.join(v.name for v in self.variants)}"
+        )
+
+    def selectable_variants(
+        self, platform: QueryContext, call: CallContext
+    ) -> list[Variant]:
+        return [
+            v for v in self.variants if v.selectable(platform, call)
+        ]
+
+
+def density_at_least(threshold: float) -> Constraint:
+    """Constraint: call density >= threshold (the [3] pattern)."""
+
+    def check(_platform: QueryContext, call: CallContext) -> bool:
+        return (call.get("density") or 0.0) >= threshold
+
+    return check
+
+
+def density_below(threshold: float) -> Constraint:
+    def check(_platform: QueryContext, call: CallContext) -> bool:
+        return (call.get("density") or 0.0) < threshold
+
+    return check
+
+
+def requires_cuda_device(platform: QueryContext, _call: CallContext) -> bool:
+    """Constraint: the platform has at least one CUDA-programmable device."""
+    return platform.count_cuda_devices() > 0
+
+
+def problem_size_at_least(key: str, threshold: float) -> Constraint:
+    def check(_platform: QueryContext, call: CallContext) -> bool:
+        return (call.get(key) or 0.0) >= threshold
+
+    return check

@@ -1,0 +1,150 @@
+"""Variant dispatch policies.
+
+Given the selectable variants of a component call, a dispatcher picks one:
+
+* ``first``  — the first selectable variant (static priority order; what a
+  naive composition does);
+* ``predict`` — the variant whose *model-based* cost prediction is lowest
+  (pure platform-model-driven selection, no measurements needed);
+* ``tuned`` — empirical selection: an offline calibration pass measures
+  each variant over a training set of call contexts, the dispatcher then
+  interpolates the measured winner for the actual call (the PEPPHER
+  composition-tool approach that produced the paper's SpMV speedup).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from ..diagnostics import XpdlError
+from ..runtime import QueryContext
+from ..simhw import SimTestbed
+from .component import CallContext, Component, ExecutionResult, Variant
+
+
+@dataclass
+class DispatchRecord:
+    """One dispatch decision, for audit/inspection."""
+
+    component: str
+    chosen: str
+    selectable: tuple[str, ...]
+    policy: str
+    call_properties: dict[str, float]
+
+
+@dataclass
+class TuningTable:
+    """Calibration results over one scalar feature (e.g. density)."""
+
+    feature: str
+    points: list[tuple[float, str]] = field(default_factory=list)  # sorted
+
+    def winner_near(self, value: float) -> str | None:
+        if not self.points:
+            return None
+        keys = [p[0] for p in self.points]
+        idx = bisect.bisect_left(keys, value)
+        candidates = []
+        if idx < len(self.points):
+            candidates.append(self.points[idx])
+        if idx > 0:
+            candidates.append(self.points[idx - 1])
+        best = min(candidates, key=lambda p: abs(p[0] - value))
+        return best[1]
+
+
+class Dispatcher:
+    """Selects and runs component variants on a platform."""
+
+    def __init__(
+        self,
+        platform: QueryContext,
+        testbed: SimTestbed,
+        *,
+        policy: str = "predict",
+    ) -> None:
+        if policy not in ("first", "predict", "tuned"):
+            raise XpdlError(f"unknown dispatch policy {policy!r}")
+        self.platform = platform
+        self.testbed = testbed
+        self.policy = policy
+        self.records: list[DispatchRecord] = []
+        self._tuning: dict[str, TuningTable] = {}
+
+    # -- calibration (tuned policy) ------------------------------------------
+    def calibrate(
+        self,
+        component: Component,
+        feature: str,
+        training_calls: list[CallContext],
+    ) -> TuningTable:
+        """Measure every selectable variant on each training call; remember
+        the winner per feature value."""
+        table = TuningTable(feature=feature)
+        for call in training_calls:
+            selectable = component.selectable_variants(self.platform, call)
+            if not selectable:
+                continue
+            best: tuple[float, str] | None = None
+            for variant in selectable:
+                result = variant.execute(self.testbed, call)
+                t = result.time.magnitude
+                if best is None or t < best[0]:
+                    best = (t, variant.name)
+            table.points.append((call[feature], best[1]))
+        table.points.sort()
+        self._tuning[component.name] = table
+        return table
+
+    # -- selection --------------------------------------------------------------
+    def select(self, component: Component, call: CallContext) -> Variant:
+        selectable = component.selectable_variants(self.platform, call)
+        if not selectable:
+            raise XpdlError(
+                f"no selectable variant of {component.name!r} on this "
+                "platform for this call"
+            )
+        if self.policy == "first" or len(selectable) == 1:
+            chosen = selectable[0]
+        elif self.policy == "predict":
+            def predicted(v: Variant) -> float:
+                if v.cost_model is None:
+                    return float("inf")
+                return v.cost_model(self.platform, call)
+
+            with_models = [v for v in selectable if v.cost_model is not None]
+            chosen = (
+                min(with_models, key=predicted) if with_models else selectable[0]
+            )
+        else:  # tuned
+            table = self._tuning.get(component.name)
+            chosen = selectable[0]
+            if table is not None:
+                feature_value = call.get(table.feature)
+                winner = (
+                    table.winner_near(feature_value)
+                    if feature_value is not None
+                    else None
+                )
+                if winner is not None:
+                    for v in selectable:
+                        if v.name == winner:
+                            chosen = v
+                            break
+        self.records.append(
+            DispatchRecord(
+                component=component.name,
+                chosen=chosen.name,
+                selectable=tuple(v.name for v in selectable),
+                policy=self.policy,
+                call_properties=dict(call.properties),
+            )
+        )
+        return chosen
+
+    def invoke(self, component: Component, call: CallContext) -> ExecutionResult:
+        """Select a variant and execute it."""
+        variant = self.select(component, call)
+        return variant.execute(self.testbed, call)

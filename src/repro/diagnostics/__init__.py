@@ -1,0 +1,44 @@
+"""Diagnostics: source locations, structured error/warning reporting.
+
+All user-facing problems in ``.xpdl`` artifacts are reported as
+:class:`Diagnostic` objects carrying a :class:`SourceSpan`, collected in a
+:class:`DiagnosticSink`, and rendered by :func:`render_diagnostics`.  Python
+exceptions (:class:`XpdlError` subclasses) are raised only when a caller asks
+for strict behaviour or misuses the API.
+"""
+
+from .span import SourcePos, SourceSpan, SourceText
+from .diagnostic import (
+    Diagnostic,
+    DiagnosticSink,
+    Severity,
+    XpdlError,
+    ParseError,
+    SchemaError,
+    ResolutionError,
+    CompositionError,
+    ConstraintError,
+    UnitError,
+    QueryError,
+    render_diagnostic,
+    render_diagnostics,
+)
+
+__all__ = [
+    "SourcePos",
+    "SourceSpan",
+    "SourceText",
+    "Diagnostic",
+    "DiagnosticSink",
+    "Severity",
+    "XpdlError",
+    "ParseError",
+    "SchemaError",
+    "ResolutionError",
+    "CompositionError",
+    "ConstraintError",
+    "UnitError",
+    "QueryError",
+    "render_diagnostic",
+    "render_diagnostics",
+]

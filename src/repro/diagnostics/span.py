@@ -1,0 +1,118 @@
+"""Source positions and spans for precise diagnostics.
+
+Positions are tracked as (offset, line, column); lines and columns are
+1-based, offsets 0-based, matching what most editors display.  A
+:class:`SourceText` wraps the raw text of one descriptor file and supports
+offset -> (line, column) conversion and snippet extraction for rendering.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class SourcePos:
+    """A single position in a source text."""
+
+    offset: int
+    line: int
+    column: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True, slots=True)
+class SourceSpan:
+    """A half-open [start, end) region of a named source text."""
+
+    source: str
+    start: SourcePos
+    end: SourcePos
+
+    @staticmethod
+    def point(source: str, pos: SourcePos) -> "SourceSpan":
+        return SourceSpan(source, pos, pos)
+
+    @staticmethod
+    def unknown(source: str = "<unknown>") -> "SourceSpan":
+        zero = SourcePos(0, 1, 1)
+        return SourceSpan(source, zero, zero)
+
+    def merge(self, other: "SourceSpan") -> "SourceSpan":
+        """Smallest span covering both ``self`` and ``other``.
+
+        Spans must come from the same source; merging across files is a
+        programming error.
+        """
+        if other.source != self.source:
+            raise ValueError(
+                f"cannot merge spans from {self.source!r} and {other.source!r}"
+            )
+        start = min(self.start, other.start)
+        end = max(self.end, other.end)
+        return SourceSpan(self.source, start, end)
+
+    def __str__(self) -> str:
+        if self.start == self.end:
+            return f"{self.source}:{self.start}"
+        if self.start.line == self.end.line:
+            return f"{self.source}:{self.start}-{self.end.column}"
+        return f"{self.source}:{self.start}-{self.end}"
+
+
+@dataclass(slots=True)
+class SourceText:
+    """The raw text of one source artifact plus a line-offset index."""
+
+    name: str
+    text: str
+    _line_starts: list[int] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        starts = [0]
+        for i, ch in enumerate(self.text):
+            if ch == "\n":
+                starts.append(i + 1)
+        self._line_starts = starts
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+    def pos(self, offset: int) -> SourcePos:
+        """Convert a raw offset into a :class:`SourcePos`."""
+        offset = max(0, min(offset, len(self.text)))
+        line_idx = bisect.bisect_right(self._line_starts, offset) - 1
+        col = offset - self._line_starts[line_idx] + 1
+        return SourcePos(offset, line_idx + 1, col)
+
+    def span(self, start_offset: int, end_offset: int) -> SourceSpan:
+        return SourceSpan(self.name, self.pos(start_offset), self.pos(end_offset))
+
+    def line_text(self, line: int) -> str:
+        """Return the text of a 1-based line, without its newline."""
+        if line < 1 or line > len(self._line_starts):
+            return ""
+        start = self._line_starts[line - 1]
+        end = (
+            self._line_starts[line] - 1
+            if line < len(self._line_starts)
+            else len(self.text)
+        )
+        return self.text[start:end].rstrip("\n")
+
+    def snippet(self, span: SourceSpan, *, max_width: int = 120) -> str:
+        """Render a caret-underlined snippet for ``span`` (single line)."""
+        line = self.line_text(span.start.line)
+        if len(line) > max_width:
+            line = line[:max_width] + "…"
+        caret_start = max(span.start.column - 1, 0)
+        if span.end.line == span.start.line and span.end.column > span.start.column:
+            width = span.end.column - span.start.column
+        else:
+            width = 1
+        width = max(1, min(width, max(1, len(line) - caret_start) or 1))
+        underline = " " * caret_start + "^" * width
+        return f"{line}\n{underline}"

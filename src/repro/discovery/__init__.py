@@ -1,0 +1,20 @@
+"""hwloc-style host discovery emitting XPDL descriptors."""
+
+from .hostspec import CacheSpec, HostSpec, canned_spec, probe_linux
+from .emit import (
+    cpu_descriptor_name,
+    emit_cpu_descriptor,
+    emit_descriptors,
+    emit_system_descriptor,
+)
+
+__all__ = [
+    "CacheSpec",
+    "HostSpec",
+    "canned_spec",
+    "probe_linux",
+    "cpu_descriptor_name",
+    "emit_cpu_descriptor",
+    "emit_descriptors",
+    "emit_system_descriptor",
+]

@@ -1,0 +1,176 @@
+"""Host hardware specification: what a discovery probe reports.
+
+A :class:`HostSpec` is the neutral description an hwloc-style probe
+produces (paper Sec. V discusses hwloc as the closest structural
+counterpart).  Two sources exist: :func:`probe_linux` reads the real
+``/sys``/``/proc`` when running on Linux, and canned specs support tests
+and non-Linux hosts deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheSpec:
+    level: int
+    size_kib: int
+    shared_by: int = 1  # hardware threads sharing one instance
+    cache_type: str = "Unified"
+
+
+@dataclass
+class HostSpec:
+    """One machine as a probe sees it."""
+
+    hostname: str
+    cpu_model: str
+    sockets: int
+    cores_per_socket: int
+    threads_per_core: int = 1
+    base_frequency_mhz: float = 2000.0
+    caches: list[CacheSpec] = field(default_factory=list)
+    memory_mib: int = 16384
+    os_name: str = "Linux"
+    os_release: str = ""
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+
+def canned_spec() -> HostSpec:
+    """A deterministic spec mirroring the paper's E5-2630L host."""
+    return HostSpec(
+        hostname="excess-sim",
+        cpu_model="Intel Xeon E5-2630L (simulated)",
+        sockets=1,
+        cores_per_socket=4,
+        threads_per_core=1,
+        base_frequency_mhz=2000.0,
+        caches=[
+            CacheSpec(1, 32, shared_by=1),
+            CacheSpec(2, 256, shared_by=2),
+            CacheSpec(3, 15 * 1024, shared_by=4),
+        ],
+        memory_mib=32768,
+        os_name="Linux",
+        os_release="3.13",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Real-Linux probing (best-effort, never raises)
+# ---------------------------------------------------------------------------
+
+_SIZE_RE = re.compile(r"(\d+)\s*([KMG])B?", re.IGNORECASE)
+
+
+def _read(path: str) -> str | None:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return fh.read().strip()
+    except OSError:
+        return None
+
+
+def _parse_size_kib(text: str) -> int | None:
+    m = _SIZE_RE.search(text)
+    if not m:
+        return None
+    value = int(m.group(1))
+    unit = m.group(2).upper()
+    return value * {"K": 1, "M": 1024, "G": 1024 * 1024}[unit]
+
+
+def _count_list(text: str) -> int:
+    """Count cpus in a sysfs list like '0-3,8-11'."""
+    n = 0
+    for part in text.split(","):
+        if "-" in part:
+            lo, hi = part.split("-")
+            n += int(hi) - int(lo) + 1
+        elif part.strip():
+            n += 1
+    return n
+
+
+def probe_linux() -> HostSpec | None:
+    """Probe the running Linux host; ``None`` when sysfs is unavailable."""
+    cpu_dir = "/sys/devices/system/cpu"
+    if not os.path.isdir(cpu_dir):
+        return None
+    cpus = [
+        d
+        for d in os.listdir(cpu_dir)
+        if re.fullmatch(r"cpu\d+", d) and os.path.isdir(os.path.join(cpu_dir, d))
+    ]
+    if not cpus:
+        return None
+    n_threads = len(cpus)
+    # Socket / core topology from cpu0's topology files.
+    packages: set[str] = set()
+    cores: set[tuple[str, str]] = set()
+    for cpu in cpus:
+        pkg = _read(os.path.join(cpu_dir, cpu, "topology/physical_package_id"))
+        core = _read(os.path.join(cpu_dir, cpu, "topology/core_id"))
+        if pkg is not None:
+            packages.add(pkg)
+            cores.add((pkg, core or cpu))
+    sockets = max(1, len(packages))
+    physical_cores = max(1, len(cores))
+    threads_per_core = max(1, n_threads // physical_cores)
+    model = "unknown"
+    cpuinfo = _read("/proc/cpuinfo") or ""
+    m = re.search(r"model name\s*:\s*(.+)", cpuinfo)
+    if m:
+        model = m.group(1).strip()
+    freq_khz = _read(os.path.join(cpu_dir, "cpu0/cpufreq/cpuinfo_max_freq"))
+    base_mhz = float(freq_khz) / 1000.0 if freq_khz else 2000.0
+    caches: list[CacheSpec] = []
+    cache_dir = os.path.join(cpu_dir, "cpu0/cache")
+    if os.path.isdir(cache_dir):
+        for idx in sorted(os.listdir(cache_dir)):
+            if not idx.startswith("index"):
+                continue
+            base = os.path.join(cache_dir, idx)
+            level = _read(os.path.join(base, "level"))
+            size = _read(os.path.join(base, "size"))
+            ctype = _read(os.path.join(base, "type")) or "Unified"
+            shared = _read(os.path.join(base, "shared_cpu_list"))
+            if level is None or size is None or ctype == "Instruction":
+                continue
+            kib = _parse_size_kib(size)
+            if kib is None:
+                continue
+            caches.append(
+                CacheSpec(
+                    int(level),
+                    kib,
+                    shared_by=_count_list(shared) if shared else 1,
+                    cache_type=ctype,
+                )
+            )
+    mem_mib = 16384
+    meminfo = _read("/proc/meminfo") or ""
+    m = re.search(r"MemTotal:\s*(\d+)\s*kB", meminfo)
+    if m:
+        mem_mib = int(m.group(1)) // 1024
+    release = _read("/proc/sys/kernel/osrelease") or ""
+    import socket
+
+    return HostSpec(
+        hostname=socket.gethostname(),
+        cpu_model=model,
+        sockets=sockets,
+        cores_per_socket=max(1, physical_cores // sockets),
+        threads_per_core=threads_per_core,
+        base_frequency_mhz=base_mhz,
+        caches=caches,
+        memory_mib=mem_mib,
+        os_name="Linux",
+        os_release=release,
+    )

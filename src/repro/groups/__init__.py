@@ -1,0 +1,5 @@
+"""Homogeneous group expansion (prefix/quantity member synthesis)."""
+
+from .expand import count_expanded, expand_groups, expanded_members
+
+__all__ = ["count_expanded", "expand_groups", "expanded_members"]

@@ -1,0 +1,155 @@
+"""Expansion of homogeneous groups into their member instances.
+
+Sec. III-A: a ``group`` with a ``quantity`` attribute is implicitly
+homogeneous; ``prefix`` + ``quantity`` auto-assign member identifiers
+``prefix0 .. prefixN-1``.  ``quantity`` may also name a param
+(Listing 8's ``quantity="num_SM"``), resolved against the parameter
+environment at composition time.
+
+Member identity rule (the paper leaves the multi-child case open, so we fix
+a deterministic one and document it):
+
+* a group with exactly **one** child element replicates that child directly,
+  assigning ids ``prefix{r}`` to the clones — ``<memory/>`` under
+  ``<group prefix="main_mem" quantity="4">`` becomes ``main_mem0..main_mem3``;
+* a group with **several** children (e.g. Listing 1's core + private L1)
+  wraps each replica in a member ``<group id="prefix{r}">`` so that the
+  hierarchical-scope sharing semantics are preserved: each member keeps its
+  own private copy of the scoped caches.
+
+The expanded group container is kept (marked ``expanded="true"``) so scope
+— and therefore cache sharing — is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..diagnostics import CompositionError, DiagnosticSink
+from ..model import ELEMENT_REGISTRY, Group, ModelElement
+from ..params import Evaluator, Value
+
+
+def _resolve_quantity(
+    group: Group,
+    env: Mapping[str, Value],
+    sink: DiagnosticSink,
+) -> int | None:
+    raw = group.attrs.get("quantity")
+    if raw is None:
+        return None
+    raw = raw.strip()
+    try:
+        n = int(raw)
+    except ValueError:
+        try:
+            n = Evaluator(dict(env)).eval_int(raw)
+        except Exception as exc:
+            sink.error(
+                "XPDL0400",
+                f"cannot resolve group quantity {raw!r}: {exc}",
+                group.span,
+            )
+            return None
+    if n < 0:
+        sink.error(
+            "XPDL0401", f"negative group quantity {n}", group.span
+        )
+        return None
+    return n
+
+
+def expand_groups(
+    root: ModelElement,
+    env: Mapping[str, Value] | None = None,
+    sink: DiagnosticSink | None = None,
+    *,
+    max_members: int = 1_000_000,
+) -> ModelElement:
+    """Return a copy of ``root`` with every homogeneous group expanded.
+
+    ``env`` supplies values for parameterized quantities.  Expansion is
+    bottom-up so nested groups (Listing 1) multiply out correctly; the total
+    member count is capped by ``max_members`` to catch runaway parameters.
+    """
+    sink = sink if sink is not None else DiagnosticSink()
+    env = env or {}
+    budget = [max_members]
+    result = _expand(root.clone(), env, sink, budget)
+    return result
+
+
+def _expand(
+    elem: ModelElement,
+    env: Mapping[str, Value],
+    sink: DiagnosticSink,
+    budget: list[int],
+) -> ModelElement:
+    # Depth-first: expand children before this element so nested groups
+    # are already multiplied out when the outer group replicates them.
+    new_children = [_expand(c, env, sink, budget) for c in elem.children]
+    elem.children = []
+    for c in new_children:
+        elem.add(c)
+
+    if not (isinstance(elem, Group) and elem.is_homogeneous()):
+        return elem
+    if elem.attrs.get("expanded") == "true":
+        return elem
+
+    n = _resolve_quantity(elem, env, sink)
+    if n is None:
+        return elem
+    prefix = elem.attrs.get("prefix")
+    template = list(elem.children)
+    # Budget counts materialized elements, so nested groups multiply: the
+    # template subtree size times the member count is what expansion
+    # actually allocates.
+    template_size = sum(1 for t in template for _ in t.walk())
+    budget[0] -= n * max(1, template_size)
+    if budget[0] < 0:
+        raise CompositionError(
+            "group expansion exceeds the member budget; "
+            "check parameterized quantities"
+        )
+    expanded = Group(attrs={}, span=elem.span)
+    # Keep the group's own identity and bookkeeping.
+    for key in ("name", "id"):
+        if key in elem.attrs:
+            expanded.attrs[key] = elem.attrs[key]
+    expanded.attrs["expanded"] = "true"
+    expanded.attrs["member_count"] = str(n)
+    if prefix:
+        expanded.attrs["prefix"] = prefix
+
+    single = len(template) == 1
+    for rank in range(n):
+        member_id = f"{prefix}{rank}" if prefix else None
+        if single:
+            member = template[0].clone()
+            if member_id and "id" not in member.attrs:
+                member.attrs["id"] = member_id
+                member.attrs.pop("name", None)
+            member.attrs["rank"] = str(rank)
+            expanded.add(member)
+        else:
+            wrapper = Group(attrs={}, span=elem.span)
+            if member_id:
+                wrapper.attrs["id"] = member_id
+            wrapper.attrs["rank"] = str(rank)
+            for t in template:
+                wrapper.add(t.clone())
+            expanded.add(wrapper)
+    return expanded
+
+
+def expanded_members(group: ModelElement) -> list[ModelElement]:
+    """Members of an expanded group (its direct children)."""
+    if group.attrs.get("expanded") != "true":
+        raise CompositionError("element is not an expanded group")
+    return list(group.children)
+
+
+def count_expanded(root: ModelElement, kind: str) -> int:
+    """Count elements of ``kind`` in an (expanded) tree."""
+    return sum(1 for e in root.walk() if e.kind == kind)

@@ -1,0 +1,5 @@
+"""Meta-model inheritance: C3 linearization and content merging."""
+
+from .engine import InheritanceEngine, c3_linearize, merge_element
+
+__all__ = ["InheritanceEngine", "c3_linearize", "merge_element"]

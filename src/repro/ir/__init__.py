@@ -1,0 +1,5 @@
+"""Light-weight runtime model IR and its binary/JSON file formats."""
+
+from .format import MAGIC, IRModel, IRNode
+
+__all__ = ["MAGIC", "IRModel", "IRNode"]

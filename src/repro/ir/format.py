@@ -1,0 +1,265 @@
+"""The light-weight runtime model representation and its file format.
+
+Sec. IV: the processing tool "builds a light-weight run-time data structure
+for the composed model that is finally written into a file"; the application
+loads it at startup through the query API.
+
+The IR flattens the composed tree into arrays — a string pool plus one
+record per node (kind, parent index, attribute name/value index pairs) — so
+loading is a single linear scan with no XML parsing.  Two encodings are
+provided: a compact binary format (magic ``XPDLRT01``) and JSON (debugging,
+interchange).  Both round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+
+from ..diagnostics import QueryError
+from ..model import ELEMENT_REGISTRY, ModelElement
+
+MAGIC = b"XPDLRT01"
+_NO_PARENT = 0xFFFFFFFF
+
+
+@dataclass(slots=True)
+class IRNode:
+    """One flattened model element."""
+
+    index: int
+    kind: str
+    parent: int | None
+    attrs: dict[str, str]
+    children: list[int] = field(default_factory=list)
+
+    @property
+    def ident(self) -> str | None:
+        return self.attrs.get("id")
+
+    @property
+    def name(self) -> str | None:
+        return self.attrs.get("name")
+
+    def label(self) -> str:
+        return self.name or self.ident or f"<{self.kind}#{self.index}>"
+
+
+class IRModel:
+    """The flattened runtime model."""
+
+    def __init__(self, nodes: list[IRNode], meta: dict[str, str] | None = None):
+        self.nodes = nodes
+        self.meta = dict(meta or {})
+        self._by_id: dict[str, int] | None = None
+
+    # -- construction -------------------------------------------------------
+    @staticmethod
+    def from_model(
+        root: ModelElement, meta: dict[str, str] | None = None
+    ) -> "IRModel":
+        nodes: list[IRNode] = []
+
+        def rec(elem: ModelElement, parent: int | None) -> int:
+            idx = len(nodes)
+            node = IRNode(idx, elem.kind, parent, dict(elem.attrs))
+            nodes.append(node)
+            for child in elem.children:
+                cidx = rec(child, idx)
+                node.children.append(cidx)
+            return idx
+
+        rec(root, None)
+        return IRModel(nodes, meta)
+
+    def to_model(self) -> ModelElement:
+        """Rebuild a model object tree (for tooling; the runtime query API
+        works on the IR directly)."""
+        if not self.nodes:
+            raise QueryError("empty IR model")
+        elems: list[ModelElement] = []
+        for node in self.nodes:
+            elems.append(ELEMENT_REGISTRY.create(node.kind, node.attrs))
+        for node in self.nodes:
+            for cidx in node.children:
+                elems[node.index].add(elems[cidx])
+        return elems[0]
+
+    # -- access ----------------------------------------------------------------
+    @property
+    def root(self) -> IRNode:
+        return self.nodes[0]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, index: int) -> IRNode:
+        return self.nodes[index]
+
+    def children_of(self, node: IRNode) -> list[IRNode]:
+        return [self.nodes[i] for i in node.children]
+
+    def parent_of(self, node: IRNode) -> IRNode | None:
+        return self.nodes[node.parent] if node.parent is not None else None
+
+    def by_id(self, ident: str) -> IRNode | None:
+        if self._by_id is None:
+            self._by_id = {}
+            for n in self.nodes:
+                nid = n.attrs.get("id")
+                if nid is not None and nid not in self._by_id:
+                    self._by_id[nid] = n.index
+        idx = self._by_id.get(ident)
+        return self.nodes[idx] if idx is not None else None
+
+    def walk(self, start: IRNode | None = None):
+        """Pre-order traversal from ``start`` (default: root)."""
+        stack = [start.index if start else 0]
+        while stack:
+            idx = stack.pop()
+            node = self.nodes[idx]
+            yield node
+            stack.extend(reversed(node.children))
+
+    # -- binary encoding -----------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        pool: dict[str, int] = {}
+        pool_list: list[str] = []
+
+        def intern(s: str) -> int:
+            idx = pool.get(s)
+            if idx is None:
+                idx = len(pool_list)
+                pool[s] = idx
+                pool_list.append(s)
+            return idx
+
+        records: list[bytes] = []
+        for node in self.nodes:
+            kind_idx = intern(node.kind)
+            parent = _NO_PARENT if node.parent is None else node.parent
+            attr_items = list(node.attrs.items())
+            rec = [struct.pack("<III", kind_idx, parent, len(attr_items))]
+            for k, v in attr_items:
+                rec.append(struct.pack("<II", intern(k), intern(v)))
+            records.append(b"".join(rec))
+
+        meta_items = list(self.meta.items())
+        out = [MAGIC]
+        out.append(struct.pack("<I", len(meta_items)))
+        for k, v in meta_items:
+            kb, vb = k.encode("utf-8"), v.encode("utf-8")
+            out.append(struct.pack("<II", len(kb), len(vb)))
+            out.append(kb)
+            out.append(vb)
+        out.append(struct.pack("<I", len(pool_list)))
+        for s in pool_list:
+            b = s.encode("utf-8")
+            out.append(struct.pack("<I", len(b)))
+            out.append(b)
+        out.append(struct.pack("<I", len(records)))
+        out.extend(records)
+        return b"".join(out)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "IRModel":
+        view = memoryview(data)
+        if bytes(view[:8]) != MAGIC:
+            raise QueryError("not an XPDL runtime model file (bad magic)")
+        off = 8
+
+        def read_u32() -> int:
+            nonlocal off
+            (v,) = struct.unpack_from("<I", view, off)
+            off += 4
+            return v
+
+        def read_str(n: int) -> str:
+            nonlocal off
+            s = bytes(view[off : off + n]).decode("utf-8")
+            off += n
+            return s
+
+        meta: dict[str, str] = {}
+        for _ in range(read_u32()):
+            klen = read_u32()
+            vlen = read_u32()
+            k = read_str(klen)
+            v = read_str(vlen)
+            meta[k] = v
+        pool: list[str] = []
+        for _ in range(read_u32()):
+            pool.append(read_str(read_u32()))
+        nodes: list[IRNode] = []
+        count = read_u32()
+        for idx in range(count):
+            kind_idx = read_u32()
+            parent = read_u32()
+            nattrs = read_u32()
+            attrs: dict[str, str] = {}
+            for _ in range(nattrs):
+                k = pool[read_u32()]
+                v = pool[read_u32()]
+                attrs[k] = v
+            nodes.append(
+                IRNode(
+                    idx,
+                    pool[kind_idx],
+                    None if parent == _NO_PARENT else parent,
+                    attrs,
+                )
+            )
+        for node in nodes:
+            if node.parent is not None:
+                nodes[node.parent].children.append(node.index)
+        return IRModel(nodes, meta)
+
+    # -- JSON encoding -----------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "format": MAGIC.decode(),
+                "meta": self.meta,
+                "nodes": [
+                    {
+                        "kind": n.kind,
+                        "parent": n.parent,
+                        "attrs": n.attrs,
+                    }
+                    for n in self.nodes
+                ],
+            },
+            indent=1,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "IRModel":
+        data = json.loads(text)
+        if data.get("format") != MAGIC.decode():
+            raise QueryError("not an XPDL runtime model JSON document")
+        nodes = [
+            IRNode(i, d["kind"], d["parent"], dict(d["attrs"]))
+            for i, d in enumerate(data["nodes"])
+        ]
+        for node in nodes:
+            if node.parent is not None:
+                nodes[node.parent].children.append(node.index)
+        return IRModel(nodes, dict(data.get("meta", {})))
+
+    # -- files --------------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        if path.endswith(".json"):
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(self.to_json())
+        else:
+            with open(path, "wb") as fh:
+                fh.write(self.to_bytes())
+
+    @staticmethod
+    def load(path: str) -> "IRModel":
+        if path.endswith(".json"):
+            with open(path, "r", encoding="utf-8") as fh:
+                return IRModel.from_json(fh.read())
+        with open(path, "rb") as fh:
+            return IRModel.from_bytes(fh.read())

@@ -1,0 +1,30 @@
+"""Microbenchmarking: driver codegen, simulated execution, bootstrapping."""
+
+from .codegen import (
+    GeneratedDriver,
+    generate_build_script,
+    generate_driver,
+    generate_marker_library,
+    generate_suite,
+)
+from .runner import BenchmarkRun, MicrobenchRunner
+from .bootstrap import (
+    BootstrapItem,
+    BootstrapReport,
+    bootstrap_instruction_model,
+    plan_bootstrap,
+)
+
+__all__ = [
+    "GeneratedDriver",
+    "generate_build_script",
+    "generate_driver",
+    "generate_marker_library",
+    "generate_suite",
+    "BenchmarkRun",
+    "MicrobenchRunner",
+    "BootstrapItem",
+    "BootstrapReport",
+    "bootstrap_instruction_model",
+    "plan_bootstrap",
+]

@@ -1,0 +1,145 @@
+"""Deployment-time bootstrapping of energy models.
+
+The toolchain step of Sec. IV: find every instruction whose energy is the
+``?`` placeholder, generate its driver, run it on the (simulated) machine,
+and write the derived value back into the model — "the processor's energy
+model can be bootstrapped at system deployment time automatically by running
+the microbenchmarks to derive the unspecified entries" (Sec. III-C).
+
+"On request, microbenchmarking can also be applied to instructions with
+given energy cost and will then override the specified values" —
+``force=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..diagnostics import DiagnosticSink, XpdlError
+from ..model import Inst, Instructions, Microbenchmark, Microbenchmarks, ModelElement
+from ..power import InstructionEnergyModel
+from ..simhw import PowerMeter, SimMachine
+from ..units import Quantity
+from .codegen import GeneratedDriver, generate_driver
+from .runner import BenchmarkRun, MicrobenchRunner
+
+
+@dataclass
+class BootstrapItem:
+    """One instruction scheduled for benchmarking."""
+
+    instruction: str
+    benchmark_id: str
+    inst_element: Inst
+    reason: str  # 'placeholder' | 'forced'
+
+
+@dataclass
+class BootstrapReport:
+    """Everything a bootstrap pass did."""
+
+    items: list[BootstrapItem] = field(default_factory=list)
+    runs: list[BenchmarkRun] = field(default_factory=list)
+    updated: int = 0
+    skipped: list[str] = field(default_factory=list)
+
+    def derived_energies(self) -> dict[str, Quantity]:
+        out: dict[str, Quantity] = {}
+        for r in self.runs:
+            out[r.instruction] = r.energy_per_instruction
+        return out
+
+
+def plan_bootstrap(
+    instrs: ModelElement,
+    suite: ModelElement | None = None,
+    *,
+    force: bool = False,
+) -> list[BootstrapItem]:
+    """Decide which instructions need benchmarking.
+
+    ``suite`` supplies benchmark ids; instructions referencing a benchmark
+    absent from the suite are planned with their own name as id (the runner
+    can generate a driver for any instruction).
+    """
+    if not isinstance(instrs, Instructions):
+        raise XpdlError(f"expected <instructions>, got <{instrs.kind}>")
+    suite_ids: set[str] = set()
+    if suite is not None and isinstance(suite, Microbenchmarks):
+        suite_ids = {
+            mb.ident or "" for mb in suite.find_all(Microbenchmark)
+        }
+    items: list[BootstrapItem] = []
+    for inst in instrs.find_all(Inst):
+        if not inst.name:
+            continue
+        if inst.needs_benchmarking():
+            reason = "placeholder"
+        elif force:
+            reason = "forced"
+        else:
+            continue
+        mb_ref = inst.attrs.get("mb")
+        bench_id = mb_ref if (mb_ref and (not suite_ids or mb_ref in suite_ids)) else inst.name
+        items.append(
+            BootstrapItem(
+                instruction=inst.name,
+                benchmark_id=bench_id,
+                inst_element=inst,
+                reason=reason,
+            )
+        )
+    return items
+
+
+def bootstrap_instruction_model(
+    instrs: ModelElement,
+    machine: SimMachine,
+    *,
+    suite: ModelElement | None = None,
+    meter: PowerMeter | None = None,
+    repetitions: int = 5,
+    force: bool = False,
+    frequency_sweep: bool = False,
+    write_back: bool = True,
+    sink: DiagnosticSink | None = None,
+) -> tuple[InstructionEnergyModel, BootstrapReport]:
+    """Run the full bootstrap loop for one instruction set.
+
+    Returns the populated :class:`InstructionEnergyModel` plus a report.
+    With ``write_back`` the derived energies replace the ``?`` placeholders
+    in the descriptor tree itself (what the paper's toolchain persists).
+    """
+    sink = sink if sink is not None else DiagnosticSink()
+    model = InstructionEnergyModel.from_element(instrs)
+    runner = MicrobenchRunner(machine, meter, repetitions=repetitions)
+    report = BootstrapReport(items=plan_bootstrap(instrs, suite, force=force))
+    for item in report.items:
+        if item.instruction not in machine.truth:
+            report.skipped.append(item.instruction)
+            sink.warning(
+                "XPDL0700",
+                f"machine {machine.name!r} cannot execute "
+                f"{item.instruction!r}; benchmark skipped",
+                item.inst_element.span,
+            )
+            continue
+        driver: GeneratedDriver = generate_driver(
+            item.benchmark_id, item.instruction
+        )
+        if frequency_sweep and machine.psm is not None:
+            runs = runner.run_frequency_sweep(driver)
+            for r in runs:
+                model.set_energy(
+                    item.instruction,
+                    r.energy_per_instruction,
+                    frequency=r.frequency,
+                )
+            report.runs.extend(runs)
+        else:
+            r = runner.run(driver)
+            model.set_energy(item.instruction, r.energy_per_instruction)
+            report.runs.append(r)
+    if write_back:
+        report.updated = model.write_back(instrs)
+    return model, report

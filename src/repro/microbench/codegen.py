@@ -1,0 +1,195 @@
+"""Microbenchmark driver code generation.
+
+Sec. IV: the toolchain "generates microbenchmarking driver code" that is
+built and run by the suite's ``command`` script (Listing 15's
+``mbscript.sh``) to populate unknown energy entries.
+
+We generate exactly that artifact set: one C driver per instruction (an
+unrolled measurement loop between power-meter markers, plus a baseline loop
+for subtraction) and the build/run shell script.  The generated C is valid,
+self-contained C99; on the simulated testbed the *semantics* of the driver
+(instruction counts, loop structure) are interpreted by the runner instead
+of being compiled — the generated text is the contract, golden-tested to
+stay stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..diagnostics import XpdlError
+from ..model import Microbenchmark, Microbenchmarks, ModelElement
+
+#: Instruction-name -> C statement bodies for the measurement kernel.  The
+#: volatile accumulator defeats dead-code elimination at -O0/-O2 alike.
+_KERNELS: dict[str, str] = {
+    "fmul": "acc = acc * 1.0000000001;",
+    "fadd": "acc = acc + 1.0e-9;",
+    "divsd": "acc = acc / 1.0000000001;",
+    "mov": "tmp = (long)acc; acc = (double)tmp;",
+    "add": "itmp = itmp + 1;",
+    "mul": "itmp = itmp * 3 + 1;",
+    "load": "dtmp = buffer[i & MASK];",
+    "store": "buffer[i & MASK] = dtmp;",
+    "nop": "__asm__ __volatile__(\"nop\");",
+}
+
+_DEFAULT_KERNEL = "acc = acc + 1.0e-9; /* generic ALU op */"
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratedDriver:
+    """One generated microbenchmark source file."""
+
+    benchmark_id: str
+    instruction: str
+    filename: str
+    source: str
+    unroll: int
+    iterations: int
+
+    @property
+    def instructions_per_run(self) -> int:
+        return self.unroll * self.iterations
+
+
+def generate_driver(
+    benchmark_id: str,
+    instruction: str,
+    *,
+    filename: str | None = None,
+    unroll: int = 64,
+    iterations: int = 1_000_000,
+) -> GeneratedDriver:
+    """Generate the C driver measuring one instruction."""
+    kernel = _KERNELS.get(instruction, _DEFAULT_KERNEL)
+    body = "\n".join(f"        {kernel}" for _ in range(unroll))
+    fname = filename or f"{instruction}.c"
+    source = f"""\
+/* Auto-generated XPDL microbenchmark driver.
+ * benchmark: {benchmark_id}   instruction: {instruction}
+ * protocol: measure loop energy with the external meter between the
+ * MB_MARK_START/STOP markers, subtract the baseline loop, divide by
+ * {unroll} x {iterations} executed instructions.
+ */
+#include <stdio.h>
+#include <stdlib.h>
+
+#define UNROLL {unroll}
+#define ITERATIONS {iterations}L
+#define MASK 4095
+
+extern void MB_MARK_START(const char *tag);
+extern void MB_MARK_STOP(const char *tag);
+
+static volatile double acc = 1.0;
+static volatile long itmp = 1;
+static volatile double dtmp = 1.0;
+static volatile double buffer[MASK + 1];
+
+static void measured_loop(void) {{
+    long i;
+    MB_MARK_START("{benchmark_id}:{instruction}");
+    for (i = 0; i < ITERATIONS; ++i) {{
+{body}
+    }}
+    MB_MARK_STOP("{benchmark_id}:{instruction}");
+}}
+
+static void baseline_loop(void) {{
+    long i;
+    MB_MARK_START("{benchmark_id}:baseline");
+    for (i = 0; i < ITERATIONS; ++i) {{
+        /* empty: loop overhead only */
+    }}
+    MB_MARK_STOP("{benchmark_id}:baseline");
+}}
+
+int main(void) {{
+    baseline_loop();
+    measured_loop();
+    printf("%s %ld\\n", "{instruction}", (long)UNROLL * ITERATIONS);
+    return EXIT_SUCCESS;
+}}
+"""
+    return GeneratedDriver(
+        benchmark_id=benchmark_id,
+        instruction=instruction,
+        filename=fname,
+        source=source,
+        unroll=unroll,
+        iterations=iterations,
+    )
+
+
+def generate_suite(
+    suite: ModelElement,
+    *,
+    unroll: int = 64,
+    iterations: int = 1_000_000,
+) -> list[GeneratedDriver]:
+    """Generate drivers for every benchmark in a ``<microbenchmarks>`` suite."""
+    if not isinstance(suite, Microbenchmarks):
+        raise XpdlError(f"expected <microbenchmarks>, got <{suite.kind}>")
+    drivers: list[GeneratedDriver] = []
+    for mb in suite.find_all(Microbenchmark):
+        instruction = mb.attrs.get("type")
+        ident = mb.ident or mb.name
+        if not instruction or not ident:
+            continue
+        drivers.append(
+            generate_driver(
+                ident,
+                instruction,
+                filename=mb.attrs.get("file"),
+                unroll=unroll,
+                iterations=iterations,
+            )
+        )
+    return drivers
+
+
+def generate_build_script(
+    suite: ModelElement, drivers: list[GeneratedDriver]
+) -> str:
+    """Generate the suite's build-and-run script (the paper's mbscript.sh)."""
+    if not isinstance(suite, Microbenchmarks):
+        raise XpdlError(f"expected <microbenchmarks>, got <{suite.kind}>")
+    lines = [
+        "#!/bin/sh",
+        "# Auto-generated XPDL microbenchmark build/run script.",
+        f"# suite: {suite.ident or suite.name}",
+        "set -e",
+        'CC="${CC:-cc}"',
+        'OUT="${1:-./mb_results.txt}"',
+        ': > "$OUT"',
+    ]
+    by_id = {
+        (mb.ident or mb.name): mb for mb in suite.find_all(Microbenchmark)
+    }
+    for d in drivers:
+        mb = by_id.get(d.benchmark_id)
+        cflags = (mb.attrs.get("cflags") if mb else "") or ""
+        lflags = (mb.attrs.get("lflags") if mb else "") or ""
+        exe = d.filename.rsplit(".", 1)[0]
+        lines.append(
+            f'"$CC" {cflags} -o {exe} {d.filename} mb_markers.c {lflags}'.rstrip()
+        )
+        lines.append(f'./{exe} >> "$OUT"')
+    lines.append('echo "microbenchmark suite complete: $OUT"')
+    return "\n".join(lines) + "\n"
+
+
+def generate_marker_library() -> str:
+    """The tiny marker library the drivers link against."""
+    return """\
+/* Auto-generated XPDL microbenchmark marker library.
+ * On real hardware these markers toggle the external power meter's
+ * capture window (e.g. over GPIO or a serial command); stdout lines let
+ * a host-side script align meter logs with benchmark sections.
+ */
+#include <stdio.h>
+
+void MB_MARK_START(const char *tag) { printf("MB-START %s\\n", tag); }
+void MB_MARK_STOP(const char *tag)  { printf("MB-STOP %s\\n", tag); }
+"""

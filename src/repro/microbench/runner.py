@@ -1,0 +1,141 @@
+"""Execution of microbenchmarks on the simulated testbed.
+
+Implements the measurement protocol the generated drivers encode: run the
+baseline loop, run the measured loop, observe both with the power meter,
+subtract, divide by the executed instruction count.  Repetitions average
+meter noise; the derived per-instruction energy is what deployment-time
+bootstrapping writes back into the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..units import ENERGY, Quantity
+from ..simhw import PowerMeter, SimMachine
+from .codegen import GeneratedDriver
+
+#: The loop counter/branch overhead of the driver loop, charged per
+#: iteration: one add + one (predicted) branch, modeled as 'add'-class work
+#: when the ISA has it, else skipped.
+_LOOP_OVERHEAD_INSTS = ("add",)
+
+
+@dataclass
+class BenchmarkRun:
+    """One derived energy value with its measurement statistics."""
+
+    benchmark_id: str
+    instruction: str
+    frequency: Quantity
+    energy_per_instruction: Quantity
+    repetitions: int
+    samples_j: np.ndarray = field(repr=False, default_factory=lambda: np.empty(0))
+
+    @property
+    def std_j(self) -> float:
+        return float(np.std(self.samples_j)) if self.samples_j.size else 0.0
+
+    def relative_spread(self) -> float:
+        mean = self.energy_per_instruction.magnitude
+        return self.std_j / mean if mean else 0.0
+
+
+class MicrobenchRunner:
+    """Runs generated drivers against a simulated machine + meter."""
+
+    def __init__(
+        self,
+        machine: SimMachine,
+        meter: PowerMeter | None = None,
+        *,
+        repetitions: int = 5,
+    ) -> None:
+        self.machine = machine
+        self.meter = meter or PowerMeter()
+        self.repetitions = repetitions
+
+    # -- measurement protocol ------------------------------------------------
+    def _loop_counts(
+        self, driver: GeneratedDriver, *, baseline: bool
+    ) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        overhead = next(
+            (i for i in _LOOP_OVERHEAD_INSTS if i in self.machine.truth),
+            None,
+        )
+        if overhead is not None:
+            counts[overhead] = driver.iterations
+        if not baseline:
+            counts[driver.instruction] = (
+                counts.get(driver.instruction, 0) + driver.instructions_per_run
+            )
+        return counts
+
+    def measure_once(self, driver: GeneratedDriver) -> float:
+        """One idle-referenced energy-per-instruction sample (joules).
+
+        Wall-meter protocol: dynamic power is the *difference* between the
+        loaded loop's mean power and idle power; per-iteration loop overhead
+        is removed the same way via the baseline (empty) loop.  Power
+        differences integrate over the loop's own duration, so meter noise
+        averages out with run length instead of swamping the signal.
+        """
+        loaded_run = self.machine.run_stream(
+            self._loop_counts(driver, baseline=False)
+        )
+        base_counts = self._loop_counts(driver, baseline=True)
+        base_run = (
+            self.machine.run_stream(base_counts) if base_counts else None
+        )
+        idle_run = self.machine.run_idle(loaded_run.duration)
+        loaded = self.meter.observe(loaded_run)
+        idle = self.meter.observe(idle_run)
+        p_idle = idle.mean_power.magnitude
+        energy = (loaded.mean_power.magnitude - p_idle) * (
+            loaded.duration.magnitude
+        )
+        if base_run is not None:
+            base = self.meter.observe(base_run)
+            energy -= (base.mean_power.magnitude - p_idle) * (
+                base.duration.magnitude
+            )
+        return energy / driver.instructions_per_run
+
+    def run(
+        self,
+        driver: GeneratedDriver,
+        *,
+        frequency: Quantity | None = None,
+        repetitions: int | None = None,
+    ) -> BenchmarkRun:
+        """Derive the instruction's energy at the given (or current) frequency."""
+        if frequency is not None:
+            self.machine.set_frequency(frequency)
+        reps = repetitions or self.repetitions
+        samples = np.array([self.measure_once(driver) for _ in range(reps)])
+        energy = float(np.mean(samples))
+        return BenchmarkRun(
+            benchmark_id=driver.benchmark_id,
+            instruction=driver.instruction,
+            frequency=self.machine.frequency,
+            energy_per_instruction=Quantity(max(energy, 0.0), ENERGY),
+            repetitions=reps,
+            samples_j=samples,
+        )
+
+    def run_frequency_sweep(
+        self,
+        driver: GeneratedDriver,
+        frequencies: list[Quantity] | None = None,
+        *,
+        repetitions: int | None = None,
+    ) -> list[BenchmarkRun]:
+        """Measure the instruction at each available DVFS level."""
+        freqs = frequencies or self.machine.available_frequencies()
+        return [
+            self.run(driver, frequency=f, repetitions=repetitions)
+            for f in freqs
+        ]

@@ -1,0 +1,45 @@
+"""DOM <-> model conversion.
+
+``from_dom`` maps parsed XML elements onto registered model classes (unknown
+tags become :class:`GenericElement`); ``to_dom`` writes a model tree back to
+DOM for serialization.  Conversion is lossless for attributes and element
+structure; XML comments/PIs inside model content are dropped (they carry no
+model semantics).
+"""
+
+from __future__ import annotations
+
+from ..diagnostics import SourceSpan
+from ..xpdlxml import XmlDocument, XmlElement, document, element as make_dom_element
+from .base import ELEMENT_REGISTRY, GenericElement, ModelElement
+
+
+def from_dom(elem: XmlElement) -> ModelElement:
+    """Convert one DOM element (and its subtree) to model objects."""
+    model = ELEMENT_REGISTRY.create(
+        elem.tag, dict(elem.attr_items()), elem.span
+    )
+    for child in elem.elements():
+        model.add(from_dom(child))
+    return model
+
+
+def from_document(doc: XmlDocument) -> ModelElement:
+    """Convert a parsed document's root into a model tree."""
+    return from_dom(doc.root)
+
+
+def to_dom(model: ModelElement) -> XmlElement:
+    """Convert a model tree back into a DOM element tree."""
+    elem = make_dom_element(model.kind, dict(model.attrs))
+    # Preserve the original span where one exists, for diagnostics on
+    # re-serialized trees.
+    if model.span.source != "<unknown>":
+        elem.span = model.span
+    for child in model.children:
+        elem.append(to_dom(child))
+    return elem
+
+
+def to_document(model: ModelElement, *, source_name: str = "<generated>") -> XmlDocument:
+    return document(to_dom(model), source_name=source_name)

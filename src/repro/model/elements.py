@@ -1,0 +1,577 @@
+"""Concrete element classes for every XPDL tag used in the paper.
+
+Each class gives typed access to its data-sheet attributes (quantities via
+the paired ``metric``/``metric_unit`` convention, plain strings, ints) and is
+registered with :data:`~repro.model.base.ELEMENT_REGISTRY` so parsing maps
+tags to classes automatically.  Unknown tags fall back to
+:class:`~repro.model.base.GenericElement` — XPDL's extensibility escape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import (
+    BANDWIDTH,
+    ENERGY,
+    FREQUENCY,
+    INFORMATION,
+    POWER,
+    TIME,
+    Quantity,
+)
+from .base import (
+    ELEMENT_REGISTRY,
+    ModelElement,
+    bool_property,
+    int_property,
+    metric_property,
+    str_property,
+)
+
+register = ELEMENT_REGISTRY.register
+
+
+# ---------------------------------------------------------------------------
+# Structural containers
+# ---------------------------------------------------------------------------
+
+
+@register
+@dataclass
+class System(ModelElement):
+    """Top-level concrete system (single-node or multi-node computer)."""
+
+    KIND = "system"
+    IS_HARDWARE = True
+
+
+@register
+@dataclass
+class Cluster(ModelElement):
+    """A multi-node machine: groups of nodes plus inter-node interconnects."""
+
+    KIND = "cluster"
+    IS_HARDWARE = True
+
+
+@register
+@dataclass
+class Node(ModelElement):
+    """One cluster node (its own OS instance; sockets, memory, devices)."""
+
+    KIND = "node"
+    IS_HARDWARE = True
+
+
+@register
+@dataclass
+class Socket(ModelElement):
+    """A CPU socket on a motherboard."""
+
+    KIND = "socket"
+    IS_HARDWARE = True
+
+
+@register
+@dataclass
+class Group(ModelElement):
+    """Grouping construct; with ``quantity`` it is implicitly homogeneous.
+
+    ``prefix`` + ``quantity`` auto-assigns member ids ``prefix0..prefixN-1``
+    (paper Sec. III-A).  ``quantity`` may also name a ``param``, resolved at
+    composition time (Listing 8's ``quantity="num_SM"``).
+    """
+
+    KIND = "group"
+
+    prefix = str_property("prefix")
+    quantity_raw = str_property("quantity", doc="Raw quantity attr (int or param name).")
+
+    def quantity_literal(self) -> int | None:
+        """Quantity as an int when it is a literal, else ``None``."""
+        raw = self.attrs.get("quantity")
+        if raw is None:
+            return None
+        try:
+            return int(raw)
+        except ValueError:
+            return None
+
+    def is_homogeneous(self) -> bool:
+        return "quantity" in self.attrs
+
+
+# ---------------------------------------------------------------------------
+# Processing elements
+# ---------------------------------------------------------------------------
+
+
+@register
+@dataclass
+class Cpu(ModelElement):
+    """A CPU package: cores/core groups, caches, an optional power model."""
+
+    KIND = "cpu"
+    IS_HARDWARE = True
+
+    frequency = metric_property("frequency", FREQUENCY)
+    static_power = metric_property("static_power", POWER)
+    role = str_property("role", doc="Optional control role (master/worker/hybrid).")
+    endian = str_property("endian")
+
+    def cores(self) -> list["Core"]:
+        """All (recursively nested) core elements of this CPU."""
+        return self.find_all(Core)
+
+    def caches(self) -> list["Cache"]:
+        return self.find_all(Cache)
+
+
+@register
+@dataclass
+class Core(ModelElement):
+    """A single processing core."""
+
+    KIND = "core"
+    IS_HARDWARE = True
+
+    frequency = metric_property("frequency", FREQUENCY)
+    endian = str_property("endian", doc="BE or LE.")
+
+
+@register
+@dataclass
+class Gpu(ModelElement):
+    """A GPU, when modeled as its own block rather than a generic device."""
+
+    KIND = "gpu"
+    IS_HARDWARE = True
+
+    frequency = metric_property("frequency", FREQUENCY)
+    static_power = metric_property("static_power", POWER)
+
+
+@register
+@dataclass
+class Device(ModelElement):
+    """An accelerator device/board (GPU card, DSP board, ...)."""
+
+    KIND = "device"
+    IS_HARDWARE = True
+
+    role = str_property("role")
+    compute_capability = str_property("compute_capability")
+    static_power = metric_property("static_power", POWER)
+
+
+# ---------------------------------------------------------------------------
+# Memory hierarchy
+# ---------------------------------------------------------------------------
+
+
+@register
+@dataclass
+class Cache(ModelElement):
+    """A cache level; sharing is implied by scope (paper Listing 1)."""
+
+    KIND = "cache"
+    IS_HARDWARE = True
+
+    size = metric_property("size", INFORMATION)
+    sets = int_property("sets", doc="Associativity (number of ways/sets per the paper).")
+    line_size = metric_property("line_size", INFORMATION)
+    replacement = str_property("replacement", doc="Replacement policy, e.g. LRU.")
+    write_policy = str_property(
+        "write_policy", doc="copyback (write-back) or writethrough."
+    )
+    static_power = metric_property("static_power", POWER)
+
+
+@register
+@dataclass
+class Memory(ModelElement):
+    """A memory module (DRAM, scratchpad, device memory)."""
+
+    KIND = "memory"
+    IS_HARDWARE = True
+
+    size = metric_property("size", INFORMATION)
+    static_power = metric_property("static_power", POWER)
+    slices = int_property("slices")
+    endian = str_property("endian")
+    latency = metric_property("latency", TIME)
+    bandwidth = metric_property("bandwidth", BANDWIDTH)
+
+
+# ---------------------------------------------------------------------------
+# Interconnects
+# ---------------------------------------------------------------------------
+
+
+@register
+@dataclass
+class Interconnects(ModelElement):
+    """Container listing a model's interconnect instances."""
+
+    KIND = "interconnects"
+
+
+@register
+@dataclass
+class Interconnect(ModelElement):
+    """An interconnect technology (meta) or link instance (concrete).
+
+    Concrete instances carry ``head``/``tail`` endpoint references for
+    directed links (paper Listing 4).
+    """
+
+    KIND = "interconnect"
+    IS_HARDWARE = True
+
+    head = str_property("head", doc="Source endpoint id for directed links.")
+    tail = str_property("tail", doc="Destination endpoint id for directed links.")
+    max_bandwidth = metric_property("max_bandwidth", BANDWIDTH)
+    effective_bandwidth = metric_property(
+        "effective_bandwidth",
+        BANDWIDTH,
+        doc="Set by static analysis: nominal bandwidth downgraded to the "
+        "slowest component on the communication path.",
+    )
+    static_power = metric_property("static_power", POWER)
+
+    def channels(self) -> list["Channel"]:
+        return self.find_children(Channel)
+
+
+@register
+@dataclass
+class Channel(ModelElement):
+    """A directed channel of an interconnect (e.g. PCIe up/down link)."""
+
+    KIND = "channel"
+    IS_HARDWARE = True
+
+    max_bandwidth = metric_property("max_bandwidth", BANDWIDTH)
+    time_offset_per_message = metric_property("time_offset_per_message", TIME)
+    energy_per_byte = metric_property("energy_per_byte", ENERGY)
+    energy_offset_per_message = metric_property("energy_offset_per_message", ENERGY)
+
+    def transfer_time(self, nbytes: float) -> Quantity | None:
+        """Latency+bandwidth model for sending ``nbytes`` over this channel."""
+        bw = self.max_bandwidth
+        if bw is None:
+            return None
+        t = Quantity(nbytes / bw.magnitude, TIME)
+        off = self.time_offset_per_message
+        if off is not None:
+            t = t + off
+        return t
+
+    def transfer_energy(self, nbytes: float) -> Quantity | None:
+        """Per-byte + per-message energy model for a transfer."""
+        per_byte = self.energy_per_byte
+        if per_byte is None:
+            return None
+        e = per_byte * nbytes
+        off = self.energy_offset_per_message
+        if off is not None:
+            e = e + off
+        return e
+
+
+# ---------------------------------------------------------------------------
+# Parameters, constants, constraints (Listing 8)
+# ---------------------------------------------------------------------------
+
+
+@register
+@dataclass
+class Const(ModelElement):
+    """A named constant of a meta-model."""
+
+    KIND = "const"
+
+    size = metric_property("size", INFORMATION)
+    value = str_property("value")
+
+
+@register
+@dataclass
+class Param(ModelElement):
+    """A formal parameter; ``configurable`` ones form the platform's knobs.
+
+    Binding happens either in a subtype (Listing 9 sets ``num_SM``) or in a
+    concrete instance (Listing 10 fixes the K20c L1/shm split).
+    """
+
+    KIND = "param"
+
+    configurable = bool_property("configurable", default=False)
+    range_raw = str_property("range", doc="Comma-separated allowed values.")
+    value = str_property("value")
+    size = metric_property("size", INFORMATION)
+    frequency = metric_property("frequency", FREQUENCY)
+
+    def range_values(self) -> list[str]:
+        raw = self.attrs.get("range")
+        if not raw:
+            return []
+        return [p.strip() for p in raw.split(",") if p.strip()]
+
+
+@register
+@dataclass
+class Constraints(ModelElement):
+    KIND = "constraints"
+
+    def expressions(self) -> list[str]:
+        return [
+            c.attrs.get("expr", "")
+            for c in self.find_children(Constraint)
+        ]
+
+
+@register
+@dataclass
+class Constraint(ModelElement):
+    """One boolean constraint over params/consts, e.g. ``L1size + shmsize == shmtotalsize``."""
+
+    KIND = "constraint"
+
+    expr = str_property("expr")
+
+
+# ---------------------------------------------------------------------------
+# Power modeling (Listings 12-15)
+# ---------------------------------------------------------------------------
+
+
+@register
+@dataclass
+class PowerModel(ModelElement):
+    """Reference container tying a processor to its power description."""
+
+    KIND = "power_model"
+
+
+@register
+@dataclass
+class PowerDomains(ModelElement):
+    KIND = "power_domains"
+
+    def domains(self) -> list["PowerDomain"]:
+        return self.find_all(PowerDomain)
+
+
+@register
+@dataclass
+class PowerDomain(ModelElement):
+    """A power island switched as a unit.
+
+    ``enableSwitchOff="false"`` marks the main/default island;
+    ``switchoffCondition`` expresses dependencies like CMX requiring all
+    Shave islands to be off first (paper Listing 12).
+    """
+
+    KIND = "power_domain"
+
+    enable_switch_off = bool_property("enableSwitchOff", default=True)
+    switchoff_condition = str_property("switchoffCondition")
+
+
+@register
+@dataclass
+class PowerStateMachine(ModelElement):
+    """FSM of DVFS/shutdown levels for one power domain (Listing 13)."""
+
+    KIND = "power_state_machine"
+
+    power_domain = str_property("power_domain")
+
+    def states(self) -> list["PowerState"]:
+        return self.find_all(PowerState)
+
+    def transitions(self) -> list["Transition"]:
+        return self.find_all(Transition)
+
+
+@register
+@dataclass
+class PowerStates(ModelElement):
+    KIND = "power_states"
+
+
+@register
+@dataclass
+class PowerState(ModelElement):
+    """One P/C state: frequency plus (static) power at that level."""
+
+    KIND = "power_state"
+
+    frequency = metric_property("frequency", FREQUENCY)
+    power = metric_property("power", POWER)
+
+
+@register
+@dataclass
+class Transitions(ModelElement):
+    KIND = "transitions"
+
+
+@register
+@dataclass
+class Transition(ModelElement):
+    """A directed state switch with time and energy overhead."""
+
+    KIND = "transition"
+
+    head = str_property("head", doc="Source state name.")
+    tail = str_property("tail", doc="Destination state name.")
+    time = metric_property("time", TIME)
+    energy = metric_property("energy", ENERGY)
+
+
+@register
+@dataclass
+class Instructions(ModelElement):
+    """Instruction set with per-instruction dynamic energy (Listing 14)."""
+
+    KIND = "instructions"
+
+    mb = str_property("mb", doc="Default microbenchmark suite id.")
+
+    def insts(self) -> list["Inst"]:
+        return self.find_children(Inst)
+
+
+@register
+@dataclass
+class Inst(ModelElement):
+    """One instruction; energy in-line, per-frequency ``data`` rows, or ``?``."""
+
+    KIND = "inst"
+
+    energy = metric_property("energy", ENERGY)
+    mb = str_property("mb", doc="Microbenchmark id deriving this entry.")
+
+    def data_points(self) -> list["DataPoint"]:
+        return self.find_children(DataPoint)
+
+    def needs_benchmarking(self) -> bool:
+        """True when energy is the ``?`` placeholder and no data table exists."""
+        raw = self.attrs.get("energy")
+        placeholder = raw is None or raw.strip() == "?"
+        return placeholder and not self.data_points()
+
+
+@register
+@dataclass
+class DataPoint(ModelElement):
+    """A (frequency, energy) sample row inside an ``inst`` (Listing 14)."""
+
+    KIND = "data"
+
+    frequency = metric_property("frequency", FREQUENCY, default_unit="GHz")
+    energy = metric_property("energy", ENERGY)
+
+
+@register
+@dataclass
+class Microbenchmarks(ModelElement):
+    """A microbenchmark suite: source directory plus build/run script."""
+
+    KIND = "microbenchmarks"
+
+    instruction_set = str_property("instruction_set")
+    path = str_property("path")
+    command = str_property("command")
+
+    def benchmarks(self) -> list["Microbenchmark"]:
+        return self.find_children(Microbenchmark)
+
+
+@register
+@dataclass
+class Microbenchmark(ModelElement):
+    """One microbenchmark: a C file measuring one instruction type."""
+
+    KIND = "microbenchmark"
+
+    file = str_property("file")
+    cflags = str_property("cflags")
+    lflags = str_property("lflags")
+
+
+# ---------------------------------------------------------------------------
+# System software (Listing 11)
+# ---------------------------------------------------------------------------
+
+
+@register
+@dataclass
+class Software(ModelElement):
+    """Installed system software section of a concrete system model."""
+
+    KIND = "software"
+
+    def installed(self) -> list["Installed"]:
+        return self.find_all(Installed)
+
+
+@register
+@dataclass
+class HostOS(ModelElement):
+    KIND = "hostOS"
+
+
+@register
+@dataclass
+class Installed(ModelElement):
+    """One installed software package, referencing its own descriptor."""
+
+    KIND = "installed"
+
+    path = str_property("path")
+    version = str_property("version")
+
+
+@register
+@dataclass
+class ProgrammingModel(ModelElement):
+    """Programming models a device supports (``cuda6.0,...,opencl``)."""
+
+    KIND = "programming_model"
+
+    def models(self) -> list[str]:
+        raw = self.attrs.get("type", "")
+        return [p.strip() for p in raw.split(",") if p.strip()]
+
+
+# ---------------------------------------------------------------------------
+# Free-form properties (escape mechanism, Sec. III-A)
+# ---------------------------------------------------------------------------
+
+
+@register
+@dataclass
+class Properties(ModelElement):
+    KIND = "properties"
+
+    def as_dict(self) -> dict[str, str]:
+        out: dict[str, str] = {}
+        for p in self.find_children(Property):
+            if p.name:
+                out[p.name] = p.attrs.get("value", p.attrs.get("type", ""))
+        return out
+
+
+@register
+@dataclass
+class Property(ModelElement):
+    """A key-value property; both key and value are strings (as in PDL)."""
+
+    KIND = "property"
+
+    value = str_property("value")
+    command = str_property("command")

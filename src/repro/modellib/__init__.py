@@ -1,0 +1,71 @@
+"""The bundled XPDL model library.
+
+Contains every descriptor the paper's Listings 1–15 define (plus the small
+set of supporting descriptors they reference), organized as a distributed
+model repository: one ``.xpdl`` file per reusable hardware/software entity.
+
+Use :func:`standard_repository` to get a ready-to-use
+:class:`~repro.repository.ModelRepository` over this library, optionally
+extended with extra search-path directories.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..repository import LocalDirStore, ModelRepository
+
+#: Identifiers of the paper's concrete (composable) system models.
+PAPER_SYSTEMS = ("myriad_server", "liu_gpu_server", "XScluster")
+
+#: Identifiers of the paper's reusable meta-models, by listing.
+PAPER_LISTINGS: dict[str, tuple[str, ...]] = {
+    "listing1": ("Intel_Xeon_E5_2630L",),
+    "listing2": ("ShaveL2", "DDR3_16G"),
+    "listing3": ("pcie3", "SPI"),
+    "listing4": ("myriad_server",),
+    "listing5": ("Movidius_MV153",),
+    "listing6": ("Movidius_Myriad1",),
+    "listing7": ("liu_gpu_server",),
+    "listing8": ("Nvidia_Kepler",),
+    "listing9": ("Nvidia_K20c",),
+    "listing10": ("liu_gpu_server",),  # gpu1 instance with fixed config
+    "listing11": ("XScluster",),
+    "listing12": ("Myriad1_power_domains",),
+    "listing13": ("power_state_machine1",),
+    "listing14": ("x86_base_isa",),
+    "listing15": ("mb_x86_base_1",),
+}
+
+
+#: Environment variable holding extra model search-path directories
+#: (colon-separated), consulted before the bundled library — the paper's
+#: "XPDL models can be stored locally (retrieved via the model search
+#: path)".
+SEARCH_PATH_ENV = "XPDL_MODEL_PATH"
+
+
+def data_dir() -> str:
+    """Absolute path of the bundled descriptor directory."""
+    return os.path.join(os.path.dirname(__file__), "data")
+
+
+def search_path_dirs(env: dict[str, str] | None = None) -> list[str]:
+    """Directories named by :data:`SEARCH_PATH_ENV` that exist."""
+    raw = (env if env is not None else os.environ).get(SEARCH_PATH_ENV, "")
+    return [p for p in raw.split(os.pathsep) if p and os.path.isdir(p)]
+
+
+def standard_repository(
+    *extra_paths: str, validate: bool = True, use_env: bool = True
+) -> ModelRepository:
+    """A repository over the bundled library plus optional extra directories.
+
+    Search order (first hit wins, like PATH): explicit ``extra_paths``,
+    then ``$XPDL_MODEL_PATH`` entries, then the bundled library.
+    """
+    stores = [LocalDirStore(p) for p in extra_paths]
+    if use_env:
+        stores.extend(LocalDirStore(p) for p in search_path_dirs())
+    stores.append(LocalDirStore(data_dir()))
+    return ModelRepository(stores, validate=validate)

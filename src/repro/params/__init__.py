@@ -1,0 +1,36 @@
+"""Consts, params, constraints and the XPDL expression language."""
+
+from .expr import (
+    Binary,
+    Call,
+    Expr,
+    Name,
+    Num,
+    Token,
+    Unary,
+    names_in,
+    parse_expr,
+    tokenize,
+)
+from .eval import BUILTINS, Evaluator, Value, evaluate
+from .symbols import ParamDecl, ParamSpace, declared_value
+
+__all__ = [
+    "Binary",
+    "Call",
+    "Expr",
+    "Name",
+    "Num",
+    "Token",
+    "Unary",
+    "names_in",
+    "parse_expr",
+    "tokenize",
+    "BUILTINS",
+    "Evaluator",
+    "Value",
+    "evaluate",
+    "ParamDecl",
+    "ParamSpace",
+    "declared_value",
+]

@@ -1,0 +1,198 @@
+"""Evaluation of XPDL expressions over parameter environments.
+
+Values are :class:`~repro.units.Quantity` (covers plain numbers as
+dimensionless quantities) or ``bool``.  Arithmetic is unit-aware: adding a
+size to a frequency is a :class:`ConstraintError`, multiplying sizes by
+counts works, and equality compares with a relative tolerance so that
+``64 KB == 65536`` holds in data-sheet arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, Union
+
+from ..diagnostics import ConstraintError, UnitError
+from ..units import DEFAULT_REGISTRY, Quantity, UnitRegistry
+from .expr import Binary, Call, Expr, Name, Num, Unary, parse_expr
+
+Value = Union[Quantity, bool]
+
+#: Built-in functions available in constraint expressions.
+Builtin = Callable[..., Value]
+
+
+def _as_quantity(v: Value, what: str) -> Quantity:
+    if isinstance(v, bool):
+        raise ConstraintError(f"{what} must be numeric, got boolean")
+    return v
+
+
+def _builtin_min(*args: Value) -> Value:
+    qs = [_as_quantity(a, "min() argument") for a in args]
+    out = qs[0]
+    for q in qs[1:]:
+        if q < out:
+            out = q
+    return out
+
+
+def _builtin_max(*args: Value) -> Value:
+    qs = [_as_quantity(a, "max() argument") for a in args]
+    out = qs[0]
+    for q in qs[1:]:
+        if q > out:
+            out = q
+    return out
+
+
+def _builtin_abs(x: Value) -> Value:
+    return abs(_as_quantity(x, "abs() argument"))
+
+
+BUILTINS: dict[str, Builtin] = {
+    "min": _builtin_min,
+    "max": _builtin_max,
+    "abs": _builtin_abs,
+}
+
+
+class Evaluator:
+    """Evaluates expression ASTs against an environment of named values."""
+
+    def __init__(
+        self,
+        env: Mapping[str, Value] | None = None,
+        *,
+        registry: UnitRegistry = DEFAULT_REGISTRY,
+        rel_tol: float = 1e-9,
+    ) -> None:
+        self.env = dict(env or {})
+        self.registry = registry
+        self.rel_tol = rel_tol
+
+    # -- public ------------------------------------------------------------
+    def eval(self, expr: Expr | str) -> Value:
+        if isinstance(expr, str):
+            expr = parse_expr(expr)
+        return self._eval(expr)
+
+    def eval_bool(self, expr: Expr | str) -> bool:
+        v = self.eval(expr)
+        if isinstance(v, bool):
+            return v
+        raise ConstraintError(f"expression is not boolean: {expr}")
+
+    def eval_quantity(self, expr: Expr | str) -> Quantity:
+        v = self.eval(expr)
+        return _as_quantity(v, "expression")
+
+    def eval_int(self, expr: Expr | str) -> int:
+        q = self.eval_quantity(expr)
+        if not q.is_dimensionless():
+            raise ConstraintError(f"expected a count, got {q}")
+        if abs(q.magnitude - round(q.magnitude)) > 1e-9:
+            raise ConstraintError(f"expected an integer, got {q.magnitude}")
+        return round(q.magnitude)
+
+    # -- internals ----------------------------------------------------------
+    def _eval(self, expr: Expr) -> Value:
+        if isinstance(expr, Num):
+            if expr.unit is None:
+                return Quantity.dimensionless(expr.value)
+            try:
+                return Quantity.of(expr.value, expr.unit, self.registry)
+            except UnitError as exc:
+                raise ConstraintError(str(exc)) from None
+        if isinstance(expr, Name):
+            try:
+                return self.env[expr.ident]
+            except KeyError:
+                raise ConstraintError(
+                    f"unbound name {expr.ident!r} in expression"
+                ) from None
+        if isinstance(expr, Unary):
+            v = self._eval(expr.operand)
+            if expr.op == "-":
+                return -_as_quantity(v, "negation operand")
+            if expr.op == "!":
+                if not isinstance(v, bool):
+                    raise ConstraintError("'!' needs a boolean operand")
+                return not v
+            raise ConstraintError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, Binary):
+            return self._eval_binary(expr)
+        if isinstance(expr, Call):
+            fn = BUILTINS.get(expr.func)
+            if fn is None:
+                raise ConstraintError(f"unknown function {expr.func!r}()")
+            args = [self._eval(a) for a in expr.args]
+            return fn(*args)
+        raise ConstraintError(f"cannot evaluate {expr!r}")  # pragma: no cover
+
+    def _eval_binary(self, expr: Binary) -> Value:
+        op = expr.op
+        if op in ("&&", "||"):
+            left = self._eval(expr.left)
+            if not isinstance(left, bool):
+                raise ConstraintError(f"{op!r} needs boolean operands")
+            if op == "&&" and not left:
+                return False
+            if op == "||" and left:
+                return True
+            right = self._eval(expr.right)
+            if not isinstance(right, bool):
+                raise ConstraintError(f"{op!r} needs boolean operands")
+            return right
+
+        lv = self._eval(expr.left)
+        rv = self._eval(expr.right)
+        if op in ("==", "!="):
+            eq = self._equal(lv, rv)
+            return eq if op == "==" else not eq
+
+        lq = _as_quantity(lv, f"left operand of {op!r}")
+        rq = _as_quantity(rv, f"right operand of {op!r}")
+        try:
+            if op == "+":
+                return lq + rq
+            if op == "-":
+                return lq - rq
+            if op == "*":
+                return lq * rq
+            if op == "/":
+                return lq / rq
+            if op == "%":
+                if not (lq.is_dimensionless() and rq.is_dimensionless()):
+                    raise ConstraintError("'%' needs dimensionless operands")
+                return Quantity.dimensionless(math.fmod(lq.magnitude, rq.magnitude))
+            if op == "<":
+                return lq < rq
+            if op == "<=":
+                return lq <= rq
+            if op == ">":
+                return lq > rq
+            if op == ">=":
+                return lq >= rq
+        except UnitError as exc:
+            raise ConstraintError(f"in {expr}: {exc}") from None
+        raise ConstraintError(f"unknown operator {op!r}")  # pragma: no cover
+
+    def _equal(self, a: Value, b: Value) -> bool:
+        if isinstance(a, bool) or isinstance(b, bool):
+            return a is b if isinstance(a, bool) and isinstance(b, bool) else False
+        if a.dimension != b.dimension:
+            # Mixed-dimension equality compares magnitudes only when one side
+            # is a bare (dimensionless) number, matching data-sheet habits
+            # ("sets == 2"); anything else is simply unequal.
+            if a.is_dimensionless() or b.is_dimensionless():
+                return math.isclose(
+                    a.magnitude, b.magnitude, rel_tol=self.rel_tol
+                )
+            return False
+        return math.isclose(a.magnitude, b.magnitude, rel_tol=self.rel_tol)
+
+
+def evaluate(expr: str, env: Mapping[str, Value] | None = None) -> Value:
+    """One-shot convenience evaluation."""
+    return Evaluator(env).eval(expr)

@@ -1,0 +1,268 @@
+"""The XPDL constraint/parameter expression language.
+
+Listings 8–10 of the paper use expressions like
+``L1size + shmsize == shmtotalsize`` in ``<constraint expr=...>`` and param
+references like ``quantity="num_SM"`` or ``frequency="cfrq"``.  This module
+provides the tokenizer, a Pratt parser building a small AST, and a printer.
+Evaluation lives in :mod:`repro.params.eval`.
+
+Grammar (C-like precedence):
+
+    expr    := or
+    or      := and ('||' and)*
+    and     := cmp ('&&' cmp)*
+    cmp     := add (('=='|'!='|'<='|'>='|'<'|'>') add)?
+    add     := mul (('+'|'-') mul)*
+    mul     := unary (('*'|'/'|'%') unary)*
+    unary   := ('-'|'!') unary | primary
+    primary := NUMBER UNIT? | NAME ('(' args ')')? | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..diagnostics import ConstraintError
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Expr:
+    """Base class of expression AST nodes."""
+
+
+@dataclass(frozen=True, slots=True)
+class Num(Expr):
+    value: float
+    unit: str | None = None
+
+    def __str__(self) -> str:
+        # repr round-trips floats exactly; %g would truncate to 6 digits.
+        v = repr(self.value)
+        return f"{v} {self.unit}" if self.unit else v
+
+
+@dataclass(frozen=True, slots=True)
+class Name(Expr):
+    ident: str
+
+    def __str__(self) -> str:
+        return self.ident
+
+
+@dataclass(frozen=True, slots=True)
+class Unary(Expr):
+    op: str
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.operand})"
+
+
+@dataclass(frozen=True, slots=True)
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Call(Expr):
+    func: str
+    args: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return f"{self.func}({', '.join(map(str, self.args))})"
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TWO_CHAR_OPS = ("==", "!=", "<=", ">=", "&&", "||")
+_ONE_CHAR_OPS = "+-*/%<>!(),"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # 'num' | 'name' | 'op' | 'end'
+    text: str
+    pos: int
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if text[i : i + 2] in _TWO_CHAR_OPS:
+            yield Token("op", text[i : i + 2], i)
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            yield Token("op", ch, i)
+            i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (text[j].isdigit() or text[j] in ".eE" or
+                             (text[j] in "+-" and text[j - 1] in "eE")):
+                j += 1
+            yield Token("num", text[i:j], i)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] in "_./"):
+                j += 1
+            yield Token("name", text[i:j], i)
+            i = j
+            continue
+        raise ConstraintError(
+            f"unexpected character {ch!r} at position {i} in expression {text!r}"
+        )
+    yield Token("end", "", n)
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = list(tokenize(text))
+        self.i = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.i]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.i]
+        self.i += 1
+        return tok
+
+    def expect_op(self, op: str) -> None:
+        tok = self.next()
+        if tok.kind != "op" or tok.text != op:
+            raise ConstraintError(
+                f"expected {op!r} at position {tok.pos} in {self.text!r}, "
+                f"found {tok.text!r}"
+            )
+
+    # precedence-climbing levels
+    def parse(self) -> Expr:
+        e = self.parse_or()
+        tok = self.peek()
+        if tok.kind != "end":
+            raise ConstraintError(
+                f"trailing input at position {tok.pos} in {self.text!r}: "
+                f"{tok.text!r}"
+            )
+        return e
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.peek().kind == "op" and self.peek().text == "||":
+            self.next()
+            left = Binary("||", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_cmp()
+        while self.peek().kind == "op" and self.peek().text == "&&":
+            self.next()
+            left = Binary("&&", left, self.parse_cmp())
+        return left
+
+    def parse_cmp(self) -> Expr:
+        left = self.parse_add()
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("==", "!=", "<=", ">=", "<", ">"):
+            self.next()
+            return Binary(tok.text, left, self.parse_add())
+        return left
+
+    def parse_add(self) -> Expr:
+        left = self.parse_mul()
+        while self.peek().kind == "op" and self.peek().text in "+-":
+            op = self.next().text
+            left = Binary(op, left, self.parse_mul())
+        return left
+
+    def parse_mul(self) -> Expr:
+        left = self.parse_unary()
+        while self.peek().kind == "op" and self.peek().text in ("*", "/", "%"):
+            op = self.next().text
+            left = Binary(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("-", "!"):
+            self.next()
+            return Unary(tok.text, self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        tok = self.next()
+        if tok.kind == "num":
+            value = float(tok.text)
+            unit = None
+            nxt = self.peek()
+            # A name directly after a number is a unit suffix ("48 KB").
+            if nxt.kind == "name":
+                unit = self.next().text
+            return Num(value, unit)
+        if tok.kind == "name":
+            if self.peek().kind == "op" and self.peek().text == "(":
+                self.next()
+                args: list[Expr] = []
+                if not (self.peek().kind == "op" and self.peek().text == ")"):
+                    args.append(self.parse_or())
+                    while self.peek().kind == "op" and self.peek().text == ",":
+                        self.next()
+                        args.append(self.parse_or())
+                self.expect_op(")")
+                return Call(tok.text, tuple(args))
+            return Name(tok.text)
+        if tok.kind == "op" and tok.text == "(":
+            e = self.parse_or()
+            self.expect_op(")")
+            return e
+        raise ConstraintError(
+            f"unexpected token {tok.text!r} at position {tok.pos} in "
+            f"{self.text!r}"
+        )
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse an expression string into an AST."""
+    return _Parser(text).parse()
+
+
+def names_in(expr: Expr) -> set[str]:
+    """Free identifiers referenced by ``expr``."""
+    if isinstance(expr, Name):
+        return {expr.ident}
+    if isinstance(expr, Unary):
+        return names_in(expr.operand)
+    if isinstance(expr, Binary):
+        return names_in(expr.left) | names_in(expr.right)
+    if isinstance(expr, Call):
+        out: set[str] = set()
+        for a in expr.args:
+            out |= names_in(a)
+        return out
+    return set()

@@ -1,0 +1,208 @@
+"""Parameter spaces: consts, params, bindings and configuration enumeration.
+
+A :class:`ParamSpace` gathers the ``const``/``param``/``constraints``
+declarations of one meta-model (e.g. Listing 8's Nvidia_Kepler), tracks which
+params are bound (by subtypes like K20c, Listing 9, or concrete instances,
+Listing 10), evaluates constraints, and enumerates the valid configurations
+of configurable params — e.g. the three legal L1/shared-memory splits of a
+Kepler SM.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from ..diagnostics import ConstraintError
+from ..model import Const, Constraint, Constraints, ModelElement, Param
+from ..units import DEFAULT_REGISTRY, Quantity, UnitRegistry
+from .eval import Evaluator, Value
+from .expr import names_in, parse_expr
+
+#: Metric attributes a const/param may use to carry its value.
+_VALUE_METRICS = ("size", "frequency", "power", "energy", "time", "bandwidth")
+
+
+def declared_value(
+    elem: ModelElement, registry: UnitRegistry = DEFAULT_REGISTRY
+) -> Quantity | None:
+    """Extract the value a ``const``/``param`` element declares, if any.
+
+    Priority: an explicit ``value`` attribute (number, with optional ``unit``
+    attribute), then any recognized metric attribute (``size``,
+    ``frequency``, ...) with its paired unit, falling back to the plain
+    ``unit`` attribute as the paper's listings do
+    (``<param name="cfrq" frequency="706" unit="MHz"/>``).
+    """
+    raw = elem.attrs.get("value")
+    if raw is not None and raw.strip() != "?":
+        unit = elem.attrs.get("unit")
+        try:
+            return Quantity.parse(raw, registry, default_unit=unit)
+        except Exception:
+            return None  # non-numeric value (string param); no quantity
+    for metric in _VALUE_METRICS:
+        if metric in elem.attrs:
+            mraw = elem.attrs[metric].strip()
+            if mraw == "?":
+                continue
+            try:
+                float(mraw)
+            except ValueError:
+                continue  # itself a param reference
+            unit = (
+                elem.attrs.get(f"{metric}_unit")
+                or elem.attrs.get("unit")
+            )
+            return Quantity.parse(mraw, registry, default_unit=unit)
+    return None
+
+
+@dataclass
+class ParamDecl:
+    """One param with its domain and (possibly absent) binding."""
+
+    name: str
+    element: Param
+    configurable: bool
+    value: Quantity | None
+    candidates: tuple[Quantity, ...] = ()
+
+    def is_bound(self) -> bool:
+        return self.value is not None
+
+
+@dataclass
+class ParamSpace:
+    """Consts, params and constraints of one scope."""
+
+    consts: dict[str, Quantity] = field(default_factory=dict)
+    params: dict[str, ParamDecl] = field(default_factory=dict)
+    constraints: list[str] = field(default_factory=list)
+    registry: UnitRegistry = field(default=DEFAULT_REGISTRY, repr=False)
+
+    # -- construction ----------------------------------------------------------
+    @staticmethod
+    def from_element(
+        root: ModelElement, registry: UnitRegistry = DEFAULT_REGISTRY
+    ) -> "ParamSpace":
+        """Collect declarations in ``root``'s subtree.
+
+        Nested scopes are rare in practice (params sit directly under the
+        device); when they do nest, inner declarations shadow outer ones in
+        document order.
+        """
+        space = ParamSpace(registry=registry)
+        for elem in root.walk():
+            if isinstance(elem, Const) and elem.name:
+                v = declared_value(elem, registry)
+                if v is not None:
+                    space.consts[elem.name] = v
+            elif isinstance(elem, Param) and elem.name:
+                unit = elem.attrs.get("unit")
+                candidates: list[Quantity] = []
+                for c in elem.range_values():
+                    try:
+                        candidates.append(
+                            Quantity.parse(c, registry, default_unit=unit)
+                        )
+                    except Exception:
+                        pass
+                space.params[elem.name] = ParamDecl(
+                    name=elem.name,
+                    element=elem,
+                    configurable=bool(elem.configurable),
+                    value=declared_value(elem, registry),
+                    candidates=tuple(candidates),
+                )
+            elif isinstance(elem, (Constraints, Constraint)):
+                if isinstance(elem, Constraint):
+                    expr = elem.attrs.get("expr")
+                    if expr and expr not in space.constraints:
+                        space.constraints.append(expr)
+        return space
+
+    # -- environment ---------------------------------------------------------------
+    def environment(
+        self, bindings: Mapping[str, Value] | None = None
+    ) -> dict[str, Value]:
+        """Evaluation environment: consts + bound params + extra bindings."""
+        env: dict[str, Value] = dict(self.consts)
+        for p in self.params.values():
+            if p.value is not None:
+                env[p.name] = p.value
+        if bindings:
+            env.update(bindings)
+        return env
+
+    def bind(self, name: str, value: Quantity) -> None:
+        """Bind a param by name; unknown names raise ConstraintError."""
+        decl = self.params.get(name)
+        if decl is None:
+            raise ConstraintError(f"unknown param {name!r}")
+        if decl.candidates and not any(
+            value.close_to(c, rel=1e-9) for c in decl.candidates
+        ):
+            allowed = ", ".join(str(c) for c in decl.candidates)
+            raise ConstraintError(
+                f"value {value} for param {name!r} outside range [{allowed}]"
+            )
+        decl.value = value
+
+    def unbound(self) -> list[str]:
+        return [p.name for p in self.params.values() if p.value is None]
+
+    # -- constraints ---------------------------------------------------------------
+    def check_constraints(
+        self, bindings: Mapping[str, Value] | None = None
+    ) -> list[tuple[str, bool | None]]:
+        """Evaluate every constraint; ``None`` marks not-yet-decidable ones."""
+        env = self.environment(bindings)
+        results: list[tuple[str, bool | None]] = []
+        for expr in self.constraints:
+            ast = parse_expr(expr)
+            if not names_in(ast) <= set(env):
+                results.append((expr, None))
+                continue
+            results.append((expr, Evaluator(env, registry=self.registry).eval_bool(ast)))
+        return results
+
+    def violated_constraints(
+        self, bindings: Mapping[str, Value] | None = None
+    ) -> list[str]:
+        return [e for e, ok in self.check_constraints(bindings) if ok is False]
+
+    # -- configuration enumeration ----------------------------------------------------
+    def configurations(self, *, max_count: int = 10_000) -> Iterator[dict[str, Quantity]]:
+        """All constraint-satisfying assignments of configurable params.
+
+        For the Kepler example this yields exactly the three legal
+        (L1size, shmsize) splits.  Unbound non-configurable params are left
+        out of the bindings (constraints over them stay undecided and are
+        not treated as violations).
+        """
+        free = [
+            p
+            for p in self.params.values()
+            if p.configurable and p.candidates and p.value is None
+        ]
+        if not free:
+            if not self.violated_constraints():
+                yield {}
+            return
+        domains = [p.candidates for p in free]
+        names = [p.name for p in free]
+        count = 0
+        for combo in itertools.product(*domains):
+            count += 1
+            if count > max_count:
+                raise ConstraintError(
+                    f"configuration space exceeds {max_count} combinations"
+                )
+            bindings = dict(zip(names, combo))
+            if not self.violated_constraints(bindings):
+                yield bindings
+
+    def configuration_count(self) -> int:
+        return sum(1 for _ in self.configurations())

@@ -1,0 +1,38 @@
+"""PEPPHER PDL baseline: data model, parser, query language, conversion and
+modularity metrics (paper Sec. II)."""
+
+from .model import (
+    ControlRole,
+    PdlInterconnect,
+    PdlMemoryRegion,
+    PdlPlatform,
+    PdlProcessingUnit,
+    PdlProperty,
+)
+from .parser import parse_pdl, write_pdl
+from .query import PdlQueryEngine
+from .convert import pdl_to_xpdl, xpdl_to_pdl
+from .metrics import (
+    SpecMetrics,
+    comparison_rows,
+    measure_pdl,
+    measure_xpdl,
+)
+
+__all__ = [
+    "ControlRole",
+    "PdlInterconnect",
+    "PdlMemoryRegion",
+    "PdlPlatform",
+    "PdlProcessingUnit",
+    "PdlProperty",
+    "parse_pdl",
+    "write_pdl",
+    "PdlQueryEngine",
+    "pdl_to_xpdl",
+    "xpdl_to_pdl",
+    "SpecMetrics",
+    "comparison_rows",
+    "measure_pdl",
+    "measure_xpdl",
+]

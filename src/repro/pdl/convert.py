@@ -1,0 +1,216 @@
+"""Conversion between PDL and XPDL.
+
+``xpdl_to_pdl`` flattens a composed XPDL system into the monolithic PDL
+form: the control hierarchy is *derived* from the hardware structure (first
+CPU becomes the Master, further CPUs Hybrids, devices Workers — exactly the
+implicit-role observation of Sec. II-A), data-sheet attributes become ad-hoc
+key-value properties (the ``x86_MAX_CLOCK_FREQUENCY`` pattern the paper
+criticizes), and every reused descriptor is inlined again at each use site.
+PDL being single-node, a cluster becomes one document per node.
+
+``pdl_to_xpdl`` lifts a PDL platform into an XPDL concrete model, turning
+role-typed PUs into cpu/device elements and property bags into
+``<properties>`` blocks.
+"""
+
+from __future__ import annotations
+
+from ..model import (
+    Cpu,
+    Device,
+    Gpu,
+    Interconnect,
+    Memory,
+    ModelElement,
+    Node,
+    System,
+)
+from ..xpdlxml import XmlElement, document, element, write_xml
+from .model import (
+    ControlRole,
+    PdlInterconnect,
+    PdlMemoryRegion,
+    PdlPlatform,
+    PdlProcessingUnit,
+)
+
+
+def _property_name(kind: str, attr: str) -> str:
+    """XPDL attribute -> PDL ad-hoc property key."""
+    return f"{kind}_{attr}".upper()
+
+
+def _attach_attr_properties(pu, elem: ModelElement) -> None:
+    for k, v in elem.plain_attrs().items():
+        pu.set_property(_property_name(elem.kind, k), v)
+
+
+def _collect_units(scope: ModelElement) -> tuple[list[ModelElement], list[ModelElement]]:
+    """(CPU packages, accelerator devices) directly within one node scope."""
+    cpus: list[ModelElement] = []
+    devices: list[ModelElement] = []
+    for elem in scope.walk():
+        if isinstance(elem, Cpu):
+            # Skip CPUs nested inside devices (the Myriad1 on the MV153):
+            # PDL models the board as one Worker.
+            if any(isinstance(a, (Device, Gpu)) for a in elem.ancestors()):
+                continue
+            cpus.append(elem)
+        elif isinstance(elem, (Device, Gpu)):
+            devices.append(elem)
+    return cpus, devices
+
+
+def xpdl_to_pdl(root: ModelElement) -> list[PdlPlatform]:
+    """Flatten a composed XPDL system into PDL documents (one per node)."""
+    scopes: list[tuple[str, ModelElement]] = []
+    nodes = root.find_all(Node)
+    if nodes:
+        for i, node in enumerate(nodes):
+            scopes.append((node.ident or f"node{i}", node))
+    else:
+        scopes.append((root.ident or root.name or "platform", root))
+
+    platforms: list[PdlPlatform] = []
+    for scope_name, scope in scopes:
+        platform = PdlPlatform(name=scope_name)
+        cpus, devices = _collect_units(scope)
+        master: PdlProcessingUnit | None = None
+        for i, cpu in enumerate(cpus):
+            role = ControlRole.MASTER if i == 0 else ControlRole.HYBRID
+            pu = PdlProcessingUnit(
+                ident=cpu.ident or cpu.name or f"cpu{i}",
+                role=role,
+                pu_type=cpu.attrs.get("type", "cpu"),
+            )
+            _attach_attr_properties(pu, cpu)
+            # PDL has no core/cache elements: flatten them into properties.
+            from ..analysis import physical_walk
+
+            core_count = sum(
+                1 for e in physical_walk(cpu) if e.kind == "core"
+            )
+            pu.set_property(_property_name("cpu", "num_cores"), str(core_count))
+            for cache in (e for e in cpu.walk() if e.kind == "cache"):
+                key = _property_name(
+                    "cache", f"{cache.name or cache.ident or 'L'}_size"
+                )
+                pu.set_property(key, cache.attrs.get("size", "") + cache.attrs.get("unit", ""))
+            if master is None:
+                master = pu
+            else:
+                master.add(pu)
+        for j, dev in enumerate(devices):
+            pu = PdlProcessingUnit(
+                ident=dev.ident or dev.name or f"dev{j}",
+                role=ControlRole.WORKER,
+                pu_type=dev.attrs.get("type", dev.kind),
+            )
+            _attach_attr_properties(pu, dev)
+            if master is not None:
+                master.add(pu)
+            else:
+                master = PdlProcessingUnit(
+                    ident="implicit_host", role=ControlRole.MASTER
+                )
+                master.add(pu)
+        platform.master = master
+        for k, mem in enumerate(
+            e for e in scope.walk() if isinstance(e, Memory)
+        ):
+            region = PdlMemoryRegion(
+                ident=mem.ident or mem.name or f"mem{k}",
+                size=(mem.attrs.get("size", "") + mem.attrs.get("unit", "")),
+                scope="device"
+                if any(isinstance(a, (Device, Gpu)) for a in mem.ancestors())
+                else "global",
+            )
+            platform.memory_regions.append(region)
+        pu_ids = {pu.ident for pu in platform.processing_units()}
+        mem_ids = {m.ident for m in platform.memory_regions}
+        by_id = {e.ident: e for e in scope.walk() if e.ident}
+
+        def resolve_endpoint(ref: str | None) -> str | None:
+            """Map an XPDL endpoint to a PDL PU/memory id.
+
+            XPDL endpoints may name groups (Listing 11's head="cpu1" points
+            at a two-socket group); PDL has no such structure, so fall back
+            to the first PU inside the referenced element.
+            """
+            if ref is None:
+                return None
+            if ref in pu_ids or ref in mem_ids:
+                return ref
+            target = by_id.get(ref)
+            if target is not None:
+                for e in target.walk():
+                    if e.ident in pu_ids:
+                        return e.ident
+            return ref
+
+        for ic in scope.find_all(Interconnect):
+            head, tail = ic.attrs.get("head"), ic.attrs.get("tail")
+            if head is None and tail is None:
+                continue
+            endpoints = tuple(
+                e
+                for e in (resolve_endpoint(head), resolve_endpoint(tail))
+                if e
+            )
+            platform.interconnects.append(
+                PdlInterconnect(
+                    ident=ic.ident or ic.label(),
+                    endpoints=endpoints,
+                    bandwidth=ic.attrs.get("max_bandwidth", "")
+                    + ic.attrs.get("max_bandwidth_unit", ""),
+                )
+            )
+        platforms.append(platform)
+    return platforms
+
+
+def pdl_to_xpdl(platform: PdlPlatform) -> ModelElement:
+    """Lift a PDL platform into an XPDL concrete system model."""
+    system = System(attrs={"id": platform.name})
+
+    def convert_pu(pu: PdlProcessingUnit) -> ModelElement:
+        if pu.role is ControlRole.WORKER:
+            elem: ModelElement = Device(attrs={"id": pu.ident})
+            elem.attrs["role"] = "worker"
+        else:
+            elem = Cpu(attrs={"id": pu.ident})
+            elem.attrs["role"] = (
+                "master" if pu.role is ControlRole.MASTER else "hybrid"
+            )
+        if pu.pu_type:
+            elem.attrs["pu_type"] = pu.pu_type
+        if pu.properties:
+            from ..model import Properties, Property
+
+            props = Properties(attrs={})
+            for p in pu.properties.values():
+                props.add(Property(attrs={"name": p.name, "value": p.value}))
+            elem.add(props)
+        return elem
+
+    if platform.master is not None:
+        for pu in platform.master.walk():
+            system.add(convert_pu(pu))
+    for region in platform.memory_regions:
+        mem = Memory(attrs={"id": region.ident})
+        if region.size:
+            mem.attrs["capacity"] = region.size
+        system.add(mem)
+    if platform.interconnects:
+        from ..model import Interconnects
+
+        ics = Interconnects(attrs={})
+        for ic in platform.interconnects:
+            e = Interconnect(attrs={"id": ic.ident})
+            if len(ic.endpoints) >= 1:
+                e.attrs["head"] = ic.endpoints[0]
+            if len(ic.endpoints) >= 2:
+                e.attrs["tail"] = ic.endpoints[1]
+            ics.add(e)
+        system.add(ics)
+    return system

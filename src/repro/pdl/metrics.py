@@ -1,0 +1,136 @@
+"""Modularity metrics: XPDL's distributed descriptors vs PDL monoliths.
+
+Quantifies the Sec. II-D argument — "PDL ... tends to produce monolithic
+system descriptions, which limits the reuse of specifications of platform
+subcomponents" — with measurable numbers for experiment E4:
+
+* specification size (files, lines, elements) of each representation of the
+  same platform;
+* duplication: identical serialized element subtrees occurring more than
+  once within one specification set;
+* reuse: how many times each shared XPDL descriptor is referenced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..repository import ModelRepository
+from ..xpdlxml import XmlElement, parse_xml, write_element
+from .model import PdlPlatform
+from .parser import write_pdl
+
+
+@dataclass
+class SpecMetrics:
+    """Size/duplication metrics of one specification set."""
+
+    label: str
+    files: int = 0
+    lines: int = 0
+    elements: int = 0
+    duplicated_subtrees: int = 0
+    duplicated_lines: int = 0
+    reuse_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def duplication_ratio(self) -> float:
+        return self.duplicated_lines / self.lines if self.lines else 0.0
+
+
+def _subtree_fingerprints(root: XmlElement) -> list[tuple[str, int]]:
+    """(fingerprint, line count) of every element subtree with >= 2 nodes."""
+    out: list[tuple[str, int]] = []
+
+    def rec(elem: XmlElement) -> None:
+        kids = elem.elements()
+        if kids:
+            text = write_element(elem)
+            digest = hashlib.sha256(text.encode()).hexdigest()
+            out.append((digest, text.count("\n") + 1))
+        for c in kids:
+            rec(c)
+
+    rec(root)
+    return out
+
+
+def _measure_documents(label: str, documents: list[str]) -> SpecMetrics:
+    metrics = SpecMetrics(label=label, files=len(documents))
+    seen: dict[str, int] = {}
+    dup_lines = 0
+    dup_count = 0
+    for text in documents:
+        metrics.lines += text.count("\n") + 1
+        doc = parse_xml(text)
+        metrics.elements += sum(1 for _ in doc.root.iter())
+        for digest, nlines in _subtree_fingerprints(doc.root):
+            if digest in seen:
+                dup_count += 1
+                dup_lines += nlines
+            seen[digest] = seen.get(digest, 0) + 1
+    metrics.duplicated_subtrees = dup_count
+    metrics.duplicated_lines = dup_lines
+    return metrics
+
+
+def measure_pdl(platforms: list[PdlPlatform], *, label: str = "PDL") -> SpecMetrics:
+    """Metrics of a PDL representation (one monolithic file per platform)."""
+    return _measure_documents(label, [write_pdl(p) for p in platforms])
+
+
+def measure_xpdl(
+    repository: ModelRepository,
+    system: str,
+    *,
+    label: str = "XPDL",
+) -> SpecMetrics:
+    """Metrics of the XPDL representation of ``system``.
+
+    Counts the referenced descriptor closure once each (that is the point of
+    modularity) and records how often each descriptor is referenced.
+    """
+    closure = repository.load_closure(system)
+    documents = [lm.text for lm in closure.values()]
+    metrics = _measure_documents(label, documents)
+    # Reference counts: scan every loaded model for type refs into the closure.
+    counts: dict[str, int] = {ident: 0 for ident in closure}
+    for lm in closure.values():
+        for elem in lm.model.walk():
+            ref = elem.attrs.get("type")
+            if ref in counts and lm.identifier != ref:
+                counts[ref] += 1
+            for sup in elem.extends:
+                if sup in counts:
+                    counts[sup] += 1
+    metrics.reuse_counts = {k: v for k, v in counts.items() if v > 0}
+    return metrics
+
+
+def comparison_rows(
+    xpdl: SpecMetrics, pdl: SpecMetrics
+) -> list[tuple[str, str, str]]:
+    """(metric, xpdl value, pdl value) rows for the E4 table."""
+    shared = sum(1 for v in xpdl.reuse_counts.values() if v > 1)
+    return [
+        ("files", str(xpdl.files), str(pdl.files)),
+        ("lines", str(xpdl.lines), str(pdl.lines)),
+        ("elements", str(xpdl.elements), str(pdl.elements)),
+        (
+            "duplicated subtrees",
+            str(xpdl.duplicated_subtrees),
+            str(pdl.duplicated_subtrees),
+        ),
+        (
+            "duplicated lines",
+            str(xpdl.duplicated_lines),
+            str(pdl.duplicated_lines),
+        ),
+        (
+            "duplication ratio",
+            f"{xpdl.duplication_ratio:.1%}",
+            f"{pdl.duplication_ratio:.1%}",
+        ),
+        ("descriptors reused >1x", str(shared), "n/a"),
+    ]

@@ -1,0 +1,176 @@
+"""The PEPPHER PDL data model (Sandrieser et al. [1]; paper Sec. II).
+
+PDL models a single-node heterogeneous system from the *programmer
+perspective*: processing units carry a control role — one **Master** (the
+feature-rich PU where execution starts), **Worker** leaves (accelerators
+that cannot launch work themselves) and **Hybrid** inner nodes — arranged in
+a logic control tree.  Everything else (installed software, clock limits,
+...) is expressed as free-form string key-value properties, optionally
+mandatory.  Memory regions and interconnects are the only other first-class
+blocks.
+
+This baseline implementation exists so the XPDL comparison experiments
+(modularity metrics E4, converter round-trips) run against the real thing,
+not a strawman.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..diagnostics import XpdlError
+
+
+class ControlRole(enum.Enum):
+    """The PDL control role of a processing unit."""
+
+    MASTER = "Master"
+    WORKER = "Worker"
+    HYBRID = "Hybrid"
+
+
+@dataclass
+class PdlProperty:
+    """A free-form key-value property; keys and values are strings."""
+
+    name: str
+    value: str
+    mandatory: bool = False
+
+
+@dataclass
+class PdlPropertyHolder:
+    """Common property-bag behaviour."""
+
+    ident: str
+    properties: dict[str, PdlProperty] = field(default_factory=dict)
+
+    def set_property(
+        self, name: str, value: str, *, mandatory: bool = False
+    ) -> None:
+        self.properties[name] = PdlProperty(name, value, mandatory)
+
+    def property_value(self, name: str) -> str | None:
+        p = self.properties.get(name)
+        return p.value if p is not None else None
+
+    def has_property(self, name: str) -> bool:
+        return name in self.properties
+
+    def missing_mandatory(self) -> list[str]:
+        return [
+            p.name for p in self.properties.values()
+            if p.mandatory and not p.value
+        ]
+
+
+@dataclass
+class PdlProcessingUnit(PdlPropertyHolder):
+    """A PU in the control hierarchy."""
+
+    role: ControlRole = ControlRole.WORKER
+    pu_type: str = ""
+    children: list["PdlProcessingUnit"] = field(default_factory=list)
+
+    def add(self, child: "PdlProcessingUnit") -> "PdlProcessingUnit":
+        if self.role is ControlRole.WORKER:
+            raise XpdlError(
+                f"PDL worker PU {self.ident!r} cannot control other PUs"
+            )
+        self.children.append(child)
+        return child
+
+    def walk(self):
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+
+@dataclass
+class PdlMemoryRegion(PdlPropertyHolder):
+    """A data storage facility (main memory, device memory, ...)."""
+
+    size: str = ""
+    scope: str = "global"  # global | device | shared
+
+
+@dataclass
+class PdlInterconnect(PdlPropertyHolder):
+    """Communication facility between two or more PUs."""
+
+    endpoints: tuple[str, ...] = ()
+    bandwidth: str = ""
+
+
+@dataclass
+class PdlPlatform:
+    """A complete PDL platform description (one monolithic document)."""
+
+    name: str
+    master: PdlProcessingUnit | None = None
+    memory_regions: list[PdlMemoryRegion] = field(default_factory=list)
+    interconnects: list[PdlInterconnect] = field(default_factory=list)
+    properties: dict[str, PdlProperty] = field(default_factory=dict)
+
+    # -- structure -----------------------------------------------------------
+    def processing_units(self) -> list[PdlProcessingUnit]:
+        return list(self.master.walk()) if self.master is not None else []
+
+    def pu_by_id(self, ident: str) -> PdlProcessingUnit | None:
+        for pu in self.processing_units():
+            if pu.ident == ident:
+                return pu
+        return None
+
+    def workers(self) -> list[PdlProcessingUnit]:
+        return [
+            pu
+            for pu in self.processing_units()
+            if pu.role is ControlRole.WORKER
+        ]
+
+    def validate(self) -> list[str]:
+        """PDL well-formedness: exactly one master, role tree consistency.
+
+        Returns a list of problems (empty when valid).
+        """
+        problems: list[str] = []
+        if self.master is None:
+            problems.append("platform has no Master PU")
+            return problems
+        if self.master.role is not ControlRole.MASTER:
+            problems.append(
+                f"control-tree root {self.master.ident!r} has role "
+                f"{self.master.role.value}, expected Master"
+            )
+        masters = [
+            pu
+            for pu in self.processing_units()
+            if pu.role is ControlRole.MASTER
+        ]
+        if len(masters) > 1:
+            problems.append(
+                "platform declares more than one Master PU: "
+                + ", ".join(m.ident for m in masters)
+            )
+        for pu in self.processing_units():
+            if pu.role is ControlRole.WORKER and pu.children:
+                problems.append(
+                    f"worker PU {pu.ident!r} controls other PUs"
+                )
+        seen: set[str] = set()
+        for pu in self.processing_units():
+            if pu.ident in seen:
+                problems.append(f"duplicate PU id {pu.ident!r}")
+            seen.add(pu.ident)
+        for ic in self.interconnects:
+            for ep in ic.endpoints:
+                if ep not in seen and not any(
+                    m.ident == ep for m in self.memory_regions
+                ):
+                    problems.append(
+                        f"interconnect {ic.ident!r} endpoint {ep!r} "
+                        "matches no PU or memory region"
+                    )
+        return problems

@@ -1,0 +1,154 @@
+"""Parser and writer for PDL's XML surface syntax.
+
+The concrete syntax follows the published PDL examples: a ``<platform>``
+document with nested ``<pu>`` elements forming the control hierarchy,
+``<memoryregion>``/``<interconnect>`` blocks and ``<property>`` key-value
+pairs at any level::
+
+    <platform name="gpu_server">
+      <pu id="cpu0" role="Master" type="x86_64">
+        <property name="x86_MAX_CLOCK_FREQUENCY" value="2000000000"/>
+        <pu id="gpu0" role="Worker" type="gpu"/>
+      </pu>
+      <memoryregion id="main" size="16GB" scope="global"/>
+      <interconnect id="pci0" endpoints="cpu0 gpu0" bandwidth="6GiB/s"/>
+    </platform>
+"""
+
+from __future__ import annotations
+
+from ..diagnostics import ParseError
+from ..xpdlxml import XmlElement, document, element, parse_xml, write_xml
+from .model import (
+    ControlRole,
+    PdlInterconnect,
+    PdlMemoryRegion,
+    PdlPlatform,
+    PdlProcessingUnit,
+)
+
+
+def _read_properties(elem: XmlElement, holder) -> None:
+    for prop in elem.elements("property"):
+        name = prop.get("name")
+        if not name:
+            continue
+        holder_target = (
+            holder.properties if isinstance(holder, PdlPlatform) else None
+        )
+        value = prop.get("value") or ""
+        mandatory = prop.get("mandatory") == "true"
+        if holder_target is not None:
+            from .model import PdlProperty
+
+            holder_target[name] = PdlProperty(name, value, mandatory)
+        else:
+            holder.set_property(name, value, mandatory=mandatory)
+
+
+def _parse_pu(elem: XmlElement) -> PdlProcessingUnit:
+    role_text = elem.get("role") or "Worker"
+    try:
+        role = ControlRole(role_text)
+    except ValueError:
+        raise ParseError(
+            f"unknown PDL control role {role_text!r} "
+            "(expected Master/Worker/Hybrid)"
+        ) from None
+    pu = PdlProcessingUnit(
+        ident=elem.get("id") or "",
+        role=role,
+        pu_type=elem.get("type") or "",
+    )
+    _read_properties(elem, pu)
+    for child in elem.elements("pu"):
+        pu.children.append(_parse_pu(child))
+    return pu
+
+
+def parse_pdl(text: str, *, source_name: str = "<pdl>") -> PdlPlatform:
+    """Parse a PDL platform document."""
+    doc = parse_xml(text, source_name=source_name, strict=True)
+    root = doc.root
+    if root.tag != "platform":
+        raise ParseError(f"expected <platform> root, found <{root.tag}>")
+    platform = PdlPlatform(name=root.get("name") or "platform")
+    _read_properties(root, platform)
+    pus = root.elements("pu")
+    if pus:
+        platform.master = _parse_pu(pus[0])
+        for extra in pus[1:]:
+            # Multiple top-level PUs: keep them under the first so the
+            # control tree stays connected; validate() reports role issues.
+            platform.master.children.append(_parse_pu(extra))
+    for mr in root.elements("memoryregion"):
+        region = PdlMemoryRegion(
+            ident=mr.get("id") or "",
+            size=mr.get("size") or "",
+            scope=mr.get("scope") or "global",
+        )
+        _read_properties(mr, region)
+        platform.memory_regions.append(region)
+    for ic in root.elements("interconnect"):
+        inter = PdlInterconnect(
+            ident=ic.get("id") or "",
+            endpoints=tuple((ic.get("endpoints") or "").split()),
+            bandwidth=ic.get("bandwidth") or "",
+        )
+        _read_properties(ic, inter)
+        platform.interconnects.append(inter)
+    return platform
+
+
+def _pu_to_xml(pu: PdlProcessingUnit) -> XmlElement:
+    e = element(
+        "pu",
+        {"id": pu.ident, "role": pu.role.value},
+    )
+    if pu.pu_type:
+        e.set("type", pu.pu_type)
+    for prop in pu.properties.values():
+        p = element("property", {"name": prop.name, "value": prop.value})
+        if prop.mandatory:
+            p.set("mandatory", "true")
+        e.append(p)
+    for child in pu.children:
+        e.append(_pu_to_xml(child))
+    return e
+
+
+def write_pdl(platform: PdlPlatform) -> str:
+    """Serialize a platform back to PDL XML."""
+    root = element("platform", {"name": platform.name})
+    for prop in platform.properties.values():
+        p = element("property", {"name": prop.name, "value": prop.value})
+        if prop.mandatory:
+            p.set("mandatory", "true")
+        root.append(p)
+    if platform.master is not None:
+        root.append(_pu_to_xml(platform.master))
+    for region in platform.memory_regions:
+        mr = element(
+            "memoryregion",
+            {"id": region.ident, "size": region.size, "scope": region.scope},
+        )
+        for prop in region.properties.values():
+            mr.append(
+                element("property", {"name": prop.name, "value": prop.value})
+            )
+        root.append(mr)
+    for ic in platform.interconnects:
+        e = element(
+            "interconnect",
+            {
+                "id": ic.ident,
+                "endpoints": " ".join(ic.endpoints),
+                "bandwidth": ic.bandwidth,
+            },
+        )
+        for prop in ic.properties.values():
+            e.append(
+                element("property", {"name": prop.name, "value": prop.value})
+            )
+        root.append(e)
+    return write_xml(document(root, source_name=f"{platform.name}.pdl.xml"))

@@ -1,0 +1,99 @@
+"""PDL's basic property query language.
+
+"The existence and, where existing, values of specified properties can be
+looked up by a basic query language" (Sec. II-C).  Queries are of the form::
+
+    exists(<pu-id>, <key>)
+    value(<pu-id>, <key>)
+    find(<key>)                # PUs having the key
+    find(<key>=<value>)        # PUs whose key equals value
+    role(<Master|Worker|Hybrid>)
+
+evaluated against one platform.  Both keys and values are strings, as in
+PDL itself.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..diagnostics import QueryError
+from .model import ControlRole, PdlPlatform, PdlProcessingUnit
+
+_QUERY_RE = re.compile(
+    r"^\s*(?P<fn>exists|value|find|role)\s*\(\s*(?P<args>[^)]*)\s*\)\s*$"
+)
+
+
+class PdlQueryEngine:
+    """Evaluates basic property queries over one PDL platform."""
+
+    def __init__(self, platform: PdlPlatform) -> None:
+        self.platform = platform
+
+    # -- programmatic API ------------------------------------------------------
+    def exists(self, pu_id: str, key: str) -> bool:
+        pu = self._pu(pu_id)
+        return pu.has_property(key)
+
+    def value(self, pu_id: str, key: str) -> str | None:
+        pu = self._pu(pu_id)
+        return pu.property_value(key)
+
+    def find(self, key: str, value: str | None = None) -> list[PdlProcessingUnit]:
+        out = []
+        for pu in self.platform.processing_units():
+            if not pu.has_property(key):
+                continue
+            if value is not None and pu.property_value(key) != value:
+                continue
+            out.append(pu)
+        return out
+
+    def with_role(self, role: ControlRole) -> list[PdlProcessingUnit]:
+        return [
+            pu
+            for pu in self.platform.processing_units()
+            if pu.role is role
+        ]
+
+    def _pu(self, pu_id: str) -> PdlProcessingUnit:
+        pu = self.platform.pu_by_id(pu_id)
+        if pu is None:
+            raise QueryError(
+                f"platform {self.platform.name!r} has no PU {pu_id!r}"
+            )
+        return pu
+
+    # -- string query form ------------------------------------------------------
+    def query(self, text: str):
+        """Evaluate one textual query."""
+        m = _QUERY_RE.match(text)
+        if m is None:
+            raise QueryError(f"malformed PDL query {text!r}")
+        fn = m.group("fn")
+        args = [a.strip() for a in m.group("args").split(",") if a.strip()]
+        if fn == "exists":
+            if len(args) != 2:
+                raise QueryError("exists() needs (pu-id, key)")
+            return self.exists(args[0], args[1])
+        if fn == "value":
+            if len(args) != 2:
+                raise QueryError("value() needs (pu-id, key)")
+            return self.value(args[0], args[1])
+        if fn == "find":
+            if len(args) != 1:
+                raise QueryError("find() needs (key) or (key=value)")
+            if "=" in args[0]:
+                key, _, value = args[0].partition("=")
+                return [pu.ident for pu in self.find(key.strip(), value.strip())]
+            return [pu.ident for pu in self.find(args[0])]
+        if fn == "role":
+            if len(args) != 1:
+                raise QueryError("role() needs (Master|Worker|Hybrid)")
+            try:
+                role = ControlRole(args[0])
+            except ValueError:
+                raise QueryError(f"unknown role {args[0]!r}") from None
+            return [pu.ident for pu in self.with_role(role)]
+        raise QueryError(f"unknown query function {fn!r}")  # pragma: no cover

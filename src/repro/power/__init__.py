@@ -1,0 +1,71 @@
+"""Power and energy modeling: PSMs, power domains, instruction energy,
+hierarchical accounting and DVFS optimization."""
+
+from .psm import (
+    PowerStateDef,
+    PowerStateMachineModel,
+    PsmCursor,
+    SwitchPlan,
+    TransitionDef,
+)
+from .domains import (
+    ConditionClause,
+    PowerDomainDef,
+    PowerDomainSet,
+    ResidencyRecord,
+    ResidencyTracker,
+    parse_condition,
+)
+from .instr import InstructionEnergyModel, InstructionEntry
+from .energy import (
+    EnergyAccountant,
+    EnergyBreakdown,
+    Phase,
+    PhaseCost,
+)
+from .thermal import (
+    ThermalNode,
+    ThermalThrottler,
+    ThrottleSample,
+    ThrottleTrace,
+)
+from .dvfs import (
+    StateChoice,
+    best_state,
+    best_sustainable_state,
+    energy_delay_product,
+    evaluate_state,
+    optimize_state,
+    thermally_sustainable_states,
+)
+
+__all__ = [
+    "PowerStateDef",
+    "PowerStateMachineModel",
+    "PsmCursor",
+    "SwitchPlan",
+    "TransitionDef",
+    "ConditionClause",
+    "PowerDomainDef",
+    "PowerDomainSet",
+    "ResidencyRecord",
+    "ResidencyTracker",
+    "parse_condition",
+    "InstructionEnergyModel",
+    "InstructionEntry",
+    "EnergyAccountant",
+    "EnergyBreakdown",
+    "Phase",
+    "PhaseCost",
+    "ThermalNode",
+    "ThermalThrottler",
+    "ThrottleSample",
+    "ThrottleTrace",
+    "StateChoice",
+    "best_state",
+    "best_sustainable_state",
+    "thermally_sustainable_states",
+    "energy_delay_product",
+    "evaluate_state",
+    "optimize_state",
+]

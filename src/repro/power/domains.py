@@ -1,0 +1,226 @@
+"""Power domains with switching semantics (paper Listing 12).
+
+A power domain ("power island") is a group of hardware blocks switched
+together.  ``enableSwitchOff="false"`` marks the main island (always on);
+``switchoffCondition`` expresses dependencies between islands — the Myriad1
+CMX memory island "can only be turned off if all the Shave cores are
+switched off", written ``switchoffCondition="Shave_pds off"``.
+
+The condition mini-language (induced from the paper's one example, kept
+deliberately small):
+
+    condition := clause ('&&' clause)*
+    clause    := NAME ('off' | 'on')
+
+where ``NAME`` is a power domain name or the name of a *group* of power
+domains; a group clause quantifies over every member.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..diagnostics import XpdlError
+from ..model import Group, ModelElement, PowerDomain, PowerDomains
+from ..units import ENERGY, POWER, TIME, Quantity
+
+
+@dataclass(frozen=True, slots=True)
+class ConditionClause:
+    """One ``NAME on|off`` clause of a switch-off condition."""
+
+    name: str
+    required_state: str  # 'on' | 'off'
+
+
+def parse_condition(text: str) -> tuple[ConditionClause, ...]:
+    """Parse a ``switchoffCondition`` string."""
+    clauses: list[ConditionClause] = []
+    for part in text.split("&&"):
+        tokens = part.split()
+        if len(tokens) != 2 or tokens[1] not in ("on", "off"):
+            raise XpdlError(
+                f"malformed switchoffCondition clause {part.strip()!r}; "
+                "expected '<domain-or-group> on|off'"
+            )
+        clauses.append(ConditionClause(tokens[0], tokens[1]))
+    return tuple(clauses)
+
+
+@dataclass
+class PowerDomainDef:
+    """One power island."""
+
+    name: str
+    enable_switch_off: bool
+    condition: tuple[ConditionClause, ...]
+    member_kinds: tuple[str, ...]
+    groups: tuple[str, ...] = ()  # groups this domain belongs to
+
+
+class PowerDomainSet:
+    """All islands of a component, with on/off state tracking.
+
+    Domain state changes are validated: the main island rejects switch-off,
+    and conditioned islands check their clauses against the *current* states
+    of the referenced domains/groups.
+    """
+
+    def __init__(self, name: str, domains: list[PowerDomainDef]) -> None:
+        self.name = name
+        self.domains = {d.name: d for d in domains}
+        self.groups: dict[str, list[str]] = {}
+        for d in domains:
+            for g in d.groups:
+                self.groups.setdefault(g, []).append(d.name)
+        self.state: dict[str, bool] = {d.name: True for d in domains}  # True=on
+
+    # -- construction --------------------------------------------------------
+    @staticmethod
+    def from_element(pds: ModelElement) -> "PowerDomainSet":
+        if not isinstance(pds, PowerDomains):
+            raise XpdlError(f"expected <power_domains>, got <{pds.kind}>")
+        domains: list[PowerDomainDef] = []
+        seen: set[str] = set()
+
+        def rec(elem: ModelElement, group_stack: tuple[str, ...]) -> None:
+            for child in elem.children:
+                if isinstance(child, Group):
+                    gname = child.name or child.ident or ""
+                    rec(child, group_stack + ((gname,) if gname else ()))
+                elif isinstance(child, PowerDomain):
+                    base = child.name or child.ident or "pd"
+                    name = base
+                    if name in seen:
+                        # Expanded group members share the declared name;
+                        # disambiguate by rank (or a running counter).
+                        rank = child.attrs.get("rank")
+                        name = f"{base}_{rank}" if rank is not None else base
+                        serial = 1
+                        while name in seen:
+                            name = f"{base}#{serial}"
+                            serial += 1
+                    seen.add(name)
+                    cond_text = child.attrs.get("switchoffCondition")
+                    domains.append(
+                        PowerDomainDef(
+                            name=name,
+                            enable_switch_off=bool(child.enable_switch_off),
+                            condition=(
+                                parse_condition(cond_text) if cond_text else ()
+                            ),
+                            member_kinds=tuple(
+                                f"{m.kind}:{m.attrs.get('type', m.label())}"
+                                for m in child.children
+                            ),
+                            groups=group_stack,
+                        )
+                    )
+
+        rec(pds, ())
+        return PowerDomainSet(pds.name or pds.ident or "power_domains", domains)
+
+    # -- queries ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        return list(self.domains)
+
+    def is_on(self, name: str) -> bool:
+        self._require(name)
+        return self.state[name]
+
+    def group_members(self, group: str) -> list[str]:
+        return list(self.groups.get(group, []))
+
+    def _require(self, name: str) -> PowerDomainDef:
+        d = self.domains.get(name)
+        if d is None:
+            raise XpdlError(
+                f"unknown power domain {name!r}; "
+                f"domains: {', '.join(self.domains)}"
+            )
+        return d
+
+    # -- condition evaluation ---------------------------------------------------------
+    def _clause_holds(self, clause: ConditionClause) -> bool:
+        want_on = clause.required_state == "on"
+        if clause.name in self.groups:
+            members = self.groups[clause.name]
+            return all(self.state[m] == want_on for m in members)
+        if clause.name in self.domains:
+            return self.state[clause.name] == want_on
+        raise XpdlError(
+            f"switchoffCondition references unknown domain/group "
+            f"{clause.name!r}"
+        )
+
+    def can_switch_off(self, name: str) -> tuple[bool, str]:
+        """Whether ``name`` may be switched off now; (ok, reason)."""
+        d = self._require(name)
+        if not d.enable_switch_off:
+            return False, f"{name} is a main power domain (enableSwitchOff=false)"
+        for clause in d.condition:
+            if not self._clause_holds(clause):
+                return (
+                    False,
+                    f"condition '{clause.name} {clause.required_state}' "
+                    "does not hold",
+                )
+        return True, ""
+
+    # -- switching ------------------------------------------------------------------
+    def switch_off(self, name: str) -> None:
+        ok, reason = self.can_switch_off(name)
+        if not ok:
+            raise XpdlError(f"cannot switch off {name!r}: {reason}")
+        self.state[name] = False
+
+    def switch_on(self, name: str) -> None:
+        self._require(name)
+        self.state[name] = True
+
+    def on_domains(self) -> list[str]:
+        return [n for n, on in self.state.items() if on]
+
+    def off_domains(self) -> list[str]:
+        return [n for n, on in self.state.items() if not on]
+
+
+@dataclass
+class ResidencyRecord:
+    """Accumulated on-time/energy of one domain over a simulated schedule."""
+
+    domain: str
+    on_time: Quantity = field(default_factory=lambda: Quantity(0.0, TIME))
+    off_time: Quantity = field(default_factory=lambda: Quantity(0.0, TIME))
+    energy: Quantity = field(default_factory=lambda: Quantity(0.0, ENERGY))
+
+
+class ResidencyTracker:
+    """Integrates per-domain residency and static energy over time.
+
+    ``advance(dt, power_by_domain)`` charges each *on* domain its static
+    power for ``dt``; off domains accumulate off-time only.
+    """
+
+    def __init__(self, domains: PowerDomainSet) -> None:
+        self.domains = domains
+        self.records = {
+            n: ResidencyRecord(n) for n in domains.names()
+        }
+        self.total_time = Quantity(0.0, TIME)
+
+    def advance(self, dt: Quantity, power_by_domain: dict[str, Quantity]) -> None:
+        self.total_time = self.total_time + dt
+        for name, rec in self.records.items():
+            if self.domains.is_on(name):
+                rec.on_time = rec.on_time + dt
+                p = power_by_domain.get(name, Quantity(0.0, POWER))
+                rec.energy = rec.energy + p * dt
+            else:
+                rec.off_time = rec.off_time + dt
+
+    def total_energy(self) -> Quantity:
+        total = Quantity(0.0, ENERGY)
+        for rec in self.records.values():
+            total = total + rec.energy
+        return total

@@ -1,0 +1,158 @@
+"""Hierarchical energy accounting (paper Sec. III-D).
+
+Combines the three cost components XPDL models:
+
+* **static** energy: per-state power of the active power state integrated
+  over time (plus always-on static power of memories etc.);
+* **dynamic** energy: per-instruction energies from the instruction model;
+* **switching** overheads: transition time/energy from the PSM.
+
+A workload is a sequence of :class:`Phase`s (instruction mix + optional
+requested power state); :class:`EnergyAccountant` walks the phases, drives a
+PSM cursor, and produces an itemized :class:`EnergyBreakdown`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..diagnostics import XpdlError
+from ..units import ENERGY, POWER, TIME, Quantity
+from .instr import InstructionEnergyModel
+from .psm import PowerStateMachineModel, PsmCursor
+
+
+@dataclass
+class Phase:
+    """One workload phase: an instruction mix executed back-to-back.
+
+    ``cycles_per_instruction`` converts instruction counts to time at the
+    running frequency; ``state`` optionally requests a power state for the
+    phase (otherwise the current state persists).
+    """
+
+    name: str
+    instruction_counts: dict[str, int]
+    state: str | None = None
+    cycles_per_instruction: float = 1.0
+
+    def total_instructions(self) -> int:
+        return sum(self.instruction_counts.values())
+
+
+@dataclass
+class PhaseCost:
+    """Cost of one executed phase."""
+
+    phase: str
+    state: str
+    time: Quantity
+    static_energy: Quantity
+    dynamic_energy: Quantity
+    switch_time: Quantity
+    switch_energy: Quantity
+
+    @property
+    def total_energy(self) -> Quantity:
+        return self.static_energy + self.dynamic_energy + self.switch_energy
+
+
+@dataclass
+class EnergyBreakdown:
+    """Itemized result of running a workload."""
+
+    phases: list[PhaseCost] = field(default_factory=list)
+
+    @property
+    def time(self) -> Quantity:
+        t = Quantity(0.0, TIME)
+        for p in self.phases:
+            t = t + p.time + p.switch_time
+        return t
+
+    @property
+    def static_energy(self) -> Quantity:
+        e = Quantity(0.0, ENERGY)
+        for p in self.phases:
+            e = e + p.static_energy
+        return e
+
+    @property
+    def dynamic_energy(self) -> Quantity:
+        e = Quantity(0.0, ENERGY)
+        for p in self.phases:
+            e = e + p.dynamic_energy
+        return e
+
+    @property
+    def switch_energy(self) -> Quantity:
+        e = Quantity(0.0, ENERGY)
+        for p in self.phases:
+            e = e + p.switch_energy
+        return e
+
+    @property
+    def total_energy(self) -> Quantity:
+        return self.static_energy + self.dynamic_energy + self.switch_energy
+
+    def average_power(self) -> Quantity:
+        t = self.time
+        if t.magnitude == 0.0:
+            return Quantity(0.0, POWER)
+        return self.total_energy / t
+
+
+class EnergyAccountant:
+    """Executes workload phases against a PSM + instruction energy model."""
+
+    def __init__(
+        self,
+        psm: PowerStateMachineModel,
+        instructions: InstructionEnergyModel,
+        *,
+        initial_state: str | None = None,
+        base_power: Quantity | None = None,
+    ) -> None:
+        self.psm = psm
+        self.instructions = instructions
+        #: Always-on power outside the PSM-controlled domain (memories,
+        #: motherboard residual) charged in every phase.
+        self.base_power = base_power or Quantity(0.0, POWER)
+        start = initial_state or psm.by_frequency()[-1].name
+        self.cursor = PsmCursor(psm, start)
+
+    def run(self, phases: list[Phase]) -> EnergyBreakdown:
+        breakdown = EnergyBreakdown()
+        for phase in phases:
+            breakdown.phases.append(self._run_phase(phase))
+        return breakdown
+
+    def _run_phase(self, phase: Phase) -> PhaseCost:
+        switch_time = Quantity(0.0, TIME)
+        switch_energy = Quantity(0.0, ENERGY)
+        if phase.state is not None and phase.state != self.cursor.current:
+            plan = self.cursor.go(phase.state)
+            switch_time, switch_energy = plan.time, plan.energy
+        state = self.cursor.state
+        if state.is_off():
+            raise XpdlError(
+                f"phase {phase.name!r} requests execution in off state "
+                f"{state.name!r}"
+            )
+        n_inst = phase.total_instructions()
+        cycles = n_inst * phase.cycles_per_instruction
+        time = Quantity(cycles / state.frequency.magnitude, TIME)
+        static = (state.power + self.base_power) * time
+        dynamic = Quantity(0.0, ENERGY)
+        for name, count in phase.instruction_counts.items():
+            per = self.instructions.energy(name, state.frequency)
+            dynamic = dynamic + per * count
+        return PhaseCost(
+            phase=phase.name,
+            state=state.name,
+            time=time,
+            static_energy=static,
+            dynamic_energy=dynamic,
+            switch_time=switch_time,
+            switch_energy=switch_energy,
+        )

@@ -1,0 +1,175 @@
+"""Per-instruction dynamic energy model (paper Listing 14).
+
+Each instruction's dynamic energy is either a constant, a table of
+(frequency, energy) samples — "a function / value table depending on
+frequency, which was experimentally confirmed" — or unknown (``?``), to be
+derived by microbenchmarking.  Lookup interpolates linearly inside the table
+and clamps at its edges (extrapolation from a data sheet is guesswork; the
+nearest measured point is the honest answer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..diagnostics import XpdlError
+from ..model import DataPoint, Inst, Instructions, ModelElement
+from ..units import ENERGY, FREQUENCY, Quantity
+
+
+@dataclass
+class InstructionEntry:
+    """Energy data for one instruction."""
+
+    name: str
+    constant: Quantity | None = None
+    table_freq: np.ndarray | None = None  # Hz, ascending
+    table_energy: np.ndarray | None = None  # J
+    mb_ref: str | None = None
+    source: str = "descriptor"  # 'descriptor' | 'microbenchmark'
+
+    def is_known(self) -> bool:
+        return self.constant is not None or self.table_freq is not None
+
+    def energy_at(self, frequency: Quantity | None = None) -> Quantity:
+        """Dynamic energy of one execution at ``frequency``."""
+        if self.table_freq is not None:
+            if frequency is None:
+                raise XpdlError(
+                    f"instruction {self.name!r} is frequency-dependent; "
+                    "a frequency is required"
+                )
+            f = frequency.magnitude
+            e = float(np.interp(f, self.table_freq, self.table_energy))
+            return Quantity(e, ENERGY)
+        if self.constant is not None:
+            return self.constant
+        raise XpdlError(
+            f"instruction {self.name!r} has no energy data; "
+            "run microbenchmarking first"
+        )
+
+
+class InstructionEnergyModel:
+    """Energy model over a whole instruction set."""
+
+    def __init__(self, name: str, entries: list[InstructionEntry]):
+        self.name = name
+        self.entries = {e.name: e for e in entries}
+        self.suite_ref: str | None = None
+
+    # -- construction ----------------------------------------------------------
+    @staticmethod
+    def from_element(instrs: ModelElement) -> "InstructionEnergyModel":
+        if not isinstance(instrs, Instructions):
+            raise XpdlError(f"expected <instructions>, got <{instrs.kind}>")
+        entries: list[InstructionEntry] = []
+        for inst in instrs.find_all(Inst):
+            name = inst.name or f"inst{len(entries)}"
+            points = []
+            for dp in inst.find_all(DataPoint):
+                f = dp.frequency
+                e = dp.energy
+                if f is not None and e is not None:
+                    points.append((f.magnitude, e.magnitude))
+            entry = InstructionEntry(name=name, mb_ref=inst.attrs.get("mb"))
+            if points:
+                points.sort()
+                entry.table_freq = np.array([p[0] for p in points])
+                entry.table_energy = np.array([p[1] for p in points])
+            else:
+                entry.constant = inst.energy  # None when '?'
+            entries.append(entry)
+        model = InstructionEnergyModel(
+            instrs.name or instrs.ident or "instructions", entries
+        )
+        model.suite_ref = instrs.attrs.get("mb")
+        return model
+
+    # -- access ---------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self.entries
+
+    def names(self) -> list[str]:
+        return sorted(self.entries)
+
+    def entry(self, name: str) -> InstructionEntry:
+        try:
+            return self.entries[name]
+        except KeyError:
+            raise XpdlError(
+                f"instruction set {self.name!r} has no instruction {name!r}"
+            ) from None
+
+    def energy(self, name: str, frequency: Quantity | None = None) -> Quantity:
+        return self.entry(name).energy_at(frequency)
+
+    def unknown_instructions(self) -> list[str]:
+        """Instructions still needing microbenchmarking."""
+        return sorted(
+            n for n, e in self.entries.items() if not e.is_known()
+        )
+
+    # -- updates (bootstrapping) --------------------------------------------------------
+    def set_energy(
+        self,
+        name: str,
+        energy: Quantity,
+        *,
+        frequency: Quantity | None = None,
+        source: str = "microbenchmark",
+    ) -> None:
+        """Record a derived energy value.
+
+        With ``frequency`` the value becomes/extends a frequency table;
+        without, it replaces the constant.
+        """
+        entry = self.entries.setdefault(name, InstructionEntry(name))
+        entry.source = source
+        if frequency is None:
+            entry.constant = energy
+            return
+        f, e = frequency.magnitude, energy.magnitude
+        if entry.table_freq is None:
+            entry.table_freq = np.array([f])
+            entry.table_energy = np.array([e])
+        else:
+            idx = int(np.searchsorted(entry.table_freq, f))
+            if (
+                idx < len(entry.table_freq)
+                and entry.table_freq[idx] == f
+            ):
+                entry.table_energy[idx] = e
+            else:
+                entry.table_freq = np.insert(entry.table_freq, idx, f)
+                entry.table_energy = np.insert(entry.table_energy, idx, e)
+
+    def write_back(self, instrs: ModelElement) -> int:
+        """Write derived energies into an ``<instructions>`` element tree.
+
+        Returns the number of entries updated.  Constant energies replace
+        the '?' placeholder in pJ; tables become ``<data>`` rows.
+        """
+        updated = 0
+        by_name = {i.name: i for i in instrs.find_all(Inst) if i.name}
+        for name, entry in self.entries.items():
+            inst = by_name.get(name)
+            if inst is None or entry.source != "microbenchmark":
+                continue
+            if entry.constant is not None:
+                inst.set_quantity("energy", entry.constant, unit="pJ")
+                updated += 1
+            elif entry.table_freq is not None:
+                for c in list(inst.children):
+                    if isinstance(c, DataPoint):
+                        inst.remove(c)
+                for f, e in zip(entry.table_freq, entry.table_energy):
+                    dp = DataPoint(attrs={})
+                    dp.set_quantity("frequency", Quantity(float(f), FREQUENCY), unit="GHz")
+                    dp.set_quantity("energy", Quantity(float(e), ENERGY), unit="nJ")
+                    inst.add(dp)
+                inst.attrs.pop("energy", None)
+                updated += 1
+        return updated

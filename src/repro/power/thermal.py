@@ -1,0 +1,214 @@
+"""Thermal modeling extension.
+
+Sec. II-A motivates XPDL's hardware-structural organization precisely
+because "power consumption and *temperature* metrics and measurement values
+naturally can be attributed to coarse-grain hardware blocks".  This module
+gives those blocks a first-order thermal model and a DVFS throttle on top:
+
+* a component with ``thermal_resistance`` (K/W, junction-to-ambient),
+  ``thermal_capacitance`` (J/K) and ``max_temperature`` attributes becomes
+  a :class:`ThermalNode` — the standard lumped RC:
+  ``C dT/dt = P - (T - T_amb) / R``;
+* :class:`ThermalThrottler` runs a sustained workload against a PSM,
+  stepping the RC model and moving down/up the DVFS ladder around the
+  component's temperature limit — the mechanism real governors implement
+  with exactly the data XPDL models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..diagnostics import XpdlError
+from ..model import ModelElement
+from ..units import POWER, TEMPERATURE, Quantity
+from .psm import PowerStateMachineModel
+
+#: Default ambient temperature (25 C above absolute-zero-free delta scale).
+DEFAULT_AMBIENT_C = 25.0
+
+
+@dataclass
+class ThermalNode:
+    """First-order (lumped RC) thermal model of one hardware block."""
+
+    name: str
+    resistance_k_per_w: float
+    capacitance_j_per_k: float
+    ambient_c: float = DEFAULT_AMBIENT_C
+    max_temperature_c: float | None = None
+    temperature_c: float = field(default=DEFAULT_AMBIENT_C)
+
+    def __post_init__(self) -> None:
+        if self.resistance_k_per_w <= 0 or self.capacitance_j_per_k <= 0:
+            raise XpdlError(
+                f"thermal node {self.name!r} needs positive R and C"
+            )
+        self.temperature_c = self.ambient_c
+
+    # -- physics -----------------------------------------------------------
+    @property
+    def time_constant_s(self) -> float:
+        return self.resistance_k_per_w * self.capacitance_j_per_k
+
+    def steady_state_c(self, power_w: float) -> float:
+        """Temperature this power level settles at."""
+        return self.ambient_c + power_w * self.resistance_k_per_w
+
+    def step(self, dt_s: float, power_w: float) -> float:
+        """Advance the RC model by ``dt_s`` under constant ``power_w``.
+
+        Uses the exact exponential solution, so large steps stay stable.
+        """
+        t_inf = self.steady_state_c(power_w)
+        alpha = math.exp(-dt_s / self.time_constant_s)
+        self.temperature_c = t_inf + (self.temperature_c - t_inf) * alpha
+        return self.temperature_c
+
+    def reset(self) -> None:
+        self.temperature_c = self.ambient_c
+
+    def over_limit(self, margin_c: float = 0.0) -> bool:
+        if self.max_temperature_c is None:
+            return False
+        return self.temperature_c > self.max_temperature_c - margin_c
+
+    # -- construction from descriptors ------------------------------------------
+    @staticmethod
+    def from_element(
+        elem: ModelElement, *, ambient_c: float = DEFAULT_AMBIENT_C
+    ) -> "ThermalNode | None":
+        """Thermal node for a component, or None if not thermally modeled."""
+        r = elem.quantity("thermal_resistance", TEMPERATURE / POWER)
+        c = elem.quantity("thermal_capacitance")
+        if r is None or c is None:
+            return None
+        tmax = elem.quantity("max_temperature", TEMPERATURE)
+        return ThermalNode(
+            name=elem.label(),
+            resistance_k_per_w=r.magnitude,
+            capacitance_j_per_k=c.magnitude,
+            ambient_c=ambient_c,
+            max_temperature_c=tmax.magnitude if tmax is not None else None,
+        )
+
+
+@dataclass
+class ThrottleSample:
+    """One simulation step of the throttler."""
+
+    time_s: float
+    state: str
+    frequency_hz: float
+    power_w: float
+    temperature_c: float
+
+
+@dataclass
+class ThrottleTrace:
+    """The throttler's full trajectory plus summary metrics."""
+
+    samples: list[ThrottleSample] = field(default_factory=list)
+    throttle_events: int = 0
+
+    def average_frequency_hz(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.frequency_hz for s in self.samples) / len(self.samples)
+
+    def max_temperature_c(self) -> float:
+        return max((s.temperature_c for s in self.samples), default=0.0)
+
+    def time_throttled_s(self, full_state: str) -> float:
+        if not self.samples:
+            return 0.0
+        dt = self.samples[0].time_s if len(self.samples) == 1 else (
+            self.samples[1].time_s - self.samples[0].time_s
+        )
+        return sum(dt for s in self.samples if s.state != full_state)
+
+
+class ThermalThrottler:
+    """A thermal governor over a PSM and an RC node.
+
+    Policy (mirrors common hardware governors): when the temperature
+    crosses ``limit - margin``, step one state down the DVFS ladder; when
+    it cools below ``limit - margin - hysteresis``, step back up.
+    """
+
+    def __init__(
+        self,
+        psm: PowerStateMachineModel,
+        node: ThermalNode,
+        *,
+        margin_c: float = 3.0,
+        hysteresis_c: float = 5.0,
+    ) -> None:
+        if node.max_temperature_c is None:
+            raise XpdlError(
+                f"thermal node {node.name!r} declares no max_temperature"
+            )
+        self.psm = psm
+        self.node = node
+        self.margin_c = margin_c
+        self.hysteresis_c = hysteresis_c
+        self._ladder = [s for s in psm.by_frequency() if not s.is_off()]
+
+    def run(
+        self,
+        duration_s: float,
+        *,
+        dt_s: float = 0.05,
+        dynamic_power_w: float = 0.0,
+        start_state: str | None = None,
+    ) -> ThrottleTrace:
+        """Simulate a sustained load for ``duration_s``.
+
+        ``dynamic_power_w`` is the extra activity power at the fastest
+        level; it scales with f^2 down the ladder (voltage tracks
+        frequency).
+        """
+        trace = ThrottleTrace()
+        idx = (
+            next(
+                i
+                for i, s in enumerate(self._ladder)
+                if s.name == start_state
+            )
+            if start_state
+            else len(self._ladder) - 1
+        )
+        f_top = self._ladder[-1].frequency.magnitude
+        limit = self.node.max_temperature_c
+        t = 0.0
+        while t < duration_s:
+            state = self._ladder[idx]
+            ratio = state.frequency.magnitude / f_top
+            power = (
+                state.power.magnitude + dynamic_power_w * ratio * ratio
+            )
+            self.node.step(dt_s, power)
+            trace.samples.append(
+                ThrottleSample(
+                    time_s=t,
+                    state=state.name,
+                    frequency_hz=state.frequency.magnitude,
+                    power_w=power,
+                    temperature_c=self.node.temperature_c,
+                )
+            )
+            if (
+                self.node.temperature_c > limit - self.margin_c
+                and idx > 0
+            ):
+                idx -= 1
+                trace.throttle_events += 1
+            elif (
+                self.node.temperature_c
+                < limit - self.margin_c - self.hysteresis_c
+                and idx < len(self._ladder) - 1
+            ):
+                idx += 1
+            t += dt_s
+        return trace

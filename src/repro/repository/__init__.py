@@ -1,0 +1,35 @@
+"""Distributed XPDL model repository: stores, index, recursive loading."""
+
+from .store import (
+    CachingStore,
+    DescriptorStore,
+    FetchLog,
+    LocalDirStore,
+    MemoryStore,
+    RemoteSimStore,
+    RetryingStore,
+    XPDL_SUFFIX,
+    store_from_paths,
+)
+from .repository import (
+    IndexEntry,
+    LoadedModel,
+    ModelRepository,
+    REFERENCE_ATTRS,
+)
+
+__all__ = [
+    "CachingStore",
+    "DescriptorStore",
+    "FetchLog",
+    "LocalDirStore",
+    "MemoryStore",
+    "RemoteSimStore",
+    "RetryingStore",
+    "XPDL_SUFFIX",
+    "store_from_paths",
+    "IndexEntry",
+    "LoadedModel",
+    "ModelRepository",
+    "REFERENCE_ATTRS",
+]

@@ -1,0 +1,258 @@
+"""The XPDL model repository: indexing, lookup and recursive loading.
+
+A repository is an ordered list of :class:`DescriptorStore`s (the model
+search path, possibly ending in simulated remote stores).  Each ``.xpdl``
+descriptor file contributes its root element's identifier — ``name`` for
+meta-models, ``id`` for concrete models — to the index; identifiers must be
+unique across the repository ("the strings used as name and id should be
+unique across the XPDL repository for reference nonambiguity", Sec. III-A).
+
+:meth:`ModelRepository.load_closure` performs the recursive reference
+browsing of Sec. IV: starting from a concrete model it follows every
+``type=``/``extends=``/``mb=``/``instruction_set=`` reference, parses each
+referenced descriptor once, detects reference cycles and returns the full
+set of models needed to compose the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..diagnostics import (
+    DiagnosticSink,
+    ResolutionError,
+    SourceSpan,
+)
+from ..model import ModelElement, from_document
+from ..schema import SchemaValidator
+from ..xpdlxml import parse_xml
+from .store import DescriptorStore, MemoryStore
+
+#: Attributes whose value references another descriptor by identifier.
+REFERENCE_ATTRS = ("type", "mb", "instruction_set", "power_domain")
+
+#: References whose target gets *folded into* the referring tree at
+#: composition time.  Only these can form true composition cycles; ``mb``/
+#: ``instruction_set``/``power_domain`` are navigational by-name links and
+#: may legally be mutual (an instruction set and its microbenchmark suite
+#: reference each other, Listings 14/15).
+STRUCTURAL_REFERENCE_ATTRS = ("type",)
+
+
+@dataclass(slots=True)
+class IndexEntry:
+    """Where one descriptor lives and what it defines."""
+
+    identifier: str
+    path: str
+    store: DescriptorStore
+    root_tag: str
+
+
+@dataclass
+class LoadedModel:
+    """A parsed descriptor plus provenance."""
+
+    identifier: str
+    model: ModelElement
+    entry: IndexEntry | None
+    text: str = field(repr=False, default="")
+
+
+class ModelRepository:
+    """Ordered multi-store repository with an identifier index."""
+
+    def __init__(
+        self,
+        stores: list[DescriptorStore] | None = None,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.stores: list[DescriptorStore] = list(stores or [])
+        self.validate = validate
+        self._validator = SchemaValidator()
+        self._index: dict[str, IndexEntry] | None = None
+        self._models: dict[str, LoadedModel] = {}
+        self._inline_store = MemoryStore(url="inline:")
+
+    # -- store management -----------------------------------------------------
+    def add_store(self, store: DescriptorStore) -> None:
+        self.stores.append(store)
+        self._index = None  # force re-index
+
+    def add_inline(self, path: str, text: str) -> None:
+        """Register descriptor text directly (tests, generated models)."""
+        if self._inline_store not in self.stores:
+            self.stores.insert(0, self._inline_store)
+        self._inline_store.put(path, text)
+        self._index = None
+
+    # -- index ------------------------------------------------------------------
+    def _root_identifier(self, text: str, path: str) -> tuple[str | None, str]:
+        """Extract (identifier, root tag) cheaply from descriptor text."""
+        doc = parse_xml(text, source_name=path)
+        root = doc.root
+        ident = root.get("name") or root.get("id")
+        return ident, root.tag
+
+    def index(self, sink: DiagnosticSink | None = None) -> dict[str, IndexEntry]:
+        """Build (or return cached) identifier -> location index."""
+        if self._index is not None:
+            return self._index
+        sink = sink if sink is not None else DiagnosticSink()
+        index: dict[str, IndexEntry] = {}
+        for store in self.stores:
+            for path in store.list_paths():
+                try:
+                    text = store.fetch(path)
+                except ResolutionError:
+                    continue  # transient failure during indexing: skip
+                ident, tag = self._root_identifier(text, path)
+                if ident is None:
+                    sink.warning(
+                        "XPDL0200",
+                        f"descriptor {path} in {store.url} has no name/id",
+                        SourceSpan.unknown(path),
+                    )
+                    continue
+                if ident in index:
+                    prev = index[ident]
+                    # First store on the search path wins (shadowing),
+                    # like PATH lookup; shadowed copies are reported.
+                    sink.warning(
+                        "XPDL0201",
+                        f"identifier {ident!r} in {store.url}{path} shadows "
+                        f"{prev.store.url}{prev.path}",
+                        SourceSpan.unknown(path),
+                    )
+                    continue
+                index[ident] = IndexEntry(ident, path, store, tag)
+        self._index = index
+        return index
+
+    def identifiers(self) -> list[str]:
+        return sorted(self.index())
+
+    def __contains__(self, identifier: str) -> bool:
+        return identifier in self.index()
+
+    # -- loading ----------------------------------------------------------------
+    def load(
+        self,
+        identifier: str,
+        sink: DiagnosticSink | None = None,
+    ) -> LoadedModel:
+        """Load and parse the descriptor defining ``identifier``."""
+        if identifier in self._models:
+            return self._models[identifier]
+        sink = sink if sink is not None else DiagnosticSink()
+        entry = self.index().get(identifier)
+        if entry is None:
+            close = [i for i in self.index() if i.lower() == identifier.lower()]
+            hint = f"; did you mean {close[0]!r}?" if close else ""
+            raise ResolutionError(
+                f"no descriptor defines {identifier!r} in the repository{hint}",
+                sink.diagnostics,
+            )
+        text = entry.store.fetch(entry.path)
+        doc = parse_xml(text, source_name=f"{entry.store.url}{entry.path}", sink=sink)
+        model = from_document(doc)
+        if self.validate:
+            self._validator.validate(model, sink)
+        loaded = LoadedModel(identifier, model, entry, text)
+        self._models[identifier] = loaded
+        return loaded
+
+    def load_model(self, identifier: str, sink: DiagnosticSink | None = None) -> ModelElement:
+        return self.load(identifier, sink).model
+
+    # -- recursive closure ---------------------------------------------------------
+    def references_of(self, root: ModelElement) -> set[str]:
+        """All identifiers referenced from ``root``'s subtree.
+
+        Includes ``type``/``mb``/``instruction_set``/``power_domain``
+        attribute values and every ``extends`` supertype.  Values that do not
+        match any repository identifier are returned too; the caller decides
+        whether they are category tags (``type="DDR3"``) or dangling refs.
+        """
+        refs: set[str] = set()
+        for elem in root.walk():
+            for attr in REFERENCE_ATTRS:
+                value = elem.attrs.get(attr)
+                if value:
+                    refs.add(value.strip())
+            refs.update(elem.extends)
+        return refs
+
+    def typed_references_of(self, root: ModelElement) -> set[tuple[str, bool]]:
+        """Like :meth:`references_of`, tagging each ref as structural."""
+        refs: set[tuple[str, bool]] = set()
+        for elem in root.walk():
+            for attr in REFERENCE_ATTRS:
+                value = elem.attrs.get(attr)
+                if value:
+                    refs.add(
+                        (value.strip(), attr in STRUCTURAL_REFERENCE_ATTRS)
+                    )
+            for sup in elem.extends:
+                refs.add((sup, True))
+        return refs
+
+    def load_closure(
+        self,
+        identifier: str,
+        sink: DiagnosticSink | None = None,
+    ) -> dict[str, LoadedModel]:
+        """Load ``identifier`` and, recursively, everything it references.
+
+        Returns a mapping of identifier -> LoadedModel for all resolvable
+        references.  Unresolvable references are recorded as NOTE diagnostics
+        (they are frequently plain category strings such as ``type="DDR3"``
+        or ``type="CMX"``); reference cycles are reported as errors but do
+        not loop.
+        """
+        sink = sink if sink is not None else DiagnosticSink()
+        loaded: dict[str, LoadedModel] = {}
+        in_progress: list[str] = []
+
+        def visit(ident: str, structural: bool) -> None:
+            if ident in in_progress:
+                if structural:
+                    cycle = " -> ".join(
+                        in_progress[in_progress.index(ident):] + [ident]
+                    )
+                    sink.error(
+                        "XPDL0210",
+                        f"reference cycle between descriptors: {cycle}",
+                        SourceSpan.unknown(ident),
+                    )
+                return  # navigational back-reference: legal, already loading
+            if ident in loaded:
+                return
+            try:
+                lm = self.load(ident, sink)
+            except ResolutionError:
+                sink.note(
+                    "XPDL0211",
+                    f"reference {ident!r} has no descriptor "
+                    "(treated as a category tag)",
+                    SourceSpan.unknown(ident),
+                )
+                return
+            in_progress.append(ident)
+            loaded[ident] = lm
+            for ref, is_structural in sorted(self.typed_references_of(lm.model)):
+                visit(ref, is_structural)
+            in_progress.pop()
+
+        visit(identifier, True)
+        return loaded
+
+    # -- statistics -----------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        idx = self.index()
+        return {
+            "stores": len(self.stores),
+            "descriptors": len(idx),
+            "loaded": len(self._models),
+        }

@@ -1,0 +1,201 @@
+"""Descriptor stores: where ``.xpdl`` files live.
+
+The paper envisions a *distributed* model repository: descriptors are local
+files on a search path, but "may, ideally, even be provided for download e.g.
+at hardware manufacturer web sites".  A :class:`DescriptorStore` abstracts
+one such location; :class:`LocalDirStore` serves a directory tree,
+:class:`MemoryStore` serves in-process content (tests, generated models) and
+:class:`RemoteSimStore` simulates a manufacturer download site — it accounts
+for fetch latency and can inject failures, exercising the toolchain's
+retry/caching behaviour without a network.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..diagnostics import ResolutionError
+
+XPDL_SUFFIX = ".xpdl"
+
+
+class DescriptorStore:
+    """Abstract store of named descriptor texts."""
+
+    #: Stable identifier used in provenance and error messages.
+    url: str = "store:"
+
+    def list_paths(self) -> list[str]:
+        """All descriptor paths (relative, '/'-separated) in this store."""
+        raise NotImplementedError
+
+    def fetch(self, path: str) -> str:
+        """Return the text of one descriptor; raise ResolutionError if absent."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.url
+
+
+class MemoryStore(DescriptorStore):
+    """An in-memory store, useful for tests and generated descriptors."""
+
+    def __init__(self, files: dict[str, str] | None = None, *, url: str = "mem:") -> None:
+        self.url = url
+        self._files: dict[str, str] = dict(files or {})
+
+    def put(self, path: str, text: str) -> None:
+        self._files[path] = text
+
+    def list_paths(self) -> list[str]:
+        return sorted(self._files)
+
+    def fetch(self, path: str) -> str:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise ResolutionError(
+                f"descriptor {path!r} not found in {self.url}"
+            ) from None
+
+
+class LocalDirStore(DescriptorStore):
+    """Serves ``*.xpdl`` files under a directory (the model search path)."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        self.url = f"file:{self.root}/"
+
+    def list_paths(self) -> list[str]:
+        out: list[str] = []
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for fn in filenames:
+                if fn.endswith(XPDL_SUFFIX):
+                    full = os.path.join(dirpath, fn)
+                    out.append(os.path.relpath(full, self.root).replace(os.sep, "/"))
+        return sorted(out)
+
+    def fetch(self, path: str) -> str:
+        full = os.path.join(self.root, path.replace("/", os.sep))
+        if not os.path.isfile(full):
+            raise ResolutionError(f"descriptor {path!r} not found in {self.url}")
+        with open(full, "r", encoding="utf-8") as fh:
+            return fh.read()
+
+
+@dataclass
+class FetchLog:
+    """Accounting of simulated remote transfers."""
+
+    fetches: int = 0
+    bytes: int = 0
+    failures: int = 0
+    simulated_latency_s: float = 0.0
+    history: list[str] = field(default_factory=list)
+
+
+class RemoteSimStore(DescriptorStore):
+    """Simulated manufacturer web repository.
+
+    Wraps a backing store and models per-request latency plus deterministic
+    injected failures: request ``k`` fails when ``k % fail_every == 0``
+    (``fail_every=0`` disables failures).  Latency is *accounted*, never
+    slept, so tests stay fast while scaling benches can report realistic
+    download cost.
+    """
+
+    def __init__(
+        self,
+        backing: DescriptorStore,
+        *,
+        host: str = "models.example.com",
+        latency_s: float = 0.05,
+        bandwidth_bps: float = 1e6,
+        fail_every: int = 0,
+    ) -> None:
+        self.backing = backing
+        self.host = host
+        self.url = f"https://{host}/"
+        self.latency_s = latency_s
+        self.bandwidth_bps = bandwidth_bps
+        self.fail_every = fail_every
+        self.log = FetchLog()
+
+    def list_paths(self) -> list[str]:
+        return self.backing.list_paths()
+
+    def fetch(self, path: str) -> str:
+        self.log.fetches += 1
+        self.log.history.append(path)
+        if self.fail_every and self.log.fetches % self.fail_every == 0:
+            self.log.failures += 1
+            raise ResolutionError(
+                f"simulated transient failure fetching {self.url}{path}"
+            )
+        text = self.backing.fetch(path)
+        nbytes = len(text.encode("utf-8"))
+        self.log.bytes += nbytes
+        self.log.simulated_latency_s += self.latency_s + nbytes / self.bandwidth_bps
+        return text
+
+
+class RetryingStore(DescriptorStore):
+    """Retries transient fetch failures from an unreliable backing store.
+
+    Descriptor downloads from remote repositories can fail transiently; a
+    bounded retry keeps toolchain runs deterministic-ish without hiding
+    persistent problems (the last error propagates after ``attempts``).
+    """
+
+    def __init__(self, backing: DescriptorStore, *, attempts: int = 3) -> None:
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        self.backing = backing
+        self.attempts = attempts
+        self.url = f"retry({backing.url})"
+        self.retries = 0
+
+    def list_paths(self) -> list[str]:
+        return self.backing.list_paths()
+
+    def fetch(self, path: str) -> str:
+        last: ResolutionError | None = None
+        for attempt in range(self.attempts):
+            try:
+                return self.backing.fetch(path)
+            except ResolutionError as exc:
+                last = exc
+                if attempt + 1 < self.attempts:
+                    self.retries += 1
+        assert last is not None
+        raise last
+
+
+class CachingStore(DescriptorStore):
+    """Memoizes fetches from a slower (e.g. remote) store."""
+
+    def __init__(self, backing: DescriptorStore) -> None:
+        self.backing = backing
+        self.url = f"cache({backing.url})"
+        self._cache: dict[str, str] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def list_paths(self) -> list[str]:
+        return self.backing.list_paths()
+
+    def fetch(self, path: str) -> str:
+        if path in self._cache:
+            self.hits += 1
+            return self._cache[path]
+        self.misses += 1
+        text = self.backing.fetch(path)
+        self._cache[path] = text
+        return text
+
+
+def store_from_paths(paths: Iterable[str]) -> list[DescriptorStore]:
+    """Build LocalDirStores for each existing directory on a search path."""
+    return [LocalDirStore(p) for p in paths if os.path.isdir(p)]

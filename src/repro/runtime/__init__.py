@@ -1,0 +1,18 @@
+"""Runtime query API over the light-weight model IR (paper Sec. IV)."""
+
+from .query import (
+    ModelHandle,
+    QueryContext,
+    xpdl_init,
+    xpdl_init_from_model,
+)
+from .paths import query_all, query_first
+
+__all__ = [
+    "ModelHandle",
+    "QueryContext",
+    "xpdl_init",
+    "xpdl_init_from_model",
+    "query_all",
+    "query_first",
+]

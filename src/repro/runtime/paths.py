@@ -1,0 +1,97 @@
+"""A small path query mini-language over runtime handles.
+
+Complements the browsing functions with string queries like::
+
+    node[0]/cpu
+    //device[@type='Nvidia_K20c']
+    //cache[@name='L3']
+
+Reuses the grammar of :mod:`repro.xpdlxml.path` (same syntax in descriptors
+and at runtime), evaluated over IR handles.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..diagnostics import QueryError
+from .query import ModelHandle, QueryContext
+
+_SEGMENT_RE = re.compile(
+    r"""^(?P<axis>//)?(?P<tag>\*|[A-Za-z_:][\w:.\-]*)
+        (?P<preds>(\[[^\]]*\])*)$""",
+    re.VERBOSE,
+)
+_PRED_RE = re.compile(
+    r"""\[(?:
+          (?P<index>\d+)
+        | @(?P<attr>[\w:.\-]+)\s*(?:=\s*'(?P<value>[^']*)')?
+        )\]""",
+    re.VERBOSE,
+)
+
+
+def _split(path: str) -> list[str]:
+    segments: list[str] = []
+    i, n = 0, len(path)
+    while i < n:
+        if path.startswith("//", i):
+            k = i + 2
+            while k < n and path[k] != "/":
+                k += 1
+            segments.append(path[i:k])
+            i = k
+        elif path[i] == "/":
+            i += 1
+        else:
+            k = i
+            while k < n and path[k] != "/":
+                k += 1
+            segments.append(path[i:k])
+            i = k
+    return segments
+
+
+def _apply(handles: list[ModelHandle], segment: str) -> list[ModelHandle]:
+    m = _SEGMENT_RE.match(segment)
+    if m is None:
+        raise QueryError(f"malformed query segment {segment!r}")
+    tag = m.group("tag")
+    descend = m.group("axis") == "//"
+    matched: list[ModelHandle] = []
+    seen: set[int] = set()
+    for h in handles:
+        candidates = h.descendants() if descend else h.children()
+        for c in candidates:
+            if tag != "*" and c.kind != tag:
+                continue
+            if c.index not in seen:
+                seen.add(c.index)
+                matched.append(c)
+    for pm in _PRED_RE.finditer(m.group("preds") or ""):
+        if pm.group("index") is not None:
+            idx = int(pm.group("index"))
+            matched = [matched[idx]] if idx < len(matched) else []
+        else:
+            attr = pm.group("attr")
+            value = pm.group("value")
+            if value is None:
+                matched = [h for h in matched if h.attr(attr) is not None]
+            else:
+                matched = [h for h in matched if h.attr(attr) == value]
+    return matched
+
+
+def query_all(ctx: QueryContext, path: str) -> list[ModelHandle]:
+    """Evaluate a path query from the model root."""
+    handles = [ctx.root]
+    for segment in _split(path):
+        handles = _apply(handles, segment)
+        if not handles:
+            return []
+    return handles
+
+
+def query_first(ctx: QueryContext, path: str) -> ModelHandle | None:
+    matches = query_all(ctx, path)
+    return matches[0] if matches else None

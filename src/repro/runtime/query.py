@@ -1,0 +1,253 @@
+"""The XPDL runtime query API (paper Sec. IV).
+
+The Python twin of the generated C++ API, exposing the paper's four
+function categories over the light-weight runtime IR file:
+
+1. **Initialization** — :func:`xpdl_init` loads the runtime data structure
+   file produced by the toolchain and returns a :class:`QueryContext`.
+2. **Model-tree browsing** — lookups of inner elements returning a handle,
+   a list of handles, or ``None`` (the paper's NULL).
+3. **Attribute getters** — generated-getter-style typed accessors
+   (``get_<attr>()`` via ``__getattr__``, plus explicit helpers).
+4. **Model analysis functions** — derived attributes such as core counts,
+   CUDA device counts and subtree static power.
+
+Handles are thin wrappers over IR nodes; everything is read-only, matching
+the introspection use of conditional composition [3].
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..analysis import NON_PHYSICAL_KINDS
+from ..diagnostics import QueryError
+from ..ir import IRModel, IRNode
+from ..units import (
+    DEFAULT_REGISTRY,
+    Dimension,
+    POWER,
+    Quantity,
+    read_metric,
+)
+
+
+class ModelHandle:
+    """A read-only handle to one model element at runtime.
+
+    Attribute getters are generated on the fly: ``h.get_id()``,
+    ``h.get_frequency()`` etc. mirror the C++ API's generated getters;
+    ``h.get_quantity("static_power")`` gives the unit-aware view.
+    """
+
+    __slots__ = ("_ctx", "_node")
+
+    def __init__(self, ctx: "QueryContext", node: IRNode) -> None:
+        self._ctx = ctx
+        self._node = node
+
+    # -- identity ------------------------------------------------------------
+    @property
+    def kind(self) -> str:
+        return self._node.kind
+
+    @property
+    def index(self) -> int:
+        return self._node.index
+
+    def label(self) -> str:
+        return self._node.label()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ModelHandle)
+            and other._ctx is self._ctx
+            and other._node.index == self._node.index
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self._ctx), self._node.index))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ModelHandle<{self.kind} {self.label()}>"
+
+    # -- category 2: browsing ---------------------------------------------------
+    def parent(self) -> "ModelHandle | None":
+        p = self._ctx.ir.parent_of(self._node)
+        return ModelHandle(self._ctx, p) if p is not None else None
+
+    def children(self, kind: str | None = None) -> list["ModelHandle"]:
+        out = [
+            ModelHandle(self._ctx, c)
+            for c in self._ctx.ir.children_of(self._node)
+        ]
+        if kind is not None:
+            out = [h for h in out if h.kind == kind]
+        return out
+
+    def first(self, kind: str) -> "ModelHandle | None":
+        for c in self._ctx.ir.children_of(self._node):
+            if c.kind == kind:
+                return ModelHandle(self._ctx, c)
+        return None
+
+    def descendants(self, kind: str | None = None) -> list["ModelHandle"]:
+        out = []
+        for n in self._ctx.ir.walk(self._node):
+            if n is not self._node and (kind is None or n.kind == kind):
+                out.append(ModelHandle(self._ctx, n))
+        return out
+
+    def walk(self) -> Iterator["ModelHandle"]:
+        for n in self._ctx.ir.walk(self._node):
+            yield ModelHandle(self._ctx, n)
+
+    # -- category 3: attribute getters ----------------------------------------------
+    def attr(self, name: str, default: str | None = None) -> str | None:
+        return self._node.attrs.get(name, default)
+
+    def attrs(self) -> dict[str, str]:
+        return dict(self._node.attrs)
+
+    def get_quantity(
+        self, metric: str, dimension: Dimension | None = None
+    ) -> Quantity | None:
+        return read_metric(
+            self._node.attrs,
+            metric,
+            registry=DEFAULT_REGISTRY,
+            expect=dimension,
+        )
+
+    def get_int(self, name: str) -> int | None:
+        raw = self._node.attrs.get(name)
+        return int(raw) if raw is not None else None
+
+    def __getattr__(self, name: str):
+        # Generated-getter emulation: get_<attr>() -> str | None.
+        if name.startswith("get_"):
+            attr_name = name[4:]
+
+            def getter() -> str | None:
+                return self._node.attrs.get(attr_name)
+
+            getter.__name__ = name
+            return getter
+        raise AttributeError(name)
+
+
+class QueryContext:
+    """Category 1: the initialized runtime query environment."""
+
+    def __init__(self, ir: IRModel) -> None:
+        self.ir = ir
+
+    # -- entry points --------------------------------------------------------
+    @property
+    def root(self) -> ModelHandle:
+        return ModelHandle(self, self.ir.root)
+
+    def by_id(self, ident: str) -> ModelHandle | None:
+        node = self.ir.by_id(ident)
+        return ModelHandle(self, node) if node is not None else None
+
+    def find_all(self, kind: str) -> list[ModelHandle]:
+        return [
+            ModelHandle(self, n) for n in self.ir.walk() if n.kind == kind
+        ]
+
+    def meta(self, key: str, default: str | None = None) -> str | None:
+        return self.ir.meta.get(key, default)
+
+    # -- category 4: model analysis functions --------------------------------------
+    def _physical_walk(self, start: IRNode) -> Iterator[IRNode]:
+        if start.kind in NON_PHYSICAL_KINDS:
+            return
+        yield start
+        for c in self.ir.children_of(start):
+            yield from self._physical_walk(c)
+
+    def count_kind(self, kind: str, *, under: ModelHandle | None = None) -> int:
+        start = under._node if under is not None else self.ir.root
+        return sum(1 for n in self._physical_walk(start) if n.kind == kind)
+
+    def count_cores(self, *, under: ModelHandle | None = None) -> int:
+        """Number of processing cores in the (sub)tree."""
+        return self.count_kind("core", under=under)
+
+    def count_cuda_devices(self, *, under: ModelHandle | None = None) -> int:
+        """Number of devices programmable with CUDA in the (sub)tree."""
+        start = under._node if under is not None else self.ir.root
+        n = 0
+        for node in self._physical_walk(start):
+            if node.kind not in ("device", "gpu"):
+                continue
+            for c in self.ir.children_of(node):
+                if c.kind == "programming_model" and "cuda" in (
+                    c.attrs.get("type", "").lower()
+                ):
+                    n += 1
+                    break
+        return n
+
+    def total_static_power(self, *, under: ModelHandle | None = None) -> Quantity:
+        """Aggregate static power over the physical (sub)tree."""
+        start = under._node if under is not None else self.ir.root
+        total = Quantity(0.0, POWER)
+        for node in self._physical_walk(start):
+            q = read_metric(node.attrs, "static_power", expect=POWER)
+            if q is not None:
+                total = total + q
+        return total
+
+    def installed_software(self) -> list[ModelHandle]:
+        """All installed software entries of the platform."""
+        return self.find_all("installed")
+
+    def has_installed(self, requirement: str) -> bool:
+        """Whether any installed package matches a name/provides requirement.
+
+        Matches case-insensitively against the package name/type/id and the
+        comma-separated ``provides`` capability list — the lookup that
+        guides variant selectability in conditional composition [3].
+        """
+        want = requirement.strip().lower()
+        for pkg in self.installed_software():
+            haystack = {
+                (pkg.attr("name") or "").lower(),
+                (pkg.attr("type") or "").lower(),
+                (pkg.attr("id") or "").lower(),
+            }
+            provides = (pkg.attr("provides") or "").lower()
+            haystack.update(p.strip() for p in provides.split(","))
+            if want in haystack:
+                return True
+        return False
+
+    def properties(self) -> dict[str, str]:
+        """Flattened free-form key-value properties of the platform."""
+        out: dict[str, str] = {}
+        for prop in self.find_all("property"):
+            name = prop.attr("name")
+            if name and name not in out:
+                out[name] = prop.attr("value") or prop.attr("type") or ""
+        return out
+
+
+def xpdl_init(filename: str) -> QueryContext:
+    """Initialize the runtime query environment from a runtime model file.
+
+    The Python spelling of the paper's ``int xpdl_init(char *filename)``;
+    raises :class:`QueryError` on unreadable or malformed files instead of
+    returning an error code.
+    """
+    try:
+        ir = IRModel.load(filename)
+    except FileNotFoundError:
+        raise QueryError(f"runtime model file not found: {filename}") from None
+    return QueryContext(ir)
+
+
+def xpdl_init_from_model(ir: IRModel) -> QueryContext:
+    """Initialize directly from an in-memory IR (tool pipelines, tests)."""
+    return QueryContext(ir)

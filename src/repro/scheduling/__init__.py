@@ -1,0 +1,28 @@
+"""Energy-aware task scheduling on composed XPDL platforms — the EXCESS
+optimization layer the paper's models parameterize."""
+
+from .taskgraph import (
+    Dependency,
+    Task,
+    TaskGraph,
+    chain,
+    fork_join,
+    random_dag,
+)
+from .scheduler import (
+    EnergyAwareScheduler,
+    Placement,
+    Schedule,
+)
+
+__all__ = [
+    "Dependency",
+    "Task",
+    "TaskGraph",
+    "chain",
+    "fork_join",
+    "random_dag",
+    "EnergyAwareScheduler",
+    "Placement",
+    "Schedule",
+]

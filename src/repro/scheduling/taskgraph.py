@@ -1,0 +1,169 @@
+"""Task graphs for energy-aware scheduling.
+
+XPDL exists to parameterize "a generic framework for system-wide energy
+optimization" (Sec. I).  This package is that upper layer: it consumes the
+composed platform model (machines with PSMs and instruction energies, links
+with transfer costs) and schedules task graphs onto it.
+
+A :class:`TaskGraph` is a DAG of :class:`Task`s.  Each task carries an
+instruction mix per ISA dialect (so it can run on any machine whose ISA
+provides those instructions), and each dependency edge carries the bytes
+that must move when producer and consumer run on different units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import networkx as nx
+
+from ..diagnostics import XpdlError
+
+
+@dataclass
+class Task:
+    """One schedulable unit of work.
+
+    ``mixes`` maps an ISA marker instruction set to the instruction counts
+    of this task in that dialect; a machine is *eligible* when its ISA
+    covers one of the mixes.  A task with an empty mix is a no-op barrier.
+    """
+
+    name: str
+    mixes: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Optional restriction to specific machine names.
+    allowed_machines: tuple[str, ...] = ()
+
+    def mix_for(self, isa_instructions: Iterable[str]) -> dict[str, int] | None:
+        """The first mix fully covered by the given instruction set."""
+        available = set(isa_instructions)
+        for _dialect, mix in self.mixes.items():
+            if set(mix) <= available:
+                return mix
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class Dependency:
+    """A producer -> consumer edge with its data volume."""
+
+    producer: str
+    consumer: str
+    nbytes: int = 0
+
+
+class TaskGraph:
+    """A DAG of tasks; thin wrapper over networkx with validation."""
+
+    def __init__(self) -> None:
+        self._g = nx.DiGraph()
+        self._tasks: dict[str, Task] = {}
+
+    # -- construction -------------------------------------------------------
+    def add_task(self, task: Task) -> Task:
+        if task.name in self._tasks:
+            raise XpdlError(f"duplicate task {task.name!r}")
+        self._tasks[task.name] = task
+        self._g.add_node(task.name)
+        return task
+
+    def add_dependency(
+        self, producer: str, consumer: str, *, nbytes: int = 0
+    ) -> Dependency:
+        for name in (producer, consumer):
+            if name not in self._tasks:
+                raise XpdlError(f"unknown task {name!r}")
+        dep = Dependency(producer, consumer, nbytes)
+        self._g.add_edge(producer, consumer, nbytes=nbytes)
+        if not nx.is_directed_acyclic_graph(self._g):
+            self._g.remove_edge(producer, consumer)
+            raise XpdlError(
+                f"dependency {producer} -> {consumer} creates a cycle"
+            )
+        return dep
+
+    # -- queries -----------------------------------------------------------------
+    def task(self, name: str) -> Task:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise XpdlError(f"unknown task {name!r}") from None
+
+    def tasks(self) -> list[Task]:
+        return [self._tasks[n] for n in self._g.nodes]
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def predecessors(self, name: str) -> list[tuple[Task, int]]:
+        return [
+            (self._tasks[p], self._g.edges[p, name]["nbytes"])
+            for p in self._g.predecessors(name)
+        ]
+
+    def successors(self, name: str) -> list[tuple[Task, int]]:
+        return [
+            (self._tasks[s], self._g.edges[name, s]["nbytes"])
+            for s in self._g.successors(name)
+        ]
+
+    def topological_order(self) -> list[Task]:
+        return [self._tasks[n] for n in nx.topological_sort(self._g)]
+
+    def graph(self) -> "nx.DiGraph":
+        return self._g.copy()
+
+
+# ---------------------------------------------------------------------------
+# Generators for benches/examples
+# ---------------------------------------------------------------------------
+
+
+def chain(n: int, *, mix: dict[str, int], isa: str, nbytes: int = 0) -> TaskGraph:
+    """A linear pipeline of ``n`` identical tasks."""
+    tg = TaskGraph()
+    for i in range(n):
+        tg.add_task(Task(f"t{i}", {isa: dict(mix)}))
+    for i in range(n - 1):
+        tg.add_dependency(f"t{i}", f"t{i + 1}", nbytes=nbytes)
+    return tg
+
+
+def fork_join(
+    width: int, *, mix: dict[str, int], isa: str, nbytes: int = 0
+) -> TaskGraph:
+    """source -> width parallel workers -> sink."""
+    tg = TaskGraph()
+    tg.add_task(Task("source", {isa: {k: max(1, v // 10) for k, v in mix.items()}}))
+    tg.add_task(Task("sink", {isa: {k: max(1, v // 10) for k, v in mix.items()}}))
+    for i in range(width):
+        tg.add_task(Task(f"w{i}", {isa: dict(mix)}))
+        tg.add_dependency("source", f"w{i}", nbytes=nbytes)
+        tg.add_dependency(f"w{i}", "sink", nbytes=nbytes)
+    return tg
+
+
+def random_dag(
+    n: int,
+    *,
+    mix: dict[str, int],
+    isa: str,
+    edge_prob: float = 0.25,
+    nbytes: int = 0,
+    seed: int = 0,
+) -> TaskGraph:
+    """A layered random DAG (edges only point to later tasks)."""
+    import random
+
+    rng = random.Random(seed)
+    tg = TaskGraph()
+    for i in range(n):
+        scale = 0.5 + rng.random()
+        scaled = {k: max(1, int(v * scale)) for k, v in mix.items()}
+        tg.add_task(Task(f"t{i}", {isa: scaled}))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < edge_prob:
+                tg.add_dependency(f"t{i}", f"t{j}", nbytes=nbytes)
+    return tg

@@ -1,0 +1,20 @@
+"""The XPDL core schema (the paper's ``xpdl.xsd``), loader and validator."""
+
+from .decl import AttrKind, AttributeDecl, ChildSpec, ElementDecl, Schema
+from .core import CORE_SCHEMA, build_core_schema
+from .io import schema_from_xml, schema_to_xml
+from .validate import SchemaValidator, validate_model
+
+__all__ = [
+    "AttrKind",
+    "AttributeDecl",
+    "ChildSpec",
+    "ElementDecl",
+    "Schema",
+    "CORE_SCHEMA",
+    "build_core_schema",
+    "schema_from_xml",
+    "schema_to_xml",
+    "SchemaValidator",
+    "validate_model",
+]

@@ -1,0 +1,503 @@
+"""The built-in XPDL core metamodel (the paper's ``xpdl.xsd``).
+
+The schema is defined programmatically here and can be serialized to /
+reloaded from XML (see :mod:`repro.schema.io`), mirroring the paper's plan to
+publish the shared schema for download so the generated query API stays
+consistent across XPDL versions.
+"""
+
+from __future__ import annotations
+
+from ..units import (
+    BANDWIDTH,
+    ENERGY,
+    FREQUENCY,
+    INFORMATION,
+    POWER,
+    TEMPERATURE,
+    TIME,
+)
+from .decl import AttrKind, AttributeDecl, ElementDecl, Schema
+
+
+def _a(name: str, kind: AttrKind, **kw) -> AttributeDecl:
+    return AttributeDecl(name, kind, **kw)
+
+
+def build_core_schema() -> Schema:
+    """Construct the XPDL 1.0 core schema."""
+    s = Schema("xpdl-core", "1.0")
+
+    # -- abstract bases -----------------------------------------------------
+    s.element(
+        "xpdl:modelElement",
+        doc="Abstract base: identity and typing attributes shared by all "
+        "model elements (name for meta-models, id for instances).",
+    ).attr(_a("name", AttrKind.NAME, doc="Meta-model identifier (unique in repository).")) \
+     .attr(_a("id", AttrKind.NAME, doc="Concrete-instance identifier.")) \
+     .attr(_a("type", AttrKind.REF, doc="Reference to a meta-model.")) \
+     .attr(_a("extends", AttrKind.LIST, doc="Supertype name(s) for inheritance."))
+
+    hw = s.element(
+        "xpdl:hardwareComponent",
+        bases=("xpdl:modelElement",),
+        doc="Abstract base for physical blocks that can draw power.",
+    )
+    hw.attr(
+        _a(
+            "static_power",
+            AttrKind.QUANTITY,
+            dimension=POWER,
+            doc="Idle/static power of the block; '?' to microbenchmark.",
+        )
+    )
+    # Thermal extension: temperature metrics attributed to coarse-grain
+    # hardware blocks (Sec. II-A motivation).
+    hw.attr(
+        _a(
+            "thermal_resistance",
+            AttrKind.QUANTITY,
+            dimension=TEMPERATURE / POWER,
+            doc="Junction-to-ambient thermal resistance (K/W).",
+        )
+    )
+    hw.attr(
+        _a(
+            "thermal_capacitance",
+            AttrKind.QUANTITY,
+            doc="Lumped heat capacity (J/K).",
+        )
+    )
+    hw.attr(
+        _a(
+            "max_temperature",
+            AttrKind.QUANTITY,
+            dimension=TEMPERATURE,
+            doc="Throttling limit.",
+        )
+    )
+
+    # -- structural containers ------------------------------------------------
+    sys_decl = s.element(
+        "system",
+        bases=("xpdl:hardwareComponent",),
+        doc="A complete computer system (single-node or multi-node).",
+    )
+    for tag, mn, mx in [
+        ("cluster", 0, 1),
+        ("node", 0, None),
+        ("socket", 0, None),
+        ("group", 0, None),
+        ("cpu", 0, None),
+        ("device", 0, None),
+        ("gpu", 0, None),
+        ("memory", 0, None),
+        ("interconnects", 0, 1),
+        ("software", 0, 1),
+        ("properties", 0, 1),
+        ("power_model", 0, 1),
+    ]:
+        sys_decl.child(tag, mn, mx)
+
+    cluster = s.element(
+        "cluster",
+        bases=("xpdl:hardwareComponent",),
+        doc="Multi-node structure: node groups plus inter-node interconnects.",
+    )
+    for tag in ("group", "node", "interconnects", "properties"):
+        cluster.child(tag)
+
+    node = s.element(
+        "node",
+        bases=("xpdl:hardwareComponent",),
+        doc="One cluster node with its own OS image.",
+    )
+    for tag in (
+        "group",
+        "socket",
+        "cpu",
+        "memory",
+        "device",
+        "gpu",
+        "interconnects",
+        "software",
+        "properties",
+        "power_model",
+    ):
+        node.child(tag)
+
+    s.element(
+        "socket",
+        bases=("xpdl:hardwareComponent",),
+        doc="A CPU socket.",
+    ).child("cpu", 0, None).child("properties", 0, 1)
+
+    group = s.element(
+        "group",
+        bases=("xpdl:modelElement",),
+        open_content=True,
+        doc="Grouping construct; with quantity it is implicitly homogeneous "
+        "and prefix+quantity auto-assign member ids prefix0..prefixN-1.",
+    )
+    group.attr(_a("prefix", AttrKind.STRING, doc="Member id prefix."))
+    group.attr(
+        _a(
+            "quantity",
+            AttrKind.EXPR,
+            doc="Member count: integer literal or param reference.",
+        )
+    )
+
+    # -- processing ---------------------------------------------------------------
+    cpu = s.element(
+        "cpu",
+        bases=("xpdl:hardwareComponent",),
+        doc="A CPU package.",
+    )
+    cpu.attr(_a("frequency", AttrKind.QUANTITY, dimension=FREQUENCY))
+    cpu.attr(
+        _a(
+            "role",
+            AttrKind.ENUM,
+            values=("master", "worker", "hybrid"),
+            doc="Optional control role (kept secondary per Sec. II-A discussion).",
+        )
+    )
+    cpu.attr(_a("endian", AttrKind.ENUM, values=("BE", "LE")))
+    cpu.attr(
+        _a(
+            "issue_width",
+            AttrKind.FLOAT,
+            doc="Superscalar width: instructions retired per cycle at CPI 1.",
+        )
+    )
+    cpu.attr(
+        _a(
+            "energy_per_op_scale",
+            AttrKind.FLOAT,
+            doc="Relative per-instruction energy of this microarchitecture "
+            "(big.LITTLE clusters share an ISA but not its energy).",
+        )
+    )
+    for tag in (
+        "core",
+        "group",
+        "cache",
+        "memory",
+        "power_model",
+        "instructions",
+        "properties",
+        "const",
+        "param",
+        "constraints",
+    ):
+        cpu.child(tag)
+
+    core = s.element(
+        "core",
+        bases=("xpdl:hardwareComponent",),
+        doc="A single processing core.",
+    )
+    core.attr(_a("frequency", AttrKind.QUANTITY, dimension=FREQUENCY))
+    core.attr(_a("endian", AttrKind.ENUM, values=("BE", "LE")))
+    for tag in ("cache", "memory", "properties"):
+        core.child(tag)
+
+    gpu = s.element(
+        "gpu",
+        bases=("xpdl:hardwareComponent",),
+        open_content=True,
+        doc="A GPU modeled as its own block.",
+    )
+    gpu.attr(_a("frequency", AttrKind.QUANTITY, dimension=FREQUENCY))
+
+    device = s.element(
+        "device",
+        bases=("xpdl:hardwareComponent",),
+        doc="An accelerator device/board.",
+    )
+    device.attr(
+        _a("role", AttrKind.ENUM, values=("master", "worker", "hybrid"))
+    )
+    device.attr(_a("compute_capability", AttrKind.STRING))
+    for tag in (
+        "socket",
+        "cpu",
+        "group",
+        "cache",
+        "memory",
+        "const",
+        "param",
+        "constraints",
+        "power_model",
+        "programming_model",
+        "properties",
+        "instructions",
+    ):
+        device.child(tag)
+
+    # -- memory hierarchy ------------------------------------------------------------
+    cache = s.element(
+        "cache",
+        bases=("xpdl:hardwareComponent",),
+        doc="A cache level; sharing implied by scope.",
+    )
+    cache.attr(_a("size", AttrKind.QUANTITY, dimension=INFORMATION, required=True))
+    cache.attr(_a("sets", AttrKind.INT))
+    cache.attr(_a("line_size", AttrKind.QUANTITY, dimension=INFORMATION))
+    cache.attr(
+        _a("replacement", AttrKind.ENUM, values=("LRU", "FIFO", "random", "PLRU"))
+    )
+    cache.attr(
+        _a(
+            "write_policy",
+            AttrKind.ENUM,
+            values=("copyback", "writethrough"),
+        )
+    )
+    cache.attr(
+        _a(
+            "hit_energy",
+            AttrKind.QUANTITY,
+            dimension=ENERGY,
+            doc="Per-access energy on a hit; '?' to microbenchmark.",
+        )
+    )
+    cache.attr(
+        _a(
+            "miss_energy",
+            AttrKind.QUANTITY,
+            dimension=ENERGY,
+            doc="Per-access energy on a miss (incl. fill traffic).",
+        )
+    )
+
+    memory = s.element(
+        "memory",
+        bases=("xpdl:hardwareComponent",),
+        doc="A memory module (DRAM, scratchpad, device memory).",
+    )
+    memory.attr(_a("size", AttrKind.QUANTITY, dimension=INFORMATION))
+    memory.attr(_a("slices", AttrKind.INT))
+    memory.attr(_a("endian", AttrKind.ENUM, values=("BE", "LE")))
+    memory.attr(_a("latency", AttrKind.QUANTITY, dimension=TIME))
+    memory.attr(_a("bandwidth", AttrKind.QUANTITY, dimension=BANDWIDTH))
+    memory.child("properties", 0, 1)
+
+    # -- interconnects ------------------------------------------------------------------
+    s.element(
+        "interconnects",
+        doc="Container listing interconnect link instances.",
+    ).child("interconnect", 0, None)
+
+    ic = s.element(
+        "interconnect",
+        bases=("xpdl:hardwareComponent",),
+        doc="Interconnect technology (meta) or directed link instance.",
+    )
+    ic.attr(_a("head", AttrKind.REF, doc="Source endpoint id (instances)."))
+    ic.attr(_a("tail", AttrKind.REF, doc="Destination endpoint id (instances)."))
+    ic.attr(_a("max_bandwidth", AttrKind.QUANTITY, dimension=BANDWIDTH))
+    ic.attr(
+        _a(
+            "effective_bandwidth",
+            AttrKind.QUANTITY,
+            dimension=BANDWIDTH,
+            doc="Derived by static analysis (bandwidth downgrading).",
+        )
+    )
+    ic.child("channel", 0, None)
+    ic.child("properties", 0, 1)
+
+    ch = s.element(
+        "channel",
+        bases=("xpdl:modelElement",),
+        doc="A directed channel, e.g. PCIe up_link/down_link.",
+    )
+    ch.attr(_a("max_bandwidth", AttrKind.QUANTITY, dimension=BANDWIDTH))
+    ch.attr(_a("time_offset_per_message", AttrKind.QUANTITY, dimension=TIME))
+    ch.attr(_a("energy_per_byte", AttrKind.QUANTITY, dimension=ENERGY))
+    ch.attr(_a("energy_offset_per_message", AttrKind.QUANTITY, dimension=ENERGY))
+
+    # -- const/param/constraint ---------------------------------------------------------
+    const = s.element(
+        "const",
+        bases=("xpdl:modelElement",),
+        doc="A named constant of a meta-model.",
+    )
+    const.attr(_a("size", AttrKind.QUANTITY, dimension=INFORMATION))
+    const.attr(_a("value", AttrKind.STRING))
+
+    param = s.element(
+        "param",
+        bases=("xpdl:modelElement",),
+        doc="A formal parameter; configurable params are platform knobs.",
+    )
+    param.attr(_a("configurable", AttrKind.BOOL, default="false"))
+    param.attr(_a("range", AttrKind.LIST, doc="Allowed values."))
+    param.attr(_a("value", AttrKind.STRING))
+    param.attr(_a("size", AttrKind.QUANTITY, dimension=INFORMATION))
+    param.attr(_a("frequency", AttrKind.QUANTITY, dimension=FREQUENCY))
+
+    s.element("constraints", doc="Constraint list.").child(
+        "constraint", 0, None
+    )
+    s.element(
+        "constraint",
+        doc="Boolean expression over params/consts.",
+    ).attr(_a("expr", AttrKind.EXPR, required=True))
+
+    # -- power modeling --------------------------------------------------------------------
+    pm = s.element(
+        "power_model",
+        bases=("xpdl:modelElement",),
+        doc="Ties a processor to its power domains, PSMs and microbenchmarks.",
+    )
+    for tag in (
+        "power_domains",
+        "power_state_machine",
+        "instructions",
+        "microbenchmarks",
+    ):
+        pm.child(tag)
+
+    s.element(
+        "power_domains",
+        bases=("xpdl:modelElement",),
+        doc="The power islands of a component.",
+    ).child("power_domain", 0, None).child("group", 0, None)
+
+    pd = s.element(
+        "power_domain",
+        bases=("xpdl:modelElement",),
+        open_content=True,
+        doc="A power island switched as a unit.",
+    )
+    pd.attr(_a("enableSwitchOff", AttrKind.BOOL, default="true"))
+    pd.attr(
+        _a(
+            "switchoffCondition",
+            AttrKind.EXPR,
+            doc="e.g. \"Shave_pds off\": prerequisite for switching off.",
+        )
+    )
+
+    psm = s.element(
+        "power_state_machine",
+        bases=("xpdl:modelElement",),
+        doc="FSM of DVFS/shutdown levels for a power domain.",
+    )
+    psm.attr(_a("power_domain", AttrKind.REF, ref_kinds=("power_domain",)))
+    psm.child("power_states", 0, 1).child("transitions", 0, 1)
+
+    s.element("power_states").child("power_state", 1, None)
+    ps = s.element(
+        "power_state",
+        bases=("xpdl:modelElement",),
+        doc="One P/C state with its frequency and power level.",
+    )
+    ps.attr(_a("frequency", AttrKind.QUANTITY, dimension=FREQUENCY))
+    ps.attr(_a("power", AttrKind.QUANTITY, dimension=POWER))
+
+    s.element("transitions").child("transition", 0, None)
+    tr = s.element(
+        "transition",
+        doc="A directed power-state switch with overhead costs.",
+    )
+    tr.attr(_a("head", AttrKind.REF, required=True, ref_kinds=("power_state",)))
+    tr.attr(_a("tail", AttrKind.REF, required=True, ref_kinds=("power_state",)))
+    tr.attr(_a("time", AttrKind.QUANTITY, dimension=TIME))
+    tr.attr(_a("energy", AttrKind.QUANTITY, dimension=ENERGY))
+
+    instrs = s.element(
+        "instructions",
+        bases=("xpdl:modelElement",),
+        doc="Instruction set with per-instruction dynamic energy.",
+    )
+    instrs.attr(_a("mb", AttrKind.REF, ref_kinds=("microbenchmarks",)))
+    instrs.child("inst", 0, None)
+
+    inst = s.element(
+        "inst",
+        bases=("xpdl:modelElement",),
+        doc="One instruction; in-line energy, data table or '?'.",
+    )
+    inst.attr(_a("energy", AttrKind.QUANTITY, dimension=ENERGY))
+    inst.attr(_a("mb", AttrKind.REF, ref_kinds=("microbenchmark",)))
+    inst.child("data", 0, None)
+
+    data = s.element("data", doc="(frequency, energy) sample row.")
+    data.attr(_a("frequency", AttrKind.QUANTITY, dimension=FREQUENCY))
+    data.attr(_a("energy", AttrKind.QUANTITY, dimension=ENERGY))
+
+    mbs = s.element(
+        "microbenchmarks",
+        bases=("xpdl:modelElement",),
+        doc="Microbenchmark suite with sources and build/run script.",
+    )
+    mbs.attr(_a("instruction_set", AttrKind.REF, ref_kinds=("instructions",)))
+    mbs.attr(_a("path", AttrKind.STRING))
+    mbs.attr(_a("command", AttrKind.STRING))
+    mbs.child("microbenchmark", 0, None)
+
+    mb = s.element(
+        "microbenchmark",
+        bases=("xpdl:modelElement",),
+        doc="One microbenchmark measuring one instruction type.",
+    )
+    mb.attr(_a("file", AttrKind.STRING))
+    mb.attr(_a("cflags", AttrKind.STRING))
+    mb.attr(_a("lflags", AttrKind.STRING))
+
+    # -- software ---------------------------------------------------------------------------
+    sw = s.element("software", doc="Installed system software.")
+    for tag in ("hostOS", "installed", "properties"):
+        sw.child(tag)
+
+    s.element(
+        "hostOS",
+        bases=("xpdl:modelElement",),
+        open_attributes=True,
+        doc="The host operating system.",
+    )
+    inst_sw = s.element(
+        "installed",
+        bases=("xpdl:modelElement",),
+        doc="An installed package referencing its descriptor.",
+    )
+    inst_sw.attr(_a("path", AttrKind.STRING))
+    inst_sw.attr(_a("version", AttrKind.STRING))
+    inst_sw.attr(_a("vendor", AttrKind.STRING))
+    inst_sw.attr(
+        _a(
+            "provides",
+            AttrKind.LIST,
+            doc="Capabilities for selectability constraints (e.g. sparse_blas).",
+        )
+    )
+
+    s.element(
+        "programming_model",
+        bases=("xpdl:modelElement",),
+        doc="Programming models supported (comma-separated in type).",
+    )
+
+    # -- properties escape -------------------------------------------------------------------
+    s.element(
+        "properties",
+        open_content=True,
+        doc="Free-form key-value escape mechanism (Sec. III-A).",
+    ).child("property", 0, None)
+    s.element(
+        "property",
+        open_attributes=True,
+        doc="One key-value property; keys and values are strings.",
+    ).attr(_a("name", AttrKind.NAME, required=True)).attr(
+        _a("value", AttrKind.STRING)
+    )
+
+    return s
+
+
+#: The shared core schema instance.
+CORE_SCHEMA = build_core_schema()

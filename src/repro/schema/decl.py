@@ -1,0 +1,166 @@
+"""Schema object model: declarations of element types and their attributes.
+
+This is the in-memory form of the paper's central ``xpdl.xsd`` core
+metamodel (Sec. IV): element declarations with typed attributes and content
+models.  The runtime query API's classes (C++ and Python) are *generated
+from* these declarations, so they carry everything codegen needs: types,
+documentation, required-ness, and inheritance between declarations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..units import Dimension
+
+
+class AttrKind(enum.Enum):
+    """Value space of an attribute."""
+
+    STRING = "string"
+    INT = "integer"
+    FLOAT = "float"
+    BOOL = "boolean"
+    QUANTITY = "quantity"  # numeric + paired unit attribute
+    ENUM = "enum"
+    REF = "ref"  # reference to another model element by name/id
+    EXPR = "expr"  # expression over params/consts
+    NAME = "name"  # identifier-defining attribute
+    LIST = "list"  # comma-separated strings
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeDecl:
+    """Declaration of one attribute of an element type."""
+
+    name: str
+    kind: AttrKind
+    required: bool = False
+    #: For QUANTITY attributes: the expected physical dimension.
+    dimension: Dimension | None = None
+    #: For ENUM attributes: the allowed spellings.
+    values: tuple[str, ...] = ()
+    #: For REF attributes: element kinds the reference may resolve to
+    #: (empty means any).
+    ref_kinds: tuple[str, ...] = ()
+    default: str | None = None
+    doc: str = ""
+
+    def unit_attr(self) -> str | None:
+        """Paired unit attribute name for QUANTITY attributes."""
+        if self.kind is not AttrKind.QUANTITY:
+            return None
+        return "unit" if self.name == "size" else f"{self.name}_unit"
+
+
+@dataclass(frozen=True, slots=True)
+class ChildSpec:
+    """One allowed child element kind with multiplicity bounds."""
+
+    tag: str
+    min: int = 0
+    max: int | None = None  # None = unbounded
+
+    def describe(self) -> str:
+        hi = "*" if self.max is None else str(self.max)
+        return f"{self.tag}[{self.min}..{hi}]"
+
+
+@dataclass(slots=True)
+class ElementDecl:
+    """Declaration of one element type (an XML tag).
+
+    ``bases`` name other declarations whose attributes and children are
+    inherited (declaration-level inheritance, mirrored by the generated
+    C++ class hierarchy).
+    """
+
+    tag: str
+    attributes: dict[str, AttributeDecl] = field(default_factory=dict)
+    children: dict[str, ChildSpec] = field(default_factory=dict)
+    bases: tuple[str, ...] = ()
+    #: Whether arbitrary (undeclared) attributes are tolerated silently.
+    open_attributes: bool = False
+    #: Whether arbitrary child elements are tolerated silently.
+    open_content: bool = False
+    doc: str = ""
+
+    def attr(self, decl: AttributeDecl) -> "ElementDecl":
+        self.attributes[decl.name] = decl
+        return self
+
+    def child(self, tag: str, min: int = 0, max: int | None = None) -> "ElementDecl":
+        self.children[tag] = ChildSpec(tag, min, max)
+        return self
+
+
+class Schema:
+    """A set of element declarations plus resolution of decl inheritance."""
+
+    def __init__(self, name: str = "xpdl-core", version: str = "1.0") -> None:
+        self.name = name
+        self.version = version
+        self._decls: dict[str, ElementDecl] = {}
+
+    # -- building -----------------------------------------------------------
+    def declare(self, decl: ElementDecl) -> ElementDecl:
+        if decl.tag in self._decls:
+            raise ValueError(f"duplicate element declaration {decl.tag!r}")
+        self._decls[decl.tag] = decl
+        return decl
+
+    def element(self, tag: str, **kwargs) -> ElementDecl:
+        """Declare-and-return convenience used by the core schema builder."""
+        return self.declare(ElementDecl(tag, **kwargs))
+
+    # -- lookup ---------------------------------------------------------------
+    def __contains__(self, tag: str) -> bool:
+        return tag in self._decls
+
+    def get(self, tag: str) -> ElementDecl | None:
+        return self._decls.get(tag)
+
+    def tags(self) -> list[str]:
+        return sorted(self._decls)
+
+    def decls(self) -> list[ElementDecl]:
+        return [self._decls[t] for t in self.tags()]
+
+    # -- inheritance-resolved views ------------------------------------------
+    def effective_attributes(self, tag: str) -> dict[str, AttributeDecl]:
+        """Attributes of ``tag`` including those inherited from bases."""
+        decl = self._decls.get(tag)
+        if decl is None:
+            return {}
+        out: dict[str, AttributeDecl] = {}
+        for base in decl.bases:
+            out.update(self.effective_attributes(base))
+        out.update(decl.attributes)
+        return out
+
+    def effective_children(self, tag: str) -> dict[str, ChildSpec]:
+        decl = self._decls.get(tag)
+        if decl is None:
+            return {}
+        out: dict[str, ChildSpec] = {}
+        for base in decl.bases:
+            out.update(self.effective_children(base))
+        out.update(decl.children)
+        return out
+
+    def is_open_content(self, tag: str) -> bool:
+        decl = self._decls.get(tag)
+        if decl is None:
+            return True
+        if decl.open_content:
+            return True
+        return any(self.is_open_content(b) for b in decl.bases)
+
+    def is_open_attributes(self, tag: str) -> bool:
+        decl = self._decls.get(tag)
+        if decl is None:
+            return True
+        if decl.open_attributes:
+            return True
+        return any(self.is_open_attributes(b) for b in decl.bases)

@@ -1,0 +1,132 @@
+"""Schema serialization: write the core metamodel to XML and load it back.
+
+The paper plans to publish ``xpdl.xsd`` on a web server so the generated
+query API can track future XPDL versions.  We mirror that with a compact XML
+dialect (``<schema><element ...><attribute .../>...</element></schema>``) that
+round-trips the in-memory :class:`~repro.schema.decl.Schema` exactly.
+"""
+
+from __future__ import annotations
+
+from ..diagnostics import SchemaError
+from ..units import Dimension, dimension_name
+from ..units.dimension import (
+    BANDWIDTH,
+    DIMENSIONLESS,
+    ENERGY,
+    FREQUENCY,
+    INFORMATION,
+    POWER,
+    TEMPERATURE,
+    THERMAL_CAPACITANCE,
+    THERMAL_RESISTANCE,
+    TIME,
+    VOLTAGE,
+)
+from ..xpdlxml import XmlElement, document, element, parse_xml, write_xml
+from .decl import AttrKind, AttributeDecl, ChildSpec, ElementDecl, Schema
+
+_DIM_BY_NAME: dict[str, Dimension] = {
+    "size": INFORMATION,
+    "time": TIME,
+    "energy": ENERGY,
+    "power": POWER,
+    "frequency": FREQUENCY,
+    "bandwidth": BANDWIDTH,
+    "voltage": VOLTAGE,
+    "temperature": TEMPERATURE,
+    "dimensionless": DIMENSIONLESS,
+    "thermal_resistance": THERMAL_RESISTANCE,
+    "thermal_capacitance": THERMAL_CAPACITANCE,
+}
+
+
+def schema_to_xml(schema: Schema) -> str:
+    """Serialize ``schema`` to its XML exchange form."""
+    root = element("schema", {"name": schema.name, "version": schema.version})
+    for decl in schema.decls():
+        e = element("element", {"tag": decl.tag})
+        if decl.bases:
+            e.set("bases", ",".join(decl.bases))
+        if decl.open_attributes:
+            e.set("openAttributes", "true")
+        if decl.open_content:
+            e.set("openContent", "true")
+        if decl.doc:
+            e.set("doc", decl.doc)
+        for attr in decl.attributes.values():
+            a = element("attribute", {"name": attr.name, "kind": attr.kind.value})
+            if attr.required:
+                a.set("required", "true")
+            if attr.dimension is not None:
+                a.set("dimension", dimension_name(attr.dimension))
+            if attr.values:
+                a.set("values", ",".join(attr.values))
+            if attr.ref_kinds:
+                a.set("refKinds", ",".join(attr.ref_kinds))
+            if attr.default is not None:
+                a.set("default", attr.default)
+            if attr.doc:
+                a.set("doc", attr.doc)
+            e.append(a)
+        for spec in decl.children.values():
+            c = element("child", {"tag": spec.tag, "min": str(spec.min)})
+            if spec.max is not None:
+                c.set("max", str(spec.max))
+            e.append(c)
+        root.append(e)
+    return write_xml(document(root, source_name=f"{schema.name}.xml"))
+
+
+def _attr_from_xml(a: XmlElement) -> AttributeDecl:
+    kind = AttrKind(a.get("kind", "string"))
+    dim_name = a.get("dimension")
+    dimension = None
+    if dim_name is not None:
+        try:
+            dimension = _DIM_BY_NAME[dim_name]
+        except KeyError:
+            raise SchemaError(f"unknown dimension {dim_name!r} in schema") from None
+    values = tuple(v for v in (a.get("values") or "").split(",") if v)
+    ref_kinds = tuple(v for v in (a.get("refKinds") or "").split(",") if v)
+    return AttributeDecl(
+        name=a.get("name") or "",
+        kind=kind,
+        required=(a.get("required") == "true"),
+        dimension=dimension,
+        values=values,
+        ref_kinds=ref_kinds,
+        default=a.get("default"),
+        doc=a.get("doc") or "",
+    )
+
+
+def schema_from_xml(text: str, *, source_name: str = "<schema>") -> Schema:
+    """Load a schema from its XML exchange form."""
+    doc = parse_xml(text, source_name=source_name, strict=True)
+    root = doc.root
+    if root.tag != "schema":
+        raise SchemaError(f"expected <schema> root, found <{root.tag}>")
+    schema = Schema(root.get("name") or "schema", root.get("version") or "1.0")
+    for e in root.elements("element"):
+        tag = e.get("tag")
+        if not tag:
+            raise SchemaError("schema <element> without tag attribute")
+        decl = ElementDecl(
+            tag=tag,
+            bases=tuple(b for b in (e.get("bases") or "").split(",") if b),
+            open_attributes=(e.get("openAttributes") == "true"),
+            open_content=(e.get("openContent") == "true"),
+            doc=e.get("doc") or "",
+        )
+        for a in e.elements("attribute"):
+            attr = _attr_from_xml(a)
+            decl.attributes[attr.name] = attr
+        for c in e.elements("child"):
+            ctag = c.get("tag") or ""
+            mx = c.get("max")
+            decl.children[ctag] = ChildSpec(
+                ctag, int(c.get("min") or 0), int(mx) if mx is not None else None
+            )
+        schema.declare(decl)
+    return schema

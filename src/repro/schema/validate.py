@@ -1,0 +1,300 @@
+"""Schema validation of model trees.
+
+Checks each element against its declaration: unknown attributes/children
+(warnings, honoring ``open*`` escapes), required attributes, typed attribute
+values (int/bool/enum/quantity with dimension), the paired-unit convention
+(unit attribute without its metric, unit of wrong dimension), and child
+multiplicities.  All findings go to a
+:class:`~repro.diagnostics.DiagnosticSink` as structured diagnostics.
+"""
+
+from __future__ import annotations
+
+from ..diagnostics import DiagnosticSink, SchemaError, UnitError
+from ..model import GenericElement, ModelElement
+from ..units import (
+    DEFAULT_REGISTRY,
+    is_placeholder,
+    is_unit_attribute,
+    metric_for_unit_attribute,
+    unit_attribute_for,
+)
+from .core import CORE_SCHEMA
+from .decl import AttrKind, AttributeDecl, Schema
+
+_BOOL_SPELLINGS = {"true", "false", "0", "1", "yes", "no"}
+
+
+class SchemaValidator:
+    """Validates a model tree against a :class:`Schema`."""
+
+    def __init__(
+        self,
+        schema: Schema | None = None,
+        *,
+        registry=DEFAULT_REGISTRY,
+    ) -> None:
+        self.schema = schema or CORE_SCHEMA
+        self.registry = registry
+
+    # -- entry points ---------------------------------------------------------
+    def validate(
+        self, root: ModelElement, sink: DiagnosticSink | None = None
+    ) -> DiagnosticSink:
+        """Validate ``root`` and its subtree; returns the sink used."""
+        sink = sink if sink is not None else DiagnosticSink()
+        for elem in root.walk():
+            self._validate_element(elem, sink)
+        return sink
+
+    def validate_strict(self, root: ModelElement) -> None:
+        """Validate and raise :class:`SchemaError` on any error."""
+        sink = self.validate(root)
+        sink.raise_if_errors(SchemaError)
+
+    # -- element level -----------------------------------------------------------
+    def _validate_element(self, elem: ModelElement, sink: DiagnosticSink) -> None:
+        tag = elem.kind
+        decl = self.schema.get(tag)
+        if decl is None:
+            if isinstance(elem, GenericElement):
+                # Unknown tag: extensibility escape, but tell the user once.
+                sink.warning(
+                    "XPDL0100",
+                    f"unknown element <{tag}> is not in the core schema",
+                    elem.span,
+                    "declare it in a schema extension or use <properties>",
+                )
+            return
+        attrs = self.schema.effective_attributes(tag)
+        self._validate_attributes(elem, attrs, sink)
+        self._validate_children(elem, tag, sink)
+
+    # -- attributes -----------------------------------------------------------------
+    def _validate_attributes(
+        self,
+        elem: ModelElement,
+        attrs: dict[str, AttributeDecl],
+        sink: DiagnosticSink,
+    ) -> None:
+        tag = elem.kind
+        open_attrs = self.schema.is_open_attributes(tag)
+        quantity_metrics = {
+            d.name for d in attrs.values() if d.kind is AttrKind.QUANTITY
+        }
+        # Required attributes.  An element referencing a meta-model may
+        # inherit them at composition time, so the requirement only applies
+        # to self-contained elements.
+        has_type_ref = "type" in elem.attrs or "extends" in elem.attrs
+        for decl in attrs.values():
+            if has_type_ref and decl.name not in ("name", "id", "expr"):
+                continue
+            if decl.required and decl.name not in elem.attrs:
+                sink.error(
+                    "XPDL0101",
+                    f"<{tag}> requires attribute {decl.name!r}",
+                    elem.span,
+                )
+        for name, raw in elem.attrs.items():
+            if is_unit_attribute(name):
+                metric = metric_for_unit_attribute(name)
+                if name == "unit" and metric not in elem.attrs:
+                    # The paper's listings reuse the bare 'unit' attribute
+                    # for whichever single metric the element carries
+                    # (Listing 9: frequency="706" unit="MHz"); pair it with
+                    # that metric instead of 'size'.
+                    carried = [
+                        d.name
+                        for d in attrs.values()
+                        if d.kind is AttrKind.QUANTITY and d.name in elem.attrs
+                    ]
+                    if len(carried) == 1:
+                        metric = carried[0]
+                mdecl = attrs.get(metric)
+                if metric not in elem.attrs and not (
+                    name == "unit" and "range" in elem.attrs
+                ):
+                    # 'unit' next to a 'range' scales the range's candidate
+                    # values (Listing 8); it pairs with no single metric.
+                    sink.warning(
+                        "XPDL0102",
+                        f"unit attribute {name!r} without metric {metric!r}",
+                        elem.span,
+                    )
+                if raw not in self.registry:
+                    sink.error(
+                        "XPDL0103",
+                        f"unknown unit {raw!r} in attribute {name!r}",
+                        elem.span,
+                    )
+                elif mdecl is not None and mdecl.dimension is not None:
+                    if self.registry.dimension(raw) != mdecl.dimension:
+                        sink.error(
+                            "XPDL0104",
+                            f"unit {raw!r} has the wrong dimension for "
+                            f"metric {metric!r}",
+                            elem.span,
+                        )
+                continue
+            decl = attrs.get(name)
+            if decl is None:
+                if not open_attrs and name not in quantity_metrics:
+                    sink.warning(
+                        "XPDL0105",
+                        f"unknown attribute {name!r} on <{tag}>",
+                        elem.span,
+                        "mandatory properties should be schema attributes; "
+                        "ad-hoc data belongs in <properties>",
+                    )
+                continue
+            self._validate_value(elem, decl, raw, attrs, sink)
+
+    def _validate_value(
+        self,
+        elem: ModelElement,
+        decl: AttributeDecl,
+        raw: str,
+        attrs: dict[str, AttributeDecl],
+        sink: DiagnosticSink,
+    ) -> None:
+        tag = elem.kind
+        kind = decl.kind
+        if kind is AttrKind.INT:
+            try:
+                int(raw)
+            except ValueError:
+                sink.error(
+                    "XPDL0110",
+                    f"attribute {decl.name!r} of <{tag}> must be an integer, "
+                    f"got {raw!r}",
+                    elem.span,
+                )
+        elif kind is AttrKind.FLOAT:
+            try:
+                float(raw)
+            except ValueError:
+                sink.error(
+                    "XPDL0111",
+                    f"attribute {decl.name!r} of <{tag}> must be a number, "
+                    f"got {raw!r}",
+                    elem.span,
+                )
+        elif kind is AttrKind.BOOL:
+            if raw.strip().lower() not in _BOOL_SPELLINGS:
+                sink.error(
+                    "XPDL0112",
+                    f"attribute {decl.name!r} of <{tag}> must be boolean, "
+                    f"got {raw!r}",
+                    elem.span,
+                )
+        elif kind is AttrKind.ENUM:
+            if raw not in decl.values:
+                sink.error(
+                    "XPDL0113",
+                    f"attribute {decl.name!r} of <{tag}> must be one of "
+                    f"{', '.join(decl.values)}; got {raw!r}",
+                    elem.span,
+                )
+        elif kind is AttrKind.QUANTITY:
+            if is_placeholder(raw):
+                return  # '?' = derive by microbenchmarking
+            try:
+                float(raw)
+            except ValueError:
+                # Not numeric: may legally reference a param (Listing 8's
+                # frequency="cfrq"); flag only clearly bad spellings.
+                if not raw.replace("_", "").isalnum():
+                    sink.error(
+                        "XPDL0114",
+                        f"attribute {decl.name!r} of <{tag}> must be a number, "
+                        f"'?' or a param name; got {raw!r}",
+                        elem.span,
+                    )
+                return
+            unit_attr = decl.unit_attr()
+            # The paper's listings also pair a metric with the bare 'unit'
+            # attribute when it is the element's only quantity metric
+            # (Listing 9: frequency="706" unit="MHz").
+            if (
+                unit_attr is not None
+                and unit_attr not in elem.attrs
+                and "unit" in elem.attrs
+            ):
+                carried = [
+                    d.name
+                    for d in attrs.values()
+                    if d.kind is AttrKind.QUANTITY and d.name in elem.attrs
+                ]
+                if carried == [decl.name]:
+                    unit_attr = "unit"
+            if (
+                decl.dimension is not None
+                and unit_attr is not None
+                and unit_attr not in elem.attrs
+            ):
+                sink.warning(
+                    "XPDL0115",
+                    f"metric {decl.name!r} of <{tag}> has no {unit_attr!r}",
+                    elem.span,
+                    "specify units per the metric_unit convention",
+                )
+            if (
+                unit_attr is not None
+                and unit_attr in elem.attrs
+                and elem.attrs[unit_attr] not in self.registry
+            ):
+                return  # bad unit already reported as XPDL0103
+            # Exercise the conversion path to surface malformed pairs.
+            try:
+                elem.quantity(decl.name, decl.dimension)
+            except UnitError as exc:
+                sink.error("XPDL0116", str(exc), elem.span)
+
+    # -- children -----------------------------------------------------------------------
+    def _validate_children(
+        self, elem: ModelElement, tag: str, sink: DiagnosticSink
+    ) -> None:
+        specs = self.schema.effective_children(tag)
+        open_content = self.schema.is_open_content(tag)
+        counts: dict[str, int] = {}
+        for child in elem.children:
+            ckind = child.kind
+            counts[ckind] = counts.get(ckind, 0) + 1
+            if ckind not in specs and not open_content:
+                # group is transparent: grouped content is checked where the
+                # group appears, so any declared child may sit inside one.
+                if ckind == "group" or tag == "group":
+                    continue
+                if self.schema.get(ckind) is None:
+                    continue  # unknown-element warning already emitted
+                sink.warning(
+                    "XPDL0120",
+                    f"<{ckind}> is not an expected child of <{tag}>",
+                    child.span,
+                )
+        for spec in specs.values():
+            n = counts.get(spec.tag, 0)
+            if n < spec.min:
+                sink.error(
+                    "XPDL0121",
+                    f"<{tag}> needs at least {spec.min} <{spec.tag}> "
+                    f"child(ren), found {n}",
+                    elem.span,
+                )
+            if spec.max is not None and n > spec.max:
+                sink.error(
+                    "XPDL0122",
+                    f"<{tag}> allows at most {spec.max} <{spec.tag}> "
+                    f"child(ren), found {n}",
+                    elem.span,
+                )
+
+
+def validate_model(
+    root: ModelElement,
+    schema: Schema | None = None,
+    *,
+    sink: DiagnosticSink | None = None,
+) -> DiagnosticSink:
+    """Convenience wrapper: validate ``root`` against ``schema`` (core default)."""
+    return SchemaValidator(schema).validate(root, sink)

@@ -1,0 +1,48 @@
+"""Simulated hardware substrate: machines, power meters and links.
+
+Substitutes the paper's physical EXCESS testbeds (Xeon servers, Nvidia
+GPUs, Movidius boards, external power meters) with deterministic simulated
+equivalents exposing the same surface, so the toolchain's benchmarking and
+optimization paths run unchanged.  See DESIGN.md §2 for the substitution
+rationale.
+"""
+
+from .groundtruth import GroundTruth, TruthEntry
+from .machine import RunResult, SimMachine
+from .meter import Measurement, PerfectMeter, PowerMeter
+from .link import SimLink, TransferResult, links_from_interconnect
+from .factory import SimTestbed, machine_from_unit, testbed_from_model
+from .cachesim import (
+    CacheGeometry,
+    CacheStats,
+    Replacement,
+    SimCache,
+    WritePolicy,
+    random_trace,
+    sequential_trace,
+    strided_trace,
+)
+
+__all__ = [
+    "GroundTruth",
+    "TruthEntry",
+    "RunResult",
+    "SimMachine",
+    "Measurement",
+    "PerfectMeter",
+    "PowerMeter",
+    "SimLink",
+    "TransferResult",
+    "links_from_interconnect",
+    "SimTestbed",
+    "machine_from_unit",
+    "testbed_from_model",
+    "CacheGeometry",
+    "CacheStats",
+    "Replacement",
+    "SimCache",
+    "WritePolicy",
+    "random_trace",
+    "sequential_trace",
+    "strided_trace",
+]

@@ -1,0 +1,264 @@
+"""Trace-driven cache simulation from XPDL cache descriptors.
+
+The descriptors model caches in data-sheet detail — ``size``, ``sets``
+(associativity), ``line_size``, ``replacement`` and ``write_policy``
+(Listings 1/2/6) — because those attributes are "relevant for performance
+and energy optimization".  This module is the executable consumer: a
+set-associative cache simulator configured straight from a ``<cache>``
+element, processing address traces and accounting hit/miss/write-back
+counts plus per-access energy.
+
+Energy attributes (extension, following the instruction-energy pattern):
+``hit_energy``/``miss_energy`` on the cache descriptor; missing values are
+defaulted from the cache's size (bigger arrays burn more per access).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..diagnostics import XpdlError
+from ..model import Cache, ModelElement
+from ..units import ENERGY, Quantity
+
+
+class Replacement(enum.Enum):
+    LRU = "LRU"
+    FIFO = "FIFO"
+    RANDOM = "random"
+    PLRU = "PLRU"
+
+
+class WritePolicy(enum.Enum):
+    COPYBACK = "copyback"  # write-back, write-allocate
+    WRITETHROUGH = "writethrough"  # no-write-allocate
+
+
+@dataclass
+class CacheStats:
+    """Access accounting of one simulation run."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    writethroughs: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class CacheGeometry:
+    """Resolved geometry of a set-associative cache."""
+
+    size_bytes: int
+    line_bytes: int
+    ways: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.ways <= 0:
+            raise XpdlError("cache geometry values must be positive")
+        lines = self.size_bytes // self.line_bytes
+        if lines == 0 or self.size_bytes % self.line_bytes:
+            raise XpdlError(
+                f"cache size {self.size_bytes} is not a multiple of the "
+                f"line size {self.line_bytes}"
+            )
+        if lines % self.ways:
+            raise XpdlError(
+                f"{lines} lines do not divide into {self.ways} ways"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        return (self.size_bytes // self.line_bytes) // self.ways
+
+
+class SimCache:
+    """A set-associative cache with selectable replacement/write policies."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        *,
+        replacement: Replacement = Replacement.LRU,
+        write_policy: WritePolicy = WritePolicy.COPYBACK,
+        hit_energy_j: float = 10e-12,
+        miss_energy_j: float = 100e-12,
+        seed: int = 0,
+        name: str = "cache",
+    ) -> None:
+        self.name = name
+        self.geometry = geometry
+        self.replacement = replacement
+        self.write_policy = write_policy
+        self.hit_energy_j = hit_energy_j
+        self.miss_energy_j = miss_energy_j
+        self._rng = np.random.default_rng(seed)
+        n_sets, ways = geometry.n_sets, geometry.ways
+        self._tags = np.full((n_sets, ways), -1, dtype=np.int64)
+        self._dirty = np.zeros((n_sets, ways), dtype=bool)
+        # LRU/FIFO bookkeeping: higher stamp = more recent (LRU) or
+        # later-filled (FIFO); PLRU approximated by one MRU bit per way.
+        self._stamp = np.zeros((n_sets, ways), dtype=np.int64)
+        self._mru = np.zeros((n_sets, ways), dtype=bool)
+        self._clock = 0
+        self.stats = CacheStats()
+
+    # -- construction from descriptors --------------------------------------
+    @staticmethod
+    def from_element(
+        cache: ModelElement,
+        *,
+        line_bytes: int = 64,
+        seed: int = 0,
+    ) -> "SimCache":
+        if not isinstance(cache, Cache):
+            raise XpdlError(f"expected <cache>, got <{cache.kind}>")
+        size = cache.size
+        if size is None:
+            raise XpdlError(f"cache {cache.label()} declares no size")
+        declared_line = cache.line_size
+        lb = int(declared_line.magnitude) if declared_line else line_bytes
+        ways = cache.sets or 1  # the paper spells associativity 'sets'
+        repl = Replacement(cache.replacement or "LRU")
+        wp = WritePolicy(cache.write_policy or "copyback")
+        size_b = int(size.magnitude)
+        hit_e = cache.quantity("hit_energy", ENERGY)
+        miss_e = cache.quantity("miss_energy", ENERGY)
+        # Default energies scale gently with array size (~sqrt law).
+        scale = (size_b / 32768) ** 0.5
+        return SimCache(
+            CacheGeometry(size_b, lb, ways),
+            replacement=repl,
+            write_policy=wp,
+            hit_energy_j=(
+                hit_e.magnitude if hit_e is not None else 8e-12 * scale
+            ),
+            miss_energy_j=(
+                miss_e.magnitude if miss_e is not None else 25e-12 * scale
+            ),
+            seed=seed,
+            name=cache.label(),
+        )
+
+    # -- the access path -----------------------------------------------------
+    def _victim(self, set_idx: int) -> int:
+        ways = self.geometry.ways
+        empty = np.flatnonzero(self._tags[set_idx] == -1)
+        if empty.size:
+            return int(empty[0])
+        if self.replacement is Replacement.RANDOM:
+            return int(self._rng.integers(0, ways))
+        if self.replacement is Replacement.PLRU:
+            cold = np.flatnonzero(~self._mru[set_idx])
+            if cold.size == 0:
+                self._mru[set_idx] = False
+                cold = np.arange(ways)
+            return int(cold[0])
+        # LRU and FIFO both evict the smallest stamp; they differ in
+        # whether hits refresh it (LRU yes, FIFO no).
+        return int(np.argmin(self._stamp[set_idx]))
+
+    def access(self, address: int, *, write: bool = False) -> bool:
+        """One access; returns True on hit."""
+        g = self.geometry
+        line = address // g.line_bytes
+        set_idx = line % g.n_sets
+        tag = line // g.n_sets
+        self._clock += 1
+        ways = self._tags[set_idx]
+        hit_way = np.flatnonzero(ways == tag)
+        if hit_way.size:
+            way = int(hit_way[0])
+            self.stats.hits += 1
+            if self.replacement is Replacement.LRU:
+                self._stamp[set_idx, way] = self._clock
+            self._mru[set_idx, way] = True
+            if np.all(self._mru[set_idx]):
+                self._mru[set_idx] = False
+                self._mru[set_idx, way] = True
+            if write:
+                if self.write_policy is WritePolicy.COPYBACK:
+                    self._dirty[set_idx, way] = True
+                else:
+                    self.stats.writethroughs += 1
+            return True
+        # Miss.
+        self.stats.misses += 1
+        if write and self.write_policy is WritePolicy.WRITETHROUGH:
+            # No-write-allocate: the write goes straight to memory.
+            self.stats.writethroughs += 1
+            return False
+        way = self._victim(set_idx)
+        if self._dirty[set_idx, way]:
+            self.stats.writebacks += 1
+            self._dirty[set_idx, way] = False
+        self._tags[set_idx, way] = tag
+        self._stamp[set_idx, way] = self._clock
+        self._mru[set_idx, way] = True
+        if write and self.write_policy is WritePolicy.COPYBACK:
+            self._dirty[set_idx, way] = True
+        return False
+
+    def run_trace(
+        self, addresses: np.ndarray, writes: np.ndarray | None = None
+    ) -> CacheStats:
+        """Process a whole trace; returns the accumulated stats."""
+        if writes is None:
+            writes = np.zeros(len(addresses), dtype=bool)
+        for addr, w in zip(addresses, writes):
+            self.access(int(addr), write=bool(w))
+        return self.stats
+
+    def energy(self) -> Quantity:
+        """Access energy of the accumulated stats (hits + misses +
+        write-through traffic at miss cost)."""
+        j = (
+            self.stats.hits * self.hit_energy_j
+            + self.stats.misses * self.miss_energy_j
+            + (self.stats.writebacks + self.stats.writethroughs)
+            * self.miss_energy_j
+        )
+        return Quantity(j, ENERGY)
+
+    def reset(self) -> None:
+        self._tags.fill(-1)
+        self._dirty.fill(False)
+        self._stamp.fill(0)
+        self._mru.fill(False)
+        self._clock = 0
+        self.stats = CacheStats()
+
+
+# ---------------------------------------------------------------------------
+# Trace generators
+# ---------------------------------------------------------------------------
+
+
+def sequential_trace(n: int, *, stride: int = 8, start: int = 0) -> np.ndarray:
+    """A streaming access pattern."""
+    return start + stride * np.arange(n, dtype=np.int64)
+
+
+def strided_trace(
+    n: int, *, stride: int, wrap: int, start: int = 0
+) -> np.ndarray:
+    """A strided pattern wrapping inside a working set of ``wrap`` bytes."""
+    return start + (stride * np.arange(n, dtype=np.int64)) % wrap
+
+
+def random_trace(
+    n: int, *, working_set: int, seed: int = 0, element: int = 8
+) -> np.ndarray:
+    """Uniform random accesses inside a working set."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, working_set // element, size=n) * element

@@ -1,0 +1,153 @@
+"""Build simulated hardware from a composed XPDL model.
+
+``testbed_from_model`` walks a composed system tree, creates one
+:class:`~repro.simhw.machine.SimMachine` per processing unit that carries a
+power model (CPU packages, GPU/accelerator devices) and one
+:class:`~repro.simhw.link.SimLink` set per interconnect instance — the
+simulated counterpart of the physical EXCESS testbeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..diagnostics import XpdlError
+from ..model import (
+    Cpu,
+    Device,
+    Instructions,
+    Interconnect,
+    ModelElement,
+    PowerModel,
+    PowerStateMachine,
+)
+from ..power import InstructionEnergyModel, PowerStateMachineModel
+from ..units import POWER, Quantity
+from .groundtruth import GroundTruth
+from .link import SimLink, links_from_interconnect
+from .machine import SimMachine
+
+
+@dataclass
+class SimTestbed:
+    """All simulated units and links of one system."""
+
+    name: str
+    machines: dict[str, SimMachine] = field(default_factory=dict)
+    links: dict[str, dict[str, SimLink]] = field(default_factory=dict)
+    #: Descriptor-side instruction models (pre-bootstrap views).
+    instruction_models: dict[str, InstructionEnergyModel] = field(
+        default_factory=dict
+    )
+
+    def machine(self, name: str) -> SimMachine:
+        try:
+            return self.machines[name]
+        except KeyError:
+            raise XpdlError(
+                f"testbed {self.name!r} has no machine {name!r}; "
+                f"machines: {', '.join(self.machines)}"
+            ) from None
+
+    def link(self, interconnect: str, channel: str) -> SimLink:
+        try:
+            return self.links[interconnect][channel]
+        except KeyError:
+            raise XpdlError(
+                f"testbed {self.name!r} has no link "
+                f"{interconnect}/{channel}"
+            ) from None
+
+
+def _unit_power_model(unit: ModelElement) -> ModelElement | None:
+    for pm in unit.find_children(PowerModel):
+        return pm
+    for pm in unit.find_all(PowerModel):
+        return pm
+    return None
+
+
+def _static_power_of(unit: ModelElement) -> Quantity:
+    total = Quantity(0.0, POWER)
+    for elem in unit.walk():
+        q = elem.quantity("static_power", POWER)
+        if q is not None:
+            total = total + q
+    return total
+
+
+def machine_from_unit(
+    unit: ModelElement, *, name: str | None = None
+) -> SimMachine | None:
+    """Create a simulated machine for one cpu/device element.
+
+    Returns ``None`` when the unit carries no power model (nothing to
+    simulate energy against).
+    """
+    pm = _unit_power_model(unit)
+    if pm is None:
+        return None
+    psm_elem = None
+    for p in pm.find_all(PowerStateMachine):
+        psm_elem = p
+        break
+    instrs_elem = None
+    for i in pm.find_all(Instructions):
+        instrs_elem = i
+        break
+    if instrs_elem is None:
+        return None
+    psm = PowerStateMachineModel.from_element(psm_elem) if psm_elem else None
+    ref_freq = unit.quantity("frequency") or (
+        psm.fastest().frequency if psm else None
+    )
+    energy_scale = float(unit.attrs.get("energy_per_op_scale", "1"))
+    truth = GroundTruth.for_isa(
+        instrs_elem, ref_frequency=ref_freq, energy_scale=energy_scale
+    )
+    mname = name or unit.ident or unit.name or unit.kind
+    machine = SimMachine(
+        name=mname,
+        truth=truth,
+        psm=psm,
+        base_power=_static_power_of(unit),
+        issue_width=float(unit.attrs.get("issue_width", "1")),
+    )
+    if ref_freq is not None and psm is None:
+        machine.fixed_frequency = ref_freq
+    return machine
+
+
+def testbed_from_model(root: ModelElement, *, name: str | None = None) -> SimTestbed:
+    """Build the full simulated testbed for a composed system model."""
+    bed = SimTestbed(name or root.ident or root.name or "testbed")
+    for unit in root.walk():
+        if not isinstance(unit, (Cpu, Device)):
+            continue
+        # Skip nested CPUs inside devices that have their own machine: the
+        # device machine subsumes them only when the device itself has a
+        # power model; a device without one delegates to its inner CPU.
+        machine = machine_from_unit(unit)
+        if machine is None:
+            continue
+        key = machine.name
+        serial = 0
+        while key in bed.machines:
+            serial += 1
+            key = f"{machine.name}_{serial}"
+        machine.name = key
+        bed.machines[key] = machine
+        pm = _unit_power_model(unit)
+        for instrs in pm.find_all(Instructions):
+            model = InstructionEnergyModel.from_element(instrs)
+            bed.instruction_models.setdefault(model.name, model)
+    for ic in root.find_all(Interconnect):
+        if ic.attrs.get("head") is None and ic.attrs.get("tail") is None:
+            continue
+        key = ic.ident or ic.label()
+        if key in bed.links:
+            continue
+        channels = links_from_interconnect(ic)
+        if channels:
+            bed.links[key] = channels
+    return bed

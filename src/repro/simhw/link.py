@@ -1,0 +1,117 @@
+"""Simulated interconnect links.
+
+A :class:`SimLink` executes transfers over one modeled channel with the
+familiar latency+bandwidth+energy affine cost model the descriptors carry
+(Listing 3).  Where the descriptor holds ``?`` placeholders (message
+offsets awaiting microbenchmarking), the link's hidden ground truth supplies
+deterministic values derived from the channel identity — so transfer
+microbenchmarks have something real to discover.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..diagnostics import XpdlError
+from ..model import Channel, Interconnect, ModelElement
+from ..units import BANDWIDTH, ENERGY, TIME, Quantity
+
+
+def _hash_in_range(key: str, lo: float, hi: float) -> float:
+    digest = hashlib.sha256(key.encode()).digest()
+    u = int.from_bytes(digest[:8], "big") / 2**64
+    return lo + (hi - lo) * u
+
+
+@dataclass
+class TransferResult:
+    """True cost of one transfer."""
+
+    nbytes: int
+    time: Quantity
+    energy: Quantity
+
+
+class SimLink:
+    """One directed channel with ground-truth affine costs."""
+
+    def __init__(
+        self,
+        name: str,
+        bandwidth: Quantity,
+        time_offset: Quantity,
+        energy_per_byte: Quantity,
+        energy_offset: Quantity,
+    ) -> None:
+        if bandwidth.magnitude <= 0:
+            raise XpdlError(f"link {name!r} needs positive bandwidth")
+        self.name = name
+        self.bandwidth = bandwidth
+        self.time_offset = time_offset
+        self.energy_per_byte = energy_per_byte
+        self.energy_offset = energy_offset
+
+    @staticmethod
+    def from_channel(
+        channel: ModelElement, *, link_name: str | None = None
+    ) -> "SimLink":
+        """Build the true link behind a ``<channel>`` descriptor.
+
+        Declared values are the truth; ``?`` placeholders get deterministic
+        synthesized truth (what deployment-time benchmarking will find).
+        """
+        if not isinstance(channel, Channel):
+            raise XpdlError(f"expected <channel>, got <{channel.kind}>")
+        name = link_name or channel.name or channel.ident or "channel"
+        bw = channel.max_bandwidth or channel.quantity(
+            "effective_bandwidth", BANDWIDTH
+        )
+        if bw is None:
+            raise XpdlError(f"channel {name!r} declares no bandwidth")
+        t_off = channel.time_offset_per_message
+        if t_off is None:
+            t_off = Quantity(_hash_in_range(f"{name}:toff", 0.2e-6, 5e-6), TIME)
+        e_byte = channel.energy_per_byte
+        if e_byte is None:
+            e_byte = Quantity(_hash_in_range(f"{name}:ebyte", 2e-12, 40e-12), ENERGY)
+        e_off = channel.energy_offset_per_message
+        if e_off is None:
+            e_off = Quantity(_hash_in_range(f"{name}:eoff", 50e-12, 2000e-12), ENERGY)
+        return SimLink(name, bw, t_off, e_byte, e_off)
+
+    def transfer(self, nbytes: int) -> TransferResult:
+        """True cost of moving ``nbytes`` as one message."""
+        t = Quantity(nbytes / self.bandwidth.magnitude, TIME) + self.time_offset
+        e = self.energy_per_byte * nbytes + self.energy_offset
+        return TransferResult(nbytes, t, e)
+
+    def transfer_many(self, nbytes: int, messages: int) -> TransferResult:
+        """Cost of ``messages`` messages totalling ``nbytes``."""
+        t = (
+            Quantity(nbytes / self.bandwidth.magnitude, TIME)
+            + self.time_offset * messages
+        )
+        e = self.energy_per_byte * nbytes + self.energy_offset * messages
+        return TransferResult(nbytes, t, e)
+
+
+def links_from_interconnect(ic: ModelElement) -> dict[str, SimLink]:
+    """All channels of an interconnect as simulated links."""
+    if not isinstance(ic, Interconnect):
+        raise XpdlError(f"expected <interconnect>, got <{ic.kind}>")
+    base = ic.ident or ic.name or "ic"
+    out: dict[str, SimLink] = {}
+    for ch in ic.find_all(Channel):
+        cname = ch.name or ch.ident or f"ch{len(out)}"
+        out[cname] = SimLink.from_channel(ch, link_name=f"{base}.{cname}")
+    if not out and ic.max_bandwidth is not None:
+        # Single implicit channel from the interconnect's own attributes.
+        out["link"] = SimLink(
+            f"{base}.link",
+            ic.max_bandwidth,
+            Quantity(_hash_in_range(f"{base}:toff", 0.2e-6, 5e-6), TIME),
+            Quantity(_hash_in_range(f"{base}:ebyte", 2e-12, 40e-12), ENERGY),
+            Quantity(_hash_in_range(f"{base}:eoff", 50e-12, 2000e-12), ENERGY),
+        )
+    return out

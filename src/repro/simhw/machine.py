@@ -1,0 +1,144 @@
+"""The simulated machine: executes instruction streams against the hidden
+ground truth, honoring the platform model's power state machine.
+
+A :class:`SimMachine` stands in for one processing unit (a CPU core group, a
+GPU, a SHAVE island).  It exposes exactly the surface real hardware offers
+the toolchain: *set a power state, run this code, observe wall time* — while
+the attached :class:`~repro.simhw.meter.PowerMeter` observes power.  Energy
+bookkeeping inside the machine is exact; all measurement error lives in the
+meter, as in reality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..diagnostics import XpdlError
+from ..power import PowerStateMachineModel, PsmCursor
+from ..units import ENERGY, FREQUENCY, POWER, TIME, Quantity
+from .groundtruth import GroundTruth
+
+
+@dataclass
+class RunResult:
+    """Ground-truth outcome of one run (what physics did, pre-meter)."""
+
+    duration: Quantity
+    static_energy: Quantity
+    dynamic_energy: Quantity
+    instructions: int
+    frequency: Quantity
+    state: str
+
+    @property
+    def energy(self) -> Quantity:
+        return self.static_energy + self.dynamic_energy
+
+    @property
+    def mean_power(self) -> Quantity:
+        if self.duration.magnitude == 0.0:
+            return Quantity(0.0, POWER)
+        return self.energy / self.duration
+
+
+@dataclass
+class SimMachine:
+    """One simulated processing unit."""
+
+    name: str
+    truth: GroundTruth
+    psm: PowerStateMachineModel | None = None
+    #: Always-on power outside the PSM domain (memories, board).
+    base_power: Quantity = field(
+        default_factory=lambda: Quantity(0.0, POWER)
+    )
+    #: Fixed frequency when no PSM is attached.
+    fixed_frequency: Quantity = field(
+        default_factory=lambda: Quantity.of(2.0, "GHz")
+    )
+    #: Superscalar width: instructions retired per cycle at CPI=1.
+    issue_width: float = 1.0
+    cursor: PsmCursor | None = None
+
+    def __post_init__(self) -> None:
+        if self.psm is not None:
+            self.cursor = PsmCursor(self.psm, self.psm.fastest().name)
+
+    # -- state control ------------------------------------------------------
+    @property
+    def frequency(self) -> Quantity:
+        if self.cursor is not None:
+            return self.cursor.state.frequency
+        return self.fixed_frequency
+
+    @property
+    def state_power(self) -> Quantity:
+        if self.cursor is not None:
+            return self.cursor.state.power
+        return Quantity(0.0, POWER)
+
+    def set_state(self, state: str) -> None:
+        if self.cursor is None:
+            raise XpdlError(f"machine {self.name!r} has no power state machine")
+        self.cursor.go(state)
+
+    def set_frequency(self, frequency: Quantity) -> None:
+        """Pick the PSM state matching ``frequency`` (or set it directly)."""
+        if self.cursor is None:
+            self.fixed_frequency = frequency
+            return
+        for s in self.psm.by_frequency():
+            if abs(s.frequency.magnitude - frequency.magnitude) < 1e-6 * max(
+                1.0, frequency.magnitude
+            ):
+                self.cursor.go(s.name)
+                return
+        raise XpdlError(
+            f"machine {self.name!r} has no power state at {frequency}"
+        )
+
+    def available_frequencies(self) -> list[Quantity]:
+        if self.psm is None:
+            return [self.fixed_frequency]
+        return [
+            s.frequency for s in self.psm.by_frequency() if not s.is_off()
+        ]
+
+    # -- execution -----------------------------------------------------------------
+    def run_stream(self, counts: dict[str, int]) -> RunResult:
+        """Execute an instruction mix back-to-back; exact physics."""
+        f = self.frequency
+        if f.magnitude <= 0.0:
+            raise XpdlError(
+                f"machine {self.name!r} is in an off state; cannot execute"
+            )
+        cycles = 0.0
+        dynamic = 0.0
+        n = 0
+        for name, count in counts.items():
+            entry = self.truth.entry(name)
+            cycles += count * entry.cpi / self.issue_width
+            dynamic += count * entry.energy_at(f.magnitude)
+            n += count
+        duration = Quantity(cycles / f.magnitude, TIME)
+        static = (self.state_power + self.base_power) * duration
+        return RunResult(
+            duration=duration,
+            static_energy=static,
+            dynamic_energy=Quantity(dynamic, ENERGY),
+            instructions=n,
+            frequency=f,
+            state=self.cursor.current if self.cursor else "<fixed>",
+        )
+
+    def run_idle(self, duration: Quantity) -> RunResult:
+        """Sit idle for ``duration`` (static power only)."""
+        static = (self.state_power + self.base_power) * duration
+        return RunResult(
+            duration=duration,
+            static_energy=static,
+            dynamic_energy=Quantity(0.0, ENERGY),
+            instructions=0,
+            frequency=self.frequency,
+            state=self.cursor.current if self.cursor else "<fixed>",
+        )

@@ -1,0 +1,83 @@
+"""The simulated external power meter.
+
+Models the measurement chain of the EXCESS testbeds (the systems carry an
+``ExternalPowerMeter`` property, Listing 11): power is sampled at a fixed
+interval, each sample carries zero-mean Gaussian noise plus a calibration
+offset, and energy is the trapezoidal integral of the samples.  Short runs
+therefore measure noisily and long runs average the noise out — the exact
+trade-off the microbenchmark runner has to manage, and what experiment E8
+quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..units import ENERGY, POWER, TIME, Quantity
+from .machine import RunResult
+
+
+@dataclass
+class Measurement:
+    """What the meter reports for one observed run."""
+
+    duration: Quantity
+    energy: Quantity
+    samples: np.ndarray  # watts
+    sample_interval: Quantity
+
+    @property
+    def mean_power(self) -> Quantity:
+        if self.duration.magnitude == 0.0:
+            return Quantity(0.0, POWER)
+        return self.energy / self.duration
+
+
+class PowerMeter:
+    """Sampling wattmeter with Gaussian noise and calibration offset."""
+
+    def __init__(
+        self,
+        *,
+        sample_interval: Quantity | None = None,
+        noise_std_w: float = 0.05,
+        offset_w: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.sample_interval = sample_interval or Quantity.of(1, "ms")
+        self.noise_std_w = noise_std_w
+        self.offset_w = offset_w
+        self._rng = np.random.default_rng(seed)
+
+    def reseed(self, seed: int) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def observe(self, run: RunResult) -> Measurement:
+        """Measure one run (assumed constant true power over its duration)."""
+        true_power = run.mean_power.magnitude
+        dt = self.sample_interval.magnitude
+        duration = run.duration.magnitude
+        # At least two samples so the trapezoid is defined; the tail sample
+        # lands exactly at run end (meters are triggered by the driver).
+        n = max(2, int(round(duration / dt)) + 1)
+        noise = self._rng.normal(0.0, self.noise_std_w, size=n)
+        samples = true_power + self.offset_w + noise
+        measured_energy = float(np.trapezoid(samples, dx=duration / (n - 1)))
+        return Measurement(
+            duration=Quantity(duration, TIME),
+            energy=Quantity(measured_energy, ENERGY),
+            samples=samples,
+            sample_interval=self.sample_interval,
+        )
+
+    def observe_many(self, runs: list[RunResult]) -> list[Measurement]:
+        return [self.observe(r) for r in runs]
+
+
+class PerfectMeter(PowerMeter):
+    """A noise-free meter (unit tests, calibration baselines)."""
+
+    def __init__(self) -> None:
+        super().__init__(noise_std_w=0.0, offset_w=0.0, seed=0)

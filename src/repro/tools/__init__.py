@@ -1,0 +1,17 @@
+"""Developer tools for maintaining distributed descriptor repositories."""
+
+from .diff import (
+    ChangeKind,
+    ModelChange,
+    diff_models,
+    models_equivalent,
+    render_diff,
+)
+
+__all__ = [
+    "ChangeKind",
+    "ModelChange",
+    "diff_models",
+    "models_equivalent",
+    "render_diff",
+]

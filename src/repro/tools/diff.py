@@ -1,0 +1,156 @@
+"""Semantic diff between descriptor versions.
+
+A distributed model repository evolves: vendors publish updated descriptor
+versions, sites override local copies.  A textual diff is noisy (attribute
+order, formatting); this tool diffs *models*: elements matched by identity
+(kind + name/id, falling back to position), attributes compared as typed
+values (``frequency="2" unit="GHz"`` equals ``frequency="2000" unit="MHz"``),
+and subtrees recursed.
+
+The result is a flat change list suitable for review or for deciding
+whether a cached runtime model must be regenerated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..diagnostics import UnitError
+from ..model import ModelElement
+from ..units import is_unit_attribute, read_metric
+
+
+class ChangeKind(enum.Enum):
+    ADDED = "added"
+    REMOVED = "removed"
+    ATTR_CHANGED = "attr-changed"
+    ATTR_ADDED = "attr-added"
+    ATTR_REMOVED = "attr-removed"
+
+
+@dataclass(frozen=True, slots=True)
+class ModelChange:
+    """One difference between two model versions."""
+
+    kind: ChangeKind
+    path: str
+    attribute: str | None = None
+    old: str | None = None
+    new: str | None = None
+
+    def describe(self) -> str:
+        if self.kind is ChangeKind.ADDED:
+            return f"+ {self.path}"
+        if self.kind is ChangeKind.REMOVED:
+            return f"- {self.path}"
+        if self.kind is ChangeKind.ATTR_ADDED:
+            return f"  {self.path} +{self.attribute}={self.new!r}"
+        if self.kind is ChangeKind.ATTR_REMOVED:
+            return f"  {self.path} -{self.attribute} (was {self.old!r})"
+        return (
+            f"  {self.path} {self.attribute}: {self.old!r} -> {self.new!r}"
+        )
+
+
+def _identity(elem: ModelElement, index: int) -> tuple:
+    ident = elem.name or elem.ident
+    if ident is not None:
+        return (elem.kind, "id", ident)
+    return (elem.kind, "pos", index)
+
+
+def _attr_equal(elem_a: ModelElement, elem_b: ModelElement, name: str) -> bool:
+    """Typed comparison: quantities compare by magnitude, not spelling."""
+    a_raw = elem_a.attrs.get(name)
+    b_raw = elem_b.attrs.get(name)
+    if a_raw == b_raw:
+        return True
+    try:
+        qa = read_metric(elem_a.attrs, name)
+        qb = read_metric(elem_b.attrs, name)
+    except UnitError:
+        return False
+    if qa is not None and qb is not None and qa.dimension == qb.dimension:
+        return qa.close_to(qb, rel=1e-12)
+    return False
+
+
+def diff_models(
+    old: ModelElement, new: ModelElement, *, path: str = ""
+) -> list[ModelChange]:
+    """All semantic changes from ``old`` to ``new``."""
+    here = path or f"{new.kind}#{new.label()}"
+    changes: list[ModelChange] = []
+
+    # Attributes (unit attrs are folded into their metric's comparison).
+    old_attrs = {k for k in old.attrs if not is_unit_attribute(k)}
+    new_attrs = {k for k in new.attrs if not is_unit_attribute(k)}
+    for name in sorted(old_attrs - new_attrs):
+        changes.append(
+            ModelChange(
+                ChangeKind.ATTR_REMOVED, here, name, old=old.attrs[name]
+            )
+        )
+    for name in sorted(new_attrs - old_attrs):
+        changes.append(
+            ModelChange(
+                ChangeKind.ATTR_ADDED, here, name, new=new.attrs[name]
+            )
+        )
+    for name in sorted(old_attrs & new_attrs):
+        if not _attr_equal(old, new, name):
+            changes.append(
+                ModelChange(
+                    ChangeKind.ATTR_CHANGED,
+                    here,
+                    name,
+                    old=old.attrs[name],
+                    new=new.attrs[name],
+                )
+            )
+
+    # Children matched by identity.
+    old_children = {
+        _identity(c, i): c for i, c in enumerate(old.children)
+    }
+    new_children = {
+        _identity(c, i): c for i, c in enumerate(new.children)
+    }
+    for key in sorted(
+        set(old_children) - set(new_children), key=str
+    ):
+        c = old_children[key]
+        changes.append(
+            ModelChange(
+                ChangeKind.REMOVED, f"{here}/{c.kind}#{c.label()}"
+            )
+        )
+    for key in sorted(
+        set(new_children) - set(old_children), key=str
+    ):
+        c = new_children[key]
+        changes.append(
+            ModelChange(ChangeKind.ADDED, f"{here}/{c.kind}#{c.label()}")
+        )
+    for key in sorted(set(old_children) & set(new_children), key=str):
+        c_old, c_new = old_children[key], new_children[key]
+        changes.extend(
+            diff_models(
+                c_old,
+                c_new,
+                path=f"{here}/{c_new.kind}#{c_new.label()}",
+            )
+        )
+    return changes
+
+
+def render_diff(changes: list[ModelChange]) -> str:
+    if not changes:
+        return "(no semantic differences)"
+    return "\n".join(c.describe() for c in changes)
+
+
+def models_equivalent(a: ModelElement, b: ModelElement) -> bool:
+    """True when two models have no semantic differences."""
+    return not diff_models(a, b)

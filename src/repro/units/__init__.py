@@ -1,0 +1,55 @@
+"""Unit-aware quantities and the XPDL paired-attribute unit convention."""
+
+from .dimension import (
+    BANDWIDTH,
+    BASE_AXES,
+    DIMENSIONLESS,
+    ENERGY,
+    FREQUENCY,
+    INFORMATION,
+    POWER,
+    TEMPERATURE,
+    TIME,
+    VOLTAGE,
+    Dimension,
+    dimension_name,
+)
+from .quantity import Quantity
+from .registry import DEFAULT_REGISTRY, UnitDef, UnitRegistry
+from .convention import (
+    SIZE_METRICS,
+    UNIT_SUFFIX,
+    is_placeholder,
+    is_unit_attribute,
+    metric_for_unit_attribute,
+    read_metric,
+    unit_attribute_for,
+    write_metric,
+)
+
+__all__ = [
+    "BANDWIDTH",
+    "BASE_AXES",
+    "DIMENSIONLESS",
+    "ENERGY",
+    "FREQUENCY",
+    "INFORMATION",
+    "POWER",
+    "TEMPERATURE",
+    "TIME",
+    "VOLTAGE",
+    "Dimension",
+    "dimension_name",
+    "Quantity",
+    "DEFAULT_REGISTRY",
+    "UnitDef",
+    "UnitRegistry",
+    "SIZE_METRICS",
+    "UNIT_SUFFIX",
+    "is_placeholder",
+    "is_unit_attribute",
+    "metric_for_unit_attribute",
+    "read_metric",
+    "unit_attribute_for",
+    "write_metric",
+]

@@ -1,0 +1,108 @@
+"""XPDL's paired-attribute unit convention.
+
+The paper (Sec. III-A) specifies: *"For a metric such as static power, if
+specified as an attribute, its unit should also be specified, in
+metric_unit form such as static_power_unit for static_power.  As an
+exception, the unit for the metric size is implicitly specified as unit."*
+
+This module implements that convention: given an attribute map, pair each
+metric with its unit attribute and produce :class:`Quantity` values, plus the
+inverse (emitting attributes from quantities).
+"""
+
+from __future__ import annotations
+
+from ..diagnostics import UnitError
+from .dimension import Dimension
+from .quantity import Quantity
+from .registry import DEFAULT_REGISTRY, UnitRegistry
+
+#: Metrics whose unit attribute is literally ``unit`` (paper's exception).
+SIZE_METRICS = frozenset({"size"})
+
+#: Attribute-name suffix carrying the unit for a metric attribute.
+UNIT_SUFFIX = "_unit"
+
+
+def unit_attribute_for(metric: str) -> str:
+    """Name of the attribute that carries ``metric``'s unit."""
+    if metric in SIZE_METRICS:
+        return "unit"
+    return metric + UNIT_SUFFIX
+
+
+def is_unit_attribute(name: str) -> bool:
+    """True when ``name`` is a unit carrier rather than a metric itself."""
+    return name == "unit" or name.endswith(UNIT_SUFFIX)
+
+
+def metric_for_unit_attribute(name: str) -> str:
+    """Inverse of :func:`unit_attribute_for`."""
+    if name == "unit":
+        return "size"
+    if name.endswith(UNIT_SUFFIX):
+        return name[: -len(UNIT_SUFFIX)]
+    raise ValueError(f"{name!r} is not a unit attribute")
+
+
+def read_metric(
+    attrs: dict[str, str],
+    metric: str,
+    *,
+    registry: UnitRegistry = DEFAULT_REGISTRY,
+    default_unit: str | None = None,
+    expect: Dimension | None = None,
+) -> Quantity | None:
+    """Read ``metric`` (+ paired unit attribute) from raw XML attributes.
+
+    Returns ``None`` when the metric attribute is absent or is the ``?``
+    placeholder (to be filled by microbenchmarking).  Raises
+    :class:`UnitError` on malformed values or a dimension mismatch against
+    ``expect``.
+    """
+    raw = attrs.get(metric)
+    if raw is None or raw.strip() == "?":
+        return None
+    unit = attrs.get(unit_attribute_for(metric), default_unit)
+    try:
+        value = float(raw)
+    except ValueError:
+        raise UnitError(f"attribute {metric}={raw!r} is not a number") from None
+    if unit is None:
+        q = Quantity.dimensionless(value)
+    else:
+        q = Quantity.of(value, unit, registry)
+    if expect is not None and not q.is_dimensionless() and q.dimension != expect:
+        raise UnitError(
+            f"attribute {metric!r} has wrong dimension: got unit {unit!r}"
+        )
+    return q
+
+
+def write_metric(
+    attrs: dict[str, str],
+    metric: str,
+    quantity: Quantity | None,
+    *,
+    unit: str | None = None,
+    registry: UnitRegistry = DEFAULT_REGISTRY,
+    precision: int = 12,
+) -> None:
+    """Store ``quantity`` into ``attrs`` using the paired convention.
+
+    ``None`` writes the ``?`` placeholder (unknown, to be microbenchmarked).
+    """
+    if quantity is None:
+        attrs[metric] = "?"
+        return
+    if quantity.is_dimensionless() and unit is None:
+        attrs[metric] = f"{quantity.magnitude:.{precision}g}"
+        return
+    sym = unit or registry.canonical_symbol(quantity.dimension)
+    attrs[metric] = f"{quantity.to(sym, registry):.{precision}g}"
+    attrs[unit_attribute_for(metric)] = sym
+
+
+def is_placeholder(raw: str | None) -> bool:
+    """True for the paper's ``?`` placeholder value."""
+    return raw is not None and raw.strip() == "?"

@@ -1,0 +1,106 @@
+"""Dimension algebra for XPDL quantities.
+
+A :class:`Dimension` is an immutable mapping from base dimensions to integer
+exponents.  XPDL needs a pragmatic basis, not full SI: information (bytes),
+time, energy, voltage and temperature are the base axes; power, frequency and
+bandwidth are derived (J/s, 1/s, B/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, Mapping
+
+#: Base axis names, fixed order for canonical printing.
+BASE_AXES = ("byte", "second", "joule", "volt", "kelvin")
+
+
+@dataclass(frozen=True, slots=True)
+class Dimension:
+    """Exponent vector over :data:`BASE_AXES`."""
+
+    exponents: tuple[Fraction, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.exponents) != len(BASE_AXES):
+            raise ValueError("dimension exponent vector has wrong arity")
+
+    # -- constructors ------------------------------------------------------
+    @staticmethod
+    def from_map(mapping: Mapping[str, int | Fraction]) -> "Dimension":
+        vec = []
+        for axis in BASE_AXES:
+            vec.append(Fraction(mapping.get(axis, 0)))
+        unknown = set(mapping) - set(BASE_AXES)
+        if unknown:
+            raise ValueError(f"unknown dimension axes: {sorted(unknown)}")
+        return Dimension(tuple(vec))
+
+    # -- algebra -----------------------------------------------------------
+    def __mul__(self, other: "Dimension") -> "Dimension":
+        return Dimension(tuple(a + b for a, b in zip(self.exponents, other.exponents)))
+
+    def __truediv__(self, other: "Dimension") -> "Dimension":
+        return Dimension(tuple(a - b for a, b in zip(self.exponents, other.exponents)))
+
+    def __pow__(self, k: int | Fraction) -> "Dimension":
+        k = Fraction(k)
+        return Dimension(tuple(a * k for a in self.exponents))
+
+    def is_dimensionless(self) -> bool:
+        return all(e == 0 for e in self.exponents)
+
+    def items(self) -> Iterator[tuple[str, Fraction]]:
+        for axis, exp in zip(BASE_AXES, self.exponents):
+            if exp != 0:
+                yield axis, exp
+
+    def __str__(self) -> str:
+        if self.is_dimensionless():
+            return "1"
+        num = [
+            f"{axis}^{exp}" if exp != 1 else axis
+            for axis, exp in self.items()
+            if exp > 0
+        ]
+        den = [
+            f"{axis}^{-exp}" if exp != -1 else axis
+            for axis, exp in self.items()
+            if exp < 0
+        ]
+        head = "*".join(num) if num else "1"
+        return head + ("/" + "/".join(den) if den else "")
+
+
+DIMENSIONLESS = Dimension.from_map({})
+INFORMATION = Dimension.from_map({"byte": 1})
+TIME = Dimension.from_map({"second": 1})
+ENERGY = Dimension.from_map({"joule": 1})
+VOLTAGE = Dimension.from_map({"volt": 1})
+TEMPERATURE = Dimension.from_map({"kelvin": 1})
+FREQUENCY = DIMENSIONLESS / TIME
+POWER = ENERGY / TIME
+BANDWIDTH = INFORMATION / TIME
+THERMAL_RESISTANCE = TEMPERATURE / POWER
+THERMAL_CAPACITANCE = ENERGY / TEMPERATURE
+
+#: Friendly names for common dimensions, used in error messages.
+DIMENSION_NAMES: dict[Dimension, str] = {
+    DIMENSIONLESS: "dimensionless",
+    INFORMATION: "size",
+    TIME: "time",
+    ENERGY: "energy",
+    VOLTAGE: "voltage",
+    TEMPERATURE: "temperature",
+    FREQUENCY: "frequency",
+    POWER: "power",
+    BANDWIDTH: "bandwidth",
+    THERMAL_RESISTANCE: "thermal_resistance",
+    THERMAL_CAPACITANCE: "thermal_capacitance",
+}
+
+
+def dimension_name(dim: Dimension) -> str:
+    """Return a human-friendly name for ``dim`` (falls back to algebra form)."""
+    return DIMENSION_NAMES.get(dim, str(dim))

@@ -1,0 +1,222 @@
+"""The unit registry: spelled units -> (scale factor, dimension).
+
+XPDL descriptors spell units the way hardware data sheets do, which is
+inconsistent by nature (the paper itself mixes ``KiB``, ``KB`` and ``kB``).
+The registry therefore supports aliases and the JEDEC convention where
+``KB``/``MB``/``GB`` in memory contexts mean powers of 1024; the strict SI
+decadic prefixes remain available as ``kB``/``MB_dec``/etc.  All values are
+normalized to the base unit of their dimension (bytes, seconds, joules,
+volts, kelvin and their derived combinations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..diagnostics import UnitError
+from .dimension import (
+    BANDWIDTH,
+    DIMENSIONLESS,
+    ENERGY,
+    FREQUENCY,
+    INFORMATION,
+    POWER,
+    TEMPERATURE,
+    TIME,
+    VOLTAGE,
+    Dimension,
+    dimension_name,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class UnitDef:
+    """One spelled unit: multiply by ``factor`` to reach the base unit."""
+
+    symbol: str
+    factor: float
+    dimension: Dimension
+
+
+_SI = {
+    "p": 1e-12,
+    "n": 1e-9,
+    "u": 1e-6,
+    "µ": 1e-6,
+    "m": 1e-3,
+    "": 1.0,
+    "k": 1e3,
+    "M": 1e6,
+    "G": 1e9,
+    "T": 1e12,
+    "P": 1e15,
+}
+
+_IEC = {"Ki": 2**10, "Mi": 2**20, "Gi": 2**30, "Ti": 2**40, "Pi": 2**50}
+
+#: JEDEC-style binary capacity prefixes as memory data sheets use them.
+_JEDEC = {"K": 2**10, "k": 2**10, "M": 2**20, "G": 2**30, "T": 2**40}
+
+
+class UnitRegistry:
+    """Registry of spelled units; extensible at runtime.
+
+    The default registry covers everything the XPDL paper's listings use:
+    sizes (``KiB``/``KB``/``kB``/``MB``/``GB``...), frequencies
+    (``Hz``..``GHz``), power (``pW``..``kW``), energy (``pJ``..``J``,
+    plus ``Wh``/``kWh``), time (``ns``..``h``), bandwidth
+    (``B/s``, ``GiB/s``, ``Gbit/s``...), voltage and temperature.
+    """
+
+    def __init__(self) -> None:
+        self._units: dict[str, UnitDef] = {}
+        self._canonical: dict[Dimension, str] = {}
+        self._install_defaults()
+
+    # -- registration ------------------------------------------------------
+    def define(
+        self, symbol: str, factor: float, dimension: Dimension, *, overwrite: bool = False
+    ) -> None:
+        """Register a unit spelling.
+
+        Duplicate definitions with a *different* meaning raise
+        :class:`UnitError`; identical re-definitions are ignored so model
+        libraries can defensively re-register.
+        """
+        existing = self._units.get(symbol)
+        if existing is not None and not overwrite:
+            if existing.factor == factor and existing.dimension == dimension:
+                return
+            raise UnitError(
+                f"unit {symbol!r} already defined with a different meaning"
+            )
+        self._units[symbol] = UnitDef(symbol, factor, dimension)
+
+    def set_canonical(self, dimension: Dimension, symbol: str) -> None:
+        """Choose the unit used when formatting quantities of ``dimension``."""
+        if symbol not in self._units:
+            raise UnitError(f"unknown unit {symbol!r}")
+        self._canonical[dimension] = symbol
+
+    # -- lookup ------------------------------------------------------------
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._units
+
+    def get(self, symbol: str) -> UnitDef:
+        try:
+            return self._units[symbol]
+        except KeyError:
+            hint = self._suggest(symbol)
+            msg = f"unknown unit {symbol!r}"
+            if hint:
+                msg += f" (did you mean {hint!r}?)"
+            raise UnitError(msg) from None
+
+    def factor(self, symbol: str) -> float:
+        return self.get(symbol).factor
+
+    def dimension(self, symbol: str) -> Dimension:
+        return self.get(symbol).dimension
+
+    def canonical_symbol(self, dimension: Dimension) -> str:
+        try:
+            return self._canonical[dimension]
+        except KeyError:
+            raise UnitError(
+                f"no canonical unit registered for {dimension_name(dimension)}"
+            ) from None
+
+    def symbols(self, dimension: Dimension | None = None) -> list[str]:
+        if dimension is None:
+            return sorted(self._units)
+        return sorted(
+            s for s, d in self._units.items() if d.dimension == dimension
+        )
+
+    def _suggest(self, symbol: str) -> str | None:
+        """Case-insensitive nearest spelling, for error hints."""
+        lowered = symbol.lower()
+        for cand in self._units:
+            if cand.lower() == lowered:
+                return cand
+        return None
+
+    # -- defaults ----------------------------------------------------------
+    def _install_defaults(self) -> None:
+        # Information.  Data-sheet ("JEDEC") capacity spellings are binary.
+        self.define("B", 1.0, INFORMATION)
+        self.define("byte", 1.0, INFORMATION)
+        self.define("bit", 1 / 8, INFORMATION)
+        for p, f in _IEC.items():
+            self.define(f"{p}B", float(f), INFORMATION)
+        for p, f in _JEDEC.items():
+            self.define(f"{p}B", float(f), INFORMATION)
+        # Strict decadic spellings, for completeness.
+        for p in ("M", "G", "T"):
+            self.define(f"{p}B_dec", _SI[p], INFORMATION)
+        self.define("kB_dec", 1e3, INFORMATION)
+
+        # Frequency.
+        for p in ("", "k", "M", "G", "T"):
+            self.define(f"{p}Hz", _SI[p], FREQUENCY)
+
+        # Power.
+        for p in ("p", "n", "u", "µ", "m", "", "k", "M"):
+            self.define(f"{p}W", _SI[p], POWER)
+
+        # Energy.
+        for p in ("p", "n", "u", "µ", "m", "", "k", "M"):
+            self.define(f"{p}J", _SI[p], ENERGY)
+        self.define("Wh", 3600.0, ENERGY)
+        self.define("kWh", 3.6e6, ENERGY)
+
+        # Time.
+        for p in ("p", "n", "u", "µ", "m", ""):
+            self.define(f"{p}s", _SI[p], TIME)
+        self.define("min", 60.0, TIME)
+        self.define("h", 3600.0, TIME)
+
+        # Bandwidth: transfer rates are decadic even on memory data sheets
+        # (DDR3-1600 is 12.8e9 B/s); only the IEC spellings are binary.
+        self.define("B/s", 1.0, BANDWIDTH)
+        for p, f in _IEC.items():
+            self.define(f"{p}B/s", float(f), BANDWIDTH)
+        for p in ("k", "K", "M", "G", "T"):
+            self.define(f"{p}B/s", _SI[p.lower() if p == "K" else p], BANDWIDTH)
+        for p in ("k", "M", "G", "T"):
+            self.define(f"{p}bit/s", _SI[p] / 8, BANDWIDTH)
+            self.define(f"{p}b/s", _SI[p] / 8, BANDWIDTH)
+
+        # Voltage / temperature.
+        for p in ("m", "", "k"):
+            self.define(f"{p}V", _SI[p], VOLTAGE)
+        self.define("K", 1.0, TEMPERATURE)
+        # Celsius appears on data sheets; model it as offset-free delta-K,
+        # which is what thermal headroom arithmetic needs.
+        self.define("dC", 1.0, TEMPERATURE)
+        # Thermal RC parameters (junction-to-ambient resistance, heat
+        # capacity), for the thermal extension of hardware components.
+        self.define("K/W", 1.0, TEMPERATURE / POWER)
+        self.define("dC/W", 1.0, TEMPERATURE / POWER)
+        self.define("J/K", 1.0, ENERGY / TEMPERATURE)
+
+        # Dimensionless helpers.
+        self.define("1", 1.0, DIMENSIONLESS)
+        self.define("%", 0.01, DIMENSIONLESS)
+
+        for dim, sym in (
+            (INFORMATION, "B"),
+            (FREQUENCY, "Hz"),
+            (POWER, "W"),
+            (ENERGY, "J"),
+            (TIME, "s"),
+            (BANDWIDTH, "B/s"),
+            (VOLTAGE, "V"),
+            (TEMPERATURE, "K"),
+            (DIMENSIONLESS, "1"),
+        ):
+            self.set_canonical(dim, sym)
+
+
+#: Shared default registry; model loading uses this unless told otherwise.
+DEFAULT_REGISTRY = UnitRegistry()

@@ -1,0 +1,43 @@
+"""Programmatic DOM construction helpers.
+
+Model emitters (discovery, PDL->XPDL conversion, codegen) build DOM trees in
+code; these helpers keep that free of span boilerplate.
+"""
+
+from __future__ import annotations
+
+from ..diagnostics import SourceSpan
+from .dom import XmlComment, XmlDocument, XmlElement, XmlText
+
+_SYNTH = "<generated>"
+
+
+def synth_span() -> SourceSpan:
+    """Span for generated (not parsed) nodes."""
+    return SourceSpan.unknown(_SYNTH)
+
+
+def element(
+    tag: str,
+    attrs: dict[str, str] | None = None,
+    children: list[XmlElement] | None = None,
+) -> XmlElement:
+    """Create a generated element with attributes and element children."""
+    e = XmlElement(synth_span(), tag=tag)
+    for k, v in (attrs or {}).items():
+        e.set(k, str(v))
+    for c in children or []:
+        e.append(c)
+    return e
+
+
+def text(value: str) -> XmlText:
+    return XmlText(synth_span(), value)
+
+
+def comment(value: str) -> XmlComment:
+    return XmlComment(synth_span(), value)
+
+
+def document(root: XmlElement, *, source_name: str = _SYNTH) -> XmlDocument:
+    return XmlDocument(source_name=source_name, root=root)

@@ -1,0 +1,154 @@
+"""A minimal XML document object model with source spans.
+
+This DOM is deliberately small: elements, text, CDATA, comments and
+processing instructions — exactly what ``.xpdl`` descriptors need.  Every
+node carries the :class:`~repro.diagnostics.SourceSpan` it was parsed from so
+later passes (schema validation, composition) can point at the original text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..diagnostics import SourceSpan
+
+
+@dataclass(slots=True)
+class XmlNode:
+    """Base class for DOM nodes."""
+
+    span: SourceSpan
+
+
+@dataclass(slots=True)
+class XmlText(XmlNode):
+    """Character data (entity references already decoded)."""
+
+    text: str
+
+    def is_whitespace(self) -> bool:
+        return not self.text.strip()
+
+
+@dataclass(slots=True)
+class XmlCData(XmlNode):
+    """A ``<![CDATA[...]]>`` section, kept distinct for faithful round-trip."""
+
+    text: str
+
+
+@dataclass(slots=True)
+class XmlComment(XmlNode):
+    text: str
+
+
+@dataclass(slots=True)
+class XmlPI(XmlNode):
+    """Processing instruction ``<?target data?>``."""
+
+    target: str
+    data: str
+
+
+@dataclass(slots=True)
+class XmlAttribute:
+    """One attribute, with separate spans for name and value."""
+
+    name: str
+    value: str
+    name_span: SourceSpan
+    value_span: SourceSpan
+
+
+@dataclass(slots=True)
+class XmlElement(XmlNode):
+    """An element node.
+
+    ``attribute_order`` preserves source order for round-trip; ``attributes``
+    provides O(1) lookup.
+    """
+
+    tag: str
+    attributes: dict[str, XmlAttribute] = field(default_factory=dict)
+    children: list[XmlNode] = field(default_factory=list)
+    attribute_order: list[str] = field(default_factory=list)
+
+    # -- attribute access ---------------------------------------------------
+    def get(self, name: str, default: str | None = None) -> str | None:
+        attr = self.attributes.get(name)
+        return attr.value if attr is not None else default
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.attributes
+
+    def set(self, name: str, value: str, span: SourceSpan | None = None) -> None:
+        span = span or self.span
+        if name not in self.attributes:
+            self.attribute_order.append(name)
+        self.attributes[name] = XmlAttribute(name, value, span, span)
+
+    def remove_attribute(self, name: str) -> None:
+        if name in self.attributes:
+            del self.attributes[name]
+            self.attribute_order.remove(name)
+
+    def attr_items(self) -> Iterator[tuple[str, str]]:
+        for name in self.attribute_order:
+            yield name, self.attributes[name].value
+
+    def attr_span(self, name: str) -> SourceSpan:
+        """Span of an attribute's value (falls back to the element span)."""
+        attr = self.attributes.get(name)
+        return attr.value_span if attr is not None else self.span
+
+    # -- child access --------------------------------------------------------
+    def elements(self, tag: str | None = None) -> list["XmlElement"]:
+        """Child elements, optionally filtered by tag."""
+        out = [c for c in self.children if isinstance(c, XmlElement)]
+        if tag is not None:
+            out = [c for c in out if c.tag == tag]
+        return out
+
+    def first(self, tag: str) -> "XmlElement | None":
+        for c in self.children:
+            if isinstance(c, XmlElement) and c.tag == tag:
+                return c
+        return None
+
+    def text_content(self) -> str:
+        """Concatenated character data of direct children."""
+        parts = []
+        for c in self.children:
+            if isinstance(c, (XmlText, XmlCData)):
+                parts.append(c.text)
+        return "".join(parts)
+
+    def append(self, node: XmlNode) -> None:
+        self.children.append(node)
+
+    def iter(self, tag: str | None = None) -> Iterator["XmlElement"]:
+        """Depth-first pre-order iteration over descendant elements."""
+        if tag is None or self.tag == tag:
+            yield self
+        for c in self.children:
+            if isinstance(c, XmlElement):
+                yield from c.iter(tag)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        attrs = " ".join(f'{k}="{v}"' for k, v in self.attr_items())
+        return f"<{self.tag}{' ' + attrs if attrs else ''} …>"
+
+
+@dataclass(slots=True)
+class XmlDocument:
+    """A parsed document: optional prolog nodes plus one root element."""
+
+    source_name: str
+    root: XmlElement
+    prolog: list[XmlNode] = field(default_factory=list)
+    epilog: list[XmlNode] = field(default_factory=list)
+    xml_decl: dict[str, str] = field(default_factory=dict)
+
+    def iter(self, tag: str | None = None) -> Iterator[XmlElement]:
+        return self.root.iter(tag)

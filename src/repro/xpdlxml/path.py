@@ -1,0 +1,116 @@
+"""A small path query language over the XML DOM.
+
+Supports the subset needed by the toolchain and tests:
+
+* ``tag`` — child elements with that tag
+* ``*`` — any child element
+* ``//tag`` — descendants with that tag
+* ``tag[3]`` — index within matches (0-based)
+* ``tag[@attr]`` / ``tag[@attr='v']`` — attribute presence / equality
+* path segments separated by ``/``
+
+Queries return lists of elements; they never raise on "no match".
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..diagnostics import QueryError
+from .dom import XmlElement
+
+_SEGMENT_RE = re.compile(
+    r"""^(?P<axis>//)?(?P<tag>\*|[A-Za-z_:][\w:.\-]*)
+        (?P<preds>(\[[^\]]*\])*)$""",
+    re.VERBOSE,
+)
+_PRED_RE = re.compile(
+    r"""\[(?:
+          (?P<index>\d+)
+        | @(?P<attr>[\w:.\-]+)\s*(?:=\s*'(?P<value>[^']*)')?
+        )\]""",
+    re.VERBOSE,
+)
+
+
+def _split_segments(path: str) -> list[str]:
+    """Split on '/' but keep '//' attached to the following segment."""
+    segments: list[str] = []
+    i = 0
+    n = len(path)
+    while i < n:
+        if path.startswith("//", i):
+            j = path.find("/", i + 2)
+            # find next single slash not starting a new '//'
+            seg_end = n
+            k = i + 2
+            while k < n:
+                if path[k] == "/":
+                    seg_end = k
+                    break
+                k += 1
+            segments.append(path[i:seg_end])
+            i = seg_end
+        elif path[i] == "/":
+            i += 1
+        else:
+            k = i
+            while k < n and path[k] != "/":
+                k += 1
+            segments.append(path[i:k])
+            i = k
+    return segments
+
+
+def _apply_segment(nodes: list[XmlElement], segment: str) -> list[XmlElement]:
+    m = _SEGMENT_RE.match(segment)
+    if m is None:
+        raise QueryError(f"malformed path segment {segment!r}")
+    tag = m.group("tag")
+    descend = m.group("axis") == "//"
+    matched: list[XmlElement] = []
+    seen: set[int] = set()
+    for node in nodes:
+        if descend:
+            candidates = [
+                e
+                for child in node.elements()
+                for e in child.iter(None)
+            ]
+        else:
+            candidates = node.elements()
+        for c in candidates:
+            if tag != "*" and c.tag != tag:
+                continue
+            if id(c) not in seen:
+                seen.add(id(c))
+                matched.append(c)
+    preds = m.group("preds") or ""
+    for pm in _PRED_RE.finditer(preds):
+        if pm.group("index") is not None:
+            idx = int(pm.group("index"))
+            matched = [matched[idx]] if idx < len(matched) else []
+        else:
+            attr = pm.group("attr")
+            value = pm.group("value")
+            if value is None:
+                matched = [e for e in matched if attr in e]
+            else:
+                matched = [e for e in matched if e.get(attr) == value]
+    return matched
+
+
+def find_all(root: XmlElement, path: str) -> list[XmlElement]:
+    """Evaluate ``path`` relative to ``root`` (root itself is the context)."""
+    nodes = [root]
+    for segment in _split_segments(path):
+        nodes = _apply_segment(nodes, segment)
+        if not nodes:
+            return []
+    return nodes
+
+
+def find_first(root: XmlElement, path: str) -> XmlElement | None:
+    """First match of ``path`` or ``None``."""
+    matches = find_all(root, path)
+    return matches[0] if matches else None

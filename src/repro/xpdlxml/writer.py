@@ -1,0 +1,152 @@
+"""Canonical XML serialization for the span-carrying DOM.
+
+Two modes: *pretty* (indented, one attribute run per line when long) for
+human-maintained descriptors, and *compact* for machine artifacts.  Escaping
+is strict so that ``parse(write(doc))`` round-trips element structure,
+attributes and character data exactly (modulo insignificant whitespace in
+pretty mode).
+"""
+
+from __future__ import annotations
+
+from .dom import (
+    XmlCData,
+    XmlComment,
+    XmlDocument,
+    XmlElement,
+    XmlNode,
+    XmlPI,
+    XmlText,
+)
+
+
+def escape_text(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attr(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace('"', "&quot;")
+        .replace("\n", "&#10;")
+        .replace("\t", "&#9;")
+    )
+
+
+class XmlWriter:
+    """Stateful serializer; construct once per document."""
+
+    def __init__(
+        self,
+        *,
+        pretty: bool = True,
+        indent: str = "  ",
+        max_line: int = 100,
+    ) -> None:
+        self.pretty = pretty
+        self.indent = indent
+        self.max_line = max_line
+        self._out: list[str] = []
+
+    # -- public -----------------------------------------------------------
+    def write_document(self, doc: XmlDocument) -> str:
+        self._out = []
+        decl = doc.xml_decl or {"version": "1.0", "encoding": "UTF-8"}
+        decl_attrs = " ".join(f'{k}="{escape_attr(v)}"' for k, v in decl.items())
+        self._out.append(f"<?xml {decl_attrs}?>")
+        if self.pretty:
+            self._out.append("\n")
+        for node in doc.prolog:
+            self._write_node(node, 0)
+            if self.pretty:
+                self._out.append("\n")
+        self._write_node(doc.root, 0)
+        for node in doc.epilog:
+            if self.pretty:
+                self._out.append("\n")
+            self._write_node(node, 0)
+        if self.pretty:
+            self._out.append("\n")
+        return "".join(self._out)
+
+    def write_element(self, elem: XmlElement) -> str:
+        self._out = []
+        self._write_node(elem, 0)
+        return "".join(self._out)
+
+    # -- internals ----------------------------------------------------------
+    def _write_node(self, node: XmlNode, depth: int) -> None:
+        if isinstance(node, XmlElement):
+            self._write_element(node, depth)
+        elif isinstance(node, XmlText):
+            self._out.append(escape_text(node.text))
+        elif isinstance(node, XmlCData):
+            # ']]>' cannot appear inside CDATA; split it across sections.
+            body = node.text.replace("]]>", "]]]]><![CDATA[>")
+            self._out.append(f"<![CDATA[{body}]]>")
+        elif isinstance(node, XmlComment):
+            body = node.text.replace("--", "- -")
+            self._out.append(f"<!--{body}-->")
+        elif isinstance(node, XmlPI):
+            data = f" {node.data}" if node.data else ""
+            self._out.append(f"<?{node.target}{data}?>")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot serialize {type(node).__name__}")
+
+    def _open_tag(self, elem: XmlElement, depth: int, *, self_close: bool) -> str:
+        parts = [f"<{elem.tag}"]
+        attrs = [f'{k}="{escape_attr(v)}"' for k, v in elem.attr_items()]
+        one_line = f"<{elem.tag}" + ("".join(" " + a for a in attrs))
+        pad = self.indent * depth
+        if (
+            self.pretty
+            and attrs
+            and len(pad) + len(one_line) + 2 > self.max_line
+        ):
+            joiner = "\n" + pad + self.indent * 2
+            parts.append(joiner + joiner.join(attrs))
+        else:
+            parts.extend(" " + a for a in attrs)
+        parts.append(" />" if self_close else ">")
+        return "".join(parts)
+
+    def _write_element(self, elem: XmlElement, depth: int) -> None:
+        pad = self.indent * depth if self.pretty else ""
+        significant = [
+            c
+            for c in elem.children
+            if not (isinstance(c, XmlText) and c.is_whitespace())
+        ]
+        if not significant:
+            self._out.append(pad + self._open_tag(elem, depth, self_close=True))
+            return
+        text_only = all(isinstance(c, (XmlText, XmlCData)) for c in significant)
+        self._out.append(pad + self._open_tag(elem, depth, self_close=False))
+        if text_only:
+            for c in significant:
+                self._write_node(c, depth + 1)
+            self._out.append(f"</{elem.tag}>")
+            return
+        for c in significant:
+            if self.pretty:
+                self._out.append("\n")
+            if isinstance(c, (XmlText, XmlCData)):
+                if self.pretty:
+                    self._out.append(self.indent * (depth + 1))
+                self._write_node(c, depth + 1)
+            else:
+                self._write_node(c, depth + 1)
+        if self.pretty:
+            self._out.append("\n" + pad)
+        self._out.append(f"</{elem.tag}>")
+
+
+def write_xml(doc: XmlDocument, *, pretty: bool = True) -> str:
+    """Serialize a document to a string."""
+    return XmlWriter(pretty=pretty).write_document(doc)
+
+
+def write_element(elem: XmlElement, *, pretty: bool = True) -> str:
+    """Serialize a single element subtree to a string."""
+    return XmlWriter(pretty=pretty).write_element(elem)

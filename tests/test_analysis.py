@@ -1,0 +1,259 @@
+"""Tests for static analyses: synthesized attrs, bandwidth, lint, filters."""
+
+import pytest
+
+from repro.analysis import (
+    FilterConfig,
+    SynthesisEngine,
+    SynthesizedAttribute,
+    count_cores,
+    count_cuda_devices,
+    count_placeholders,
+    downgrade_bandwidths,
+    filter_model,
+    lint_model,
+    path_bandwidth,
+    physical_children,
+    placeholder_sites,
+    runtime_default_filter,
+    topology_graph,
+    total_static_power,
+)
+from repro.diagnostics import DiagnosticSink
+from repro.model import from_document
+from repro.units import Quantity
+from repro.xpdlxml import parse_xml
+
+
+def model(text: str):
+    return from_document(parse_xml(text))
+
+
+class TestSynthesized:
+    def test_static_power_sums_children(self):
+        m = model(
+            "<node id='n'>"
+            "<memory id='m1' size='4' unit='GB' static_power='2' static_power_unit='W'/>"
+            "<memory id='m2' size='4' unit='GB' static_power='3' static_power_unit='W'/>"
+            "</node>"
+        )
+        assert total_static_power(m).to("W") == pytest.approx(5)
+
+    def test_own_power_adds_on_top(self):
+        # Motherboard-style residual on the node itself (Sec. III-A).
+        m = model(
+            "<node id='n' static_power='10' static_power_unit='W'>"
+            "<memory id='m1' static_power='2' static_power_unit='W'/>"
+            "</node>"
+        )
+        assert total_static_power(m).to("W") == pytest.approx(12)
+
+    def test_power_model_content_not_counted(self):
+        m = model(
+            "<cpu name='c'>"
+            "<power_model><power_domains><power_domain name='p'>"
+            "<core type='all'/></power_domain></power_domains></power_model>"
+            "<core/><core/>"
+            "</cpu>"
+        )
+        assert count_cores(m) == 2
+
+    def test_cuda_device_detection(self):
+        m = model(
+            "<system id='s'>"
+            "<device id='g1'><programming_model type='cuda6.0,opencl'/></device>"
+            "<device id='g2'><programming_model type='opencl'/></device>"
+            "<device id='g3'/>"
+            "</system>"
+        )
+        assert count_cuda_devices(m) == 1
+
+    def test_custom_rule(self):
+        engine = SynthesisEngine()
+        engine.define(
+            SynthesizedAttribute(
+                "endian_count",
+                lambda e, kids: (1 if "endian" in e.attrs else 0) + sum(kids),
+            )
+        )
+        m = model("<cpu name='c'><core endian='BE'/><core endian='LE'/></cpu>")
+        assert engine.evaluate("endian_count", m) == 2
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            SynthesisEngine().evaluate("nope", model("<cpu name='c'/>"))
+
+    def test_memoization(self):
+        engine = SynthesisEngine()
+        m = model("<cpu name='c'><core/></cpu>")
+        assert engine.evaluate("core_count", m) == 1
+        m.add(model("<core/>"))
+        # Memoized: stale until cache cleared.
+        assert engine.evaluate("core_count", m) == 1
+        engine.clear_cache()
+        assert engine.evaluate("core_count", m) == 2
+
+    def test_physical_children_excludes_descriptive(self):
+        m = model("<cpu name='c'><core/><power_model/><properties/></cpu>")
+        assert [c.kind for c in physical_children(m)] == ["core"]
+
+    def test_paper_liu_static_power(self, liu_server):
+        # 2 x DDR3_16G (4 W) + K20c (25 W) = 33 W.
+        assert total_static_power(liu_server.root).to("W") == pytest.approx(33)
+
+    def test_paper_liu_counts(self, liu_server):
+        assert count_cores(liu_server.root) == 2500
+        assert count_cuda_devices(liu_server.root) == 1
+
+
+LINKED = """
+<system id='s'>
+  <cpu id='host'>
+    <memory id='hm' size='16' unit='GB' bandwidth='10' bandwidth_unit='GB/s'/>
+  </cpu>
+  <device id='dev'>
+    <memory id='dm' size='4' unit='GB' bandwidth='2' bandwidth_unit='GB/s'/>
+  </device>
+  <interconnects>
+    <interconnect id='link' head='host' tail='dev'
+                  max_bandwidth='6' max_bandwidth_unit='GB/s'>
+      <channel name='up' max_bandwidth='6' max_bandwidth_unit='GB/s'/>
+    </interconnect>
+  </interconnects>
+</system>
+"""
+
+
+class TestBandwidth:
+    def test_downgrade_to_slowest_endpoint(self):
+        m = model(LINKED)
+        sink = DiagnosticSink()
+        reports = downgrade_bandwidths(m, sink)
+        assert len(reports) == 1
+        r = reports[0]
+        assert r.effective.to("GB/s") == pytest.approx(2)
+        assert "dm" in r.limiting or "dev" in r.limiting
+        assert any(d.code == "XPDL0500" for d in sink)
+
+    def test_channel_effective_written(self):
+        m = model(LINKED)
+        downgrade_bandwidths(m)
+        ch = [e for e in m.walk() if e.kind == "channel"][0]
+        assert ch.quantity("effective_bandwidth").to("GB/s") == pytest.approx(2)
+
+    def test_no_endpoint_limits(self):
+        m = model(
+            "<system id='s'><cpu id='a'/><cpu id='b'/>"
+            "<interconnects><interconnect id='l' head='a' tail='b' "
+            "max_bandwidth='5' max_bandwidth_unit='GB/s'/></interconnects></system>"
+        )
+        reports = downgrade_bandwidths(m)
+        assert reports[0].effective.to("GB/s") == pytest.approx(5)
+
+    def test_meta_interconnects_skipped(self):
+        m = model("<interconnect name='pcie3' max_bandwidth='6' max_bandwidth_unit='GiB/s'/>")
+        assert downgrade_bandwidths(m) == []
+
+    def test_topology_graph(self, xs_cluster):
+        g = topology_graph(xs_cluster.root)
+        assert g.has_edge("n0", "n1")
+        assert g.number_of_edges() >= 4
+
+    def test_path_bandwidth_multihop(self, xs_cluster):
+        downgrade_bandwidths(xs_cluster.root)
+        bw, path = path_bandwidth(xs_cluster.root, "n0", "n2")
+        assert bw is not None
+        assert path[0] == "n0" and path[-1] == "n2"
+
+    def test_path_bandwidth_no_path(self, liu_server):
+        bw, path = path_bandwidth(liu_server.root, "gpu_host", "nonexistent")
+        assert bw is None and path == []
+
+
+class TestLint:
+    def test_duplicate_ids_same_scope(self):
+        m = model("<system id='s'><memory id='m'/><memory id='m'/></system>")
+        sink = DiagnosticSink()
+        report = lint_model(m, sink)
+        assert report.duplicate_ids == 1
+
+    def test_duplicate_ids_across_scopes_ok(self, xs_cluster):
+        # Listing 11 reuses gpu1 inside every replicated node.
+        sink = DiagnosticSink()
+        report = lint_model(xs_cluster.root, sink)
+        assert report.duplicate_ids == 0
+
+    def test_psm_incomplete_transitions_flagged(self, repo):
+        # Listing 13 only models three of six switchings.
+        m = repo.load_model("power_state_machine1")
+        sink = DiagnosticSink()
+        report = lint_model(m, sink)
+        assert report.psm_problems >= 3
+        assert any(d.code == "XPDL0612" for d in sink)
+
+    def test_psm_bad_state_ref(self):
+        m = model(
+            "<power_state_machine name='p'>"
+            "<power_states><power_state name='P1'/></power_states>"
+            "<transitions><transition head='P1' tail='P9'/></transitions>"
+            "</power_state_machine>"
+        )
+        sink = DiagnosticSink()
+        lint_model(m, sink)
+        assert any(d.code == "XPDL0611" for d in sink)
+
+    def test_endian_mismatch_warned(self, myriad_server):
+        sink = DiagnosticSink()
+        report = lint_model(myriad_server.root, sink)
+        # Host (x86) to Myriad board: the Leon side is BE.
+        assert report.endian_warnings >= 1
+
+    def test_placeholders_counted(self, repo):
+        m = repo.load_model("pcie3")
+        assert count_placeholders(m) == 4
+        sites = placeholder_sites(m)
+        assert all(attr.endswith("per_message") for _e, attr in sites)
+
+    def test_mb_ref_checked(self):
+        m = model(
+            "<power_model name='pm'>"
+            "<instructions name='isa' mb='suite'>"
+            "<inst name='x' energy='?' energy_unit='pJ' mb='ghost'/></instructions>"
+            "<microbenchmarks id='suite'><microbenchmark id='real' type='x'/>"
+            "</microbenchmarks></power_model>"
+        )
+        sink = DiagnosticSink()
+        report = lint_model(m, sink)
+        assert report.dangling_mb_refs == 1
+
+
+class TestFilters:
+    def test_drop_attrs(self):
+        m = model("<microbenchmark id='m' file='x.c' cflags='-O0' lflags='-lm'/>")
+        out, dropped_attrs, dropped_elems = filter_model(
+            m, runtime_default_filter()
+        )
+        assert dropped_attrs == 2
+        assert "cflags" not in out.attrs and "file" in out.attrs
+
+    def test_drop_elements(self):
+        m = model("<system id='s'><properties><property name='k'/></properties><cpu id='c'/></system>")
+        cfg = FilterConfig().drop_elements("properties")
+        out, _a, dropped = filter_model(m, cfg)
+        assert dropped == 1
+        assert [c.kind for c in out.children] == ["cpu"]
+
+    def test_drop_attr_when(self):
+        m = model("<cpu id='c' note='x' frequency='2' frequency_unit='GHz'/>")
+        cfg = FilterConfig().drop_attr_when(lambda e, n, v: n == "note")
+        out, dropped, _e = filter_model(m, cfg)
+        assert dropped == 1 and "note" not in out.attrs
+
+    def test_default_filter_keeps_energy_data(self, liu_server):
+        out, _a, _e = filter_model(liu_server.root, runtime_default_filter())
+        assert count_placeholders(out) == count_placeholders(liu_server.root)
+
+    def test_original_untouched(self):
+        m = model("<microbenchmark id='m' cflags='-O0'/>")
+        filter_model(m, runtime_default_filter())
+        assert "cflags" in m.attrs

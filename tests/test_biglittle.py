@@ -1,0 +1,112 @@
+"""Tests for the big.LITTLE platform (odroid_xu3 corpus extension)."""
+
+import pytest
+
+from repro.analysis import infer_control_relation, total_static_power
+from repro.composer import compose_model
+from repro.power import ThermalNode
+from repro.scheduling import EnergyAwareScheduler, Task, TaskGraph
+from repro.simhw import testbed_from_model
+from repro.units import Quantity
+
+MIX = {"vadd_f32": 3_000_000, "vmul_f32": 2_000_000, "ldr": 2_000_000}
+
+
+@pytest.fixture(scope="module")
+def odroid(repo):
+    return compose_model(repo, "odroid_xu3")
+
+
+@pytest.fixture(scope="module")
+def bed(odroid):
+    return testbed_from_model(odroid.root)
+
+
+class TestComposition:
+    def test_composes_clean(self, odroid):
+        assert not odroid.sink.has_errors(), odroid.sink.render()
+
+    def test_cluster_structure(self, odroid):
+        big = odroid.by_id("big")
+        little = odroid.by_id("little")
+        from repro.analysis import physical_walk
+
+        assert sum(1 for e in physical_walk(big) if e.kind == "core") == 4
+        assert sum(1 for e in physical_walk(little) if e.kind == "core") == 4
+
+    def test_control_relation(self, odroid):
+        rel = infer_control_relation(odroid.root)[0]
+        assert rel.root.ident == "big"  # declared role="master"
+        assert [h.ident for h in rel.by_role("hybrid")] == ["little"]
+
+    def test_static_power(self, odroid):
+        assert total_static_power(odroid.root).to("W") == pytest.approx(0.35)
+
+    def test_thermal_parameters(self, odroid):
+        node = ThermalNode.from_element(odroid.by_id("big"))
+        assert node is not None
+        assert node.max_temperature_c == pytest.approx(85.0)
+        # The big cluster can exceed its limit at full tilt: steady state
+        # at 3.8 W is above 85 C minus ambient headroom.
+        assert node.steady_state_c(3.8 + 4.0) > 85.0
+
+
+class TestAsymmetry:
+    def test_big_faster_little_cheaper(self, bed):
+        big, little = bed.machine("big"), bed.machine("little")
+        rb = big.run_stream(MIX)
+        rl = little.run_stream(MIX)
+        assert rb.duration < rl.duration
+        assert rl.energy < rb.energy
+
+    def test_shared_isa(self, bed):
+        big, little = bed.machine("big"), bed.machine("little")
+        assert set(big.truth.names()) == set(little.truth.names())
+
+    def test_dvfs_ladders_differ(self, bed):
+        big, little = bed.machine("big"), bed.machine("little")
+        bf = [f.to("GHz") for f in big.available_frequencies()]
+        lf = [f.to("GHz") for f in little.available_frequencies()]
+        assert bf == [0.8, 1.4, 2.0]
+        assert lf == [0.5, 1.0, 1.4]
+
+
+class TestBigLittleScheduling:
+    def _graph(self):
+        tg = TaskGraph()
+        for i in range(4):
+            tg.add_task(Task(f"t{i}", {"armv7": dict(MIX)}))
+        for i in range(3):
+            tg.add_dependency(f"t{i}", f"t{i + 1}", nbytes=100_000)
+        return tg
+
+    def test_heft_prefers_big(self, bed):
+        sched = EnergyAwareScheduler(bed)
+        s = sched.schedule(self._graph())
+        assert all(p.machine == "big" for p in s.placements.values())
+
+    def test_slack_migrates_work_down_the_ladder(self, bed):
+        """With slack, DVFS reclamation slows the big cluster; energy
+        drops while the deadline holds."""
+        sched = EnergyAwareScheduler(bed)
+        idle = {m: sched.idle_power(m) for m in sched.machine_names}
+        tg = self._graph()
+        s = sched.schedule(tg)
+        base = s.total_energy(idle)
+        sched.reclaim_slack(tg, s, deadline=s.makespan * 4.0)
+        assert s.total_energy(idle) < base * 0.8
+        states = {p.state for p in s.placements.values()}
+        assert "P2000" not in states  # everything slowed below the top
+
+    def test_race_vs_crawl_energy(self, bed):
+        """The classic comparison: for a fixed job, the LITTLE cluster is
+        the energy winner, the big cluster the latency winner."""
+        big, little = bed.machine("big"), bed.machine("little")
+        rb, rl = big.run_stream(MIX), little.run_stream(MIX)
+        # Account the other cluster's idle draw during each choice.
+        big_idle = 0.05  # gated
+        little_idle = little.psm.idle_state().power.magnitude
+        e_race = rb.energy.magnitude + little_idle * rb.duration.magnitude
+        e_crawl = rl.energy.magnitude + big_idle * rl.duration.magnitude
+        assert e_crawl < e_race
+        assert rb.duration.magnitude < rl.duration.magnitude

@@ -1,0 +1,225 @@
+"""Tests for the descriptor-driven cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.diagnostics import XpdlError
+from repro.model import from_document
+from repro.simhw import (
+    CacheGeometry,
+    Replacement,
+    SimCache,
+    WritePolicy,
+    random_trace,
+    sequential_trace,
+    strided_trace,
+)
+from repro.xpdlxml import parse_xml
+
+
+def cache(
+    size=4096, line=64, ways=2, repl=Replacement.LRU, wp=WritePolicy.COPYBACK
+) -> SimCache:
+    return SimCache(
+        CacheGeometry(size, line, ways), replacement=repl, write_policy=wp
+    )
+
+
+class TestGeometry:
+    def test_basic(self):
+        g = CacheGeometry(32 * 1024, 64, 4)
+        assert g.n_sets == 128
+
+    def test_direct_mapped(self):
+        g = CacheGeometry(4096, 64, 1)
+        assert g.n_sets == 64
+
+    def test_fully_associative(self):
+        g = CacheGeometry(4096, 64, 64)
+        assert g.n_sets == 1
+
+    def test_bad_geometry(self):
+        with pytest.raises(XpdlError):
+            CacheGeometry(1000, 64, 2)  # not line-aligned
+        with pytest.raises(XpdlError):
+            CacheGeometry(4096, 64, 3)  # lines don't divide into ways
+        with pytest.raises(XpdlError):
+            CacheGeometry(0, 64, 1)
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = cache()
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(63)  # same line
+        assert not c.access(64)  # next line
+        assert c.stats.hits == 2 and c.stats.misses == 2
+
+    def test_working_set_fits_no_capacity_misses(self):
+        c = cache(size=4096)
+        trace = sequential_trace(64, stride=64)  # exactly the cache size
+        c.run_trace(trace)
+        c.run_trace(trace)  # second pass: all hits
+        assert c.stats.misses == 64
+        assert c.stats.hits == 64
+
+    def test_streaming_always_misses(self):
+        c = cache(size=4096)
+        trace = sequential_trace(1000, stride=64, start=0)
+        stats = c.run_trace(trace)
+        assert stats.miss_rate == 1.0
+
+    def test_reset(self):
+        c = cache()
+        c.access(0)
+        c.reset()
+        assert c.stats.accesses == 0
+        assert not c.access(0)  # cold again
+
+
+class TestReplacement:
+    def test_lru_keeps_hot_line(self):
+        # 2-way set: A, B, touch A again, then C evicts B (LRU), not A.
+        c = cache(size=2 * 64, line=64, ways=2)  # one set, two ways
+        a, b, cc = 0, 64, 128
+        c.access(a)
+        c.access(b)
+        c.access(a)  # refresh A
+        c.access(cc)  # evicts B under LRU
+        assert c.access(a)  # still resident
+        assert not c.access(b)  # was evicted
+
+    def test_fifo_ignores_hits(self):
+        c = cache(size=2 * 64, line=64, ways=2, repl=Replacement.FIFO)
+        a, b, cc = 0, 64, 128
+        c.access(a)
+        c.access(b)
+        c.access(a)  # hit does NOT refresh under FIFO
+        c.access(cc)  # evicts A (oldest fill)
+        assert not c.access(a)
+
+    def test_random_is_seeded(self):
+        t = random_trace(5000, working_set=64 * 1024, seed=3)
+        c1 = SimCache(CacheGeometry(4096, 64, 2), replacement=Replacement.RANDOM, seed=9)
+        c2 = SimCache(CacheGeometry(4096, 64, 2), replacement=Replacement.RANDOM, seed=9)
+        assert c1.run_trace(t).misses == c2.run_trace(t).misses
+
+    def test_plru_behaves_reasonably(self):
+        c = cache(size=8 * 64, line=64, ways=4, repl=Replacement.PLRU)
+        trace = strided_trace(2000, stride=64, wrap=4 * 64)
+        stats = c.run_trace(trace)
+        # Working set of 4 lines in 2 sets x 4 ways: converges to hits.
+        assert stats.miss_rate < 0.1
+
+    def test_lru_beats_fifo_on_loops(self):
+        """The classic: a loop slightly larger than one way's reach."""
+        trace = strided_trace(4000, stride=64, wrap=6 * 64)
+        lru = cache(size=8 * 64, line=64, ways=8, repl=Replacement.LRU)
+        fifo = cache(size=8 * 64, line=64, ways=8, repl=Replacement.FIFO)
+        m_lru = lru.run_trace(trace).miss_rate
+        m_fifo = fifo.run_trace(trace).miss_rate
+        assert m_lru <= m_fifo + 1e-9
+
+
+class TestWritePolicies:
+    def test_copyback_writeback_on_eviction(self):
+        c = cache(size=64, line=64, ways=1)  # one line
+        c.access(0, write=True)  # dirty it
+        c.access(64)  # evict -> write-back
+        assert c.stats.writebacks == 1
+
+    def test_writethrough_counts_traffic(self):
+        c = cache(wp=WritePolicy.WRITETHROUGH)
+        c.access(0)  # read-allocate the line
+        c.access(0, write=True)
+        assert c.stats.writethroughs == 1
+        assert c.stats.writebacks == 0
+
+    def test_writethrough_no_write_allocate(self):
+        c = cache(wp=WritePolicy.WRITETHROUGH)
+        c.access(0, write=True)  # miss: goes to memory, no fill
+        assert not c.access(0)  # still a miss
+
+    def test_clean_eviction_no_writeback(self):
+        c = cache(size=64, line=64, ways=1)
+        c.access(0)
+        c.access(64)
+        assert c.stats.writebacks == 0
+
+
+class TestFromDescriptor:
+    def test_shave_l2(self, repo):
+        c = SimCache.from_element(repo.load_model("ShaveL2"))
+        assert c.geometry.size_bytes == 128 * 1024
+        assert c.geometry.ways == 2
+        assert c.replacement is Replacement.LRU
+        assert c.write_policy is WritePolicy.COPYBACK
+
+    def test_writethrough_descriptor(self, repo):
+        myriad = repo.load_model("Movidius_Myriad1")
+        from repro.model import Cache
+
+        leon_dc = next(
+            e for e in myriad.find_all(Cache) if e.name == "Leon_DC"
+        )
+        c = SimCache.from_element(leon_dc, line_bytes=32)
+        assert c.write_policy is WritePolicy.WRITETHROUGH
+
+    def test_declared_energy_attributes(self):
+        elem = from_document(
+            parse_xml(
+                "<cache name='x' size='4' unit='KiB' sets='2' "
+                "hit_energy='5' hit_energy_unit='pJ' "
+                "miss_energy='50' miss_energy_unit='pJ'/>"
+            )
+        )
+        c = SimCache.from_element(elem)
+        assert c.hit_energy_j == pytest.approx(5e-12)
+        assert c.miss_energy_j == pytest.approx(50e-12)
+
+    def test_default_energy_scales_with_size(self, repo):
+        small = SimCache.from_element(
+            from_document(parse_xml("<cache name='s' size='4' unit='KiB'/>"))
+        )
+        big = SimCache.from_element(
+            from_document(parse_xml("<cache name='b' size='4' unit='MiB'/>"))
+        )
+        assert big.hit_energy_j > small.hit_energy_j
+
+    def test_energy_accounting(self):
+        c = cache()
+        c.run_trace(sequential_trace(100, stride=64))
+        e = c.energy()
+        assert e.magnitude == pytest.approx(100 * c.miss_energy_j)
+
+    def test_not_a_cache_rejected(self):
+        with pytest.raises(XpdlError):
+            SimCache.from_element(from_document(parse_xml("<core/>")))
+
+    def test_sizeless_cache_rejected(self):
+        with pytest.raises(XpdlError):
+            SimCache.from_element(
+                from_document(parse_xml("<cache name='x' type='T'/>"))
+            )
+
+
+class TestMissRateShape:
+    def test_miss_rate_rises_with_working_set(self):
+        rates = []
+        for ws in (2 * 1024, 8 * 1024, 64 * 1024, 512 * 1024):
+            c = cache(size=8 * 1024, ways=4)
+            t = random_trace(20_000, working_set=ws, seed=5)
+            rates.append(c.run_trace(t).miss_rate)
+        assert rates == sorted(rates)
+        assert rates[0] < 0.1 and rates[-1] > 0.7
+
+    def test_associativity_fixes_conflicts(self):
+        """Thrashing stride pattern: direct-mapped conflicts, 4-way holds."""
+        # Two lines mapping to the same set in a direct-mapped cache.
+        size, line = 4096, 64
+        conflict = np.array([0, size, 0, size] * 500, dtype=np.int64)
+        dm = cache(size=size, line=line, ways=1)
+        assoc = cache(size=size, line=line, ways=4)
+        assert dm.run_trace(conflict).miss_rate > 0.9
+        assert assoc.run_trace(conflict).miss_rate < 0.1

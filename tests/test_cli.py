@@ -1,0 +1,155 @@
+"""Tests for the xpdl CLI toolchain."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, str, str]:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestList:
+    def test_lists_corpus(self, capsys):
+        code, out, _err = run_cli(capsys, "list")
+        assert code == 0
+        assert "liu_gpu_server" in out
+        assert "Nvidia_K20c" in out
+
+
+class TestValidate:
+    def test_clean_descriptor(self, capsys):
+        code, out, _ = run_cli(capsys, "validate", "ShaveL2")
+        assert code == 0
+        assert "0 error(s)" in out
+
+    def test_placeholders_reported(self, capsys):
+        code, out, _ = run_cli(capsys, "validate", "pcie3")
+        assert code == 0
+        assert "4 placeholder(s)" in out
+
+    def test_unknown_identifier(self, capsys):
+        code, _out, err = run_cli(capsys, "validate", "ghost")
+        assert code == 2
+        assert "ghost" in err
+
+
+class TestComposeInfoQuery:
+    def test_pipeline(self, capsys, tmp_path):
+        out_file = str(tmp_path / "liu.xir")
+        code, out, _ = run_cli(capsys, "compose", "liu_gpu_server", "-o", out_file)
+        assert code == 0
+        assert os.path.exists(out_file)
+        assert "composed liu_gpu_server" in out
+
+        code, out, _ = run_cli(capsys, "info", out_file)
+        assert code == 0
+        assert "cores:           2500" in out
+        assert "cuda devices:    1" in out
+
+        code, out, _ = run_cli(
+            capsys, "query", out_file, "//device[@id='gpu1']"
+        )
+        assert code == 0
+        assert 'compute_capability="3.5"' in out
+
+    def test_filter_strips_build_flags(self, capsys, tmp_path):
+        out_file = str(tmp_path / "m.xir")
+        run_cli(capsys, "compose", "liu_gpu_server", "-o", out_file)
+        from repro.ir import IRModel
+
+        ir = IRModel.load(out_file)
+        assert not any("cflags" in n.attrs for n in ir.nodes)
+
+    def test_keep_all(self, capsys, tmp_path):
+        out_file = str(tmp_path / "m.xir")
+        run_cli(capsys, "compose", "liu_gpu_server", "-o", out_file, "--keep-all")
+        from repro.ir import IRModel
+
+        ir = IRModel.load(out_file)
+        assert any("cflags" in n.attrs for n in ir.nodes)
+
+
+class TestBenchgen:
+    def test_generates_sources_and_script(self, capsys, tmp_path):
+        d = str(tmp_path / "mb")
+        code, out, _ = run_cli(capsys, "benchgen", "mb_x86_base_1", "-d", d)
+        assert code == 0
+        files = os.listdir(d)
+        assert "fadd.c" in files
+        assert "mb_markers.c" in files
+        assert "mbscript.sh" in files
+        script = open(os.path.join(d, "mbscript.sh")).read()
+        assert script.startswith("#!/bin/sh")
+        assert os.access(os.path.join(d, "mbscript.sh"), os.X_OK)
+
+    def test_not_a_suite(self, capsys):
+        code, _out, err = run_cli(capsys, "benchgen", "ShaveL2", "-d", "/tmp/x")
+        assert code == 2
+
+
+class TestBootstrap:
+    def test_bootstrap_runs(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "bootstrap", "liu_gpu_server", "-r", "2", "--seed", "1"
+        )
+        assert code == 0
+        assert "fmul" in out
+        assert "bootstrapped" in out
+
+
+class TestCodegen:
+    def test_cpp_to_stdout(self, capsys):
+        code, out, _ = run_cli(capsys, "codegen-cpp")
+        assert code == 0
+        assert "class Cpu" in out
+
+    def test_py_to_file(self, capsys, tmp_path):
+        f = str(tmp_path / "api.py")
+        code, _out, _ = run_cli(capsys, "codegen-py", "-o", f)
+        assert code == 0
+        compile(open(f).read(), f, "exec")
+
+    def test_uml_schema(self, capsys):
+        code, out, _ = run_cli(capsys, "uml")
+        assert code == 0
+        assert "@startuml" in out
+
+    def test_uml_model(self, capsys):
+        code, out, _ = run_cli(capsys, "uml", "--model", "myriad_server")
+        assert code == 0
+        assert "myriad_server" in out
+
+    def test_schema_export(self, capsys, tmp_path):
+        f = str(tmp_path / "xpdl_schema.xml")
+        code, _out, _ = run_cli(capsys, "schema", "-o", f)
+        assert code == 0
+        from repro.schema import schema_from_xml
+
+        s = schema_from_xml(open(f).read())
+        assert "cpu" in s.tags()
+
+
+class TestDiscoverAndPdl:
+    def test_discover_canned(self, capsys, tmp_path):
+        d = str(tmp_path / "disc")
+        code, out, _ = run_cli(capsys, "discover", "-d", d, "--canned")
+        assert code == 0
+        assert os.path.isdir(os.path.join(d, "cpu"))
+        assert os.path.isdir(os.path.join(d, "system"))
+
+    def test_to_pdl(self, capsys):
+        code, out, _ = run_cli(capsys, "to-pdl", "liu_gpu_server")
+        assert code == 0
+        assert "<platform" in out
+        assert 'role="Master"' in out
+
+    def test_include_path(self, capsys, tmp_path):
+        (tmp_path / "extra.xpdl").write_text("<cpu name='ExtraChip'/>")
+        code, out, _ = run_cli(capsys, "-I", str(tmp_path), "list")
+        assert code == 0
+        assert "ExtraChip" in out

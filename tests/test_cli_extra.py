@@ -1,0 +1,89 @@
+"""CLI tests for the extension subcommands and the model search path."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.modellib import SEARCH_PATH_ENV, search_path_dirs, standard_repository
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    cap = capsys.readouterr()
+    return code, cap.out, cap.err
+
+
+class TestControlCommand:
+    def test_inferred_hierarchy(self, capsys):
+        code, out, _ = run_cli(capsys, "control", "liu_gpu_server")
+        assert code == 0
+        assert "gpu_host [master]" in out
+        assert "gpu1 [worker]" in out
+
+    def test_cluster_scopes(self, capsys):
+        code, out, _ = run_cli(capsys, "control", "XScluster")
+        assert code == 0
+        for scope in ("n0", "n1", "n2", "n3"):
+            assert f"scope {scope}" in out
+
+
+class TestToJsonCommand:
+    def test_raw_descriptor(self, capsys):
+        code, out, _ = run_cli(capsys, "to-json", "DDR3_16G")
+        assert code == 0
+        assert '"kind": "memory"' in out
+        assert '"static_power": "4"' in out
+
+    def test_composed(self, capsys):
+        code, out, _ = run_cli(capsys, "to-json", "myriad_server", "--compose")
+        assert code == 0
+        assert '"id": "mv153board"' in out
+        # Composition folded the MV153 meta-model in.
+        assert '"Movidius_Myriad1"' in out
+
+    def test_to_file(self, capsys, tmp_path):
+        f = str(tmp_path / "m.json")
+        code, _out, _ = run_cli(capsys, "to-json", "ShaveL2", "-o", f)
+        assert code == 0
+        from repro.codegen import model_from_json
+
+        m = model_from_json(open(f).read())
+        assert m.name == "ShaveL2"
+
+
+class TestSearchPath:
+    def test_env_dirs_filtered_to_existing(self, tmp_path, monkeypatch):
+        exists = tmp_path / "models"
+        exists.mkdir()
+        monkeypatch.setenv(
+            SEARCH_PATH_ENV,
+            os.pathsep.join([str(exists), str(tmp_path / "missing")]),
+        )
+        assert search_path_dirs() == [str(exists)]
+
+    def test_env_descriptor_shadows_bundled(self, tmp_path, monkeypatch):
+        override = tmp_path / "cache"
+        override.mkdir()
+        (override / "ShaveL2.xpdl").write_text(
+            '<cache name="ShaveL2" size="256" unit="KiB" sets="4"/>'
+        )
+        monkeypatch.setenv(SEARCH_PATH_ENV, str(tmp_path))
+        repo = standard_repository()
+        m = repo.load_model("ShaveL2")
+        assert m.size.to("KiB") == pytest.approx(256)  # the override won
+
+    def test_env_disabled(self, tmp_path, monkeypatch):
+        override = tmp_path / "cache"
+        override.mkdir()
+        (override / "ShaveL2.xpdl").write_text(
+            '<cache name="ShaveL2" size="256" unit="KiB"/>'
+        )
+        monkeypatch.setenv(SEARCH_PATH_ENV, str(tmp_path))
+        repo = standard_repository(use_env=False)
+        assert repo.load_model("ShaveL2").size.to("KiB") == pytest.approx(128)
+
+    def test_no_env_no_extra_stores(self, monkeypatch):
+        monkeypatch.delenv(SEARCH_PATH_ENV, raising=False)
+        repo = standard_repository()
+        assert len(repo.stores) == 1

@@ -1,0 +1,154 @@
+"""Tests for the code generators: C++ header, UML views, Python facade."""
+
+import pytest
+
+from repro.codegen import (
+    api_surface,
+    class_name,
+    generate_cpp_header,
+    generate_python_api,
+    getter_name,
+    materialize_python_api,
+    model_to_plantuml,
+    sanitize,
+    schema_to_plantuml,
+    setter_name,
+)
+from repro.codegen.order import decls_in_base_order
+from repro.ir import IRModel
+from repro.runtime import xpdl_init_from_model
+from repro.schema import CORE_SCHEMA
+
+
+class TestNaming:
+    def test_class_names(self):
+        assert class_name("cpu") == "Cpu"
+        assert class_name("power_state_machine") == "PowerStateMachine"
+        assert class_name("xpdl:modelElement") == "ModelElement"
+        assert class_name("hostOS") == "HostOS"
+        assert class_name("usb_2.0") == "Usb20"
+
+    def test_getter_setter_names(self):
+        # The paper's m.get_id() convention.
+        assert getter_name("id") == "get_id"
+        assert setter_name("static_power") == "set_static_power"
+        assert getter_name("usb-version") == "get_usb_version"
+
+    def test_sanitize(self):
+        assert sanitize("2fast") == "_2fast"
+        assert sanitize("a.b-c") == "a_b_c"
+
+
+class TestOrdering:
+    def test_bases_precede_subclasses(self):
+        order = [d.tag for d in decls_in_base_order(CORE_SCHEMA)]
+        assert order.index("xpdl:modelElement") < order.index(
+            "xpdl:hardwareComponent"
+        )
+        assert order.index("xpdl:hardwareComponent") < order.index("cpu")
+
+    def test_all_declarations_present(self):
+        order = decls_in_base_order(CORE_SCHEMA)
+        assert len(order) == len(CORE_SCHEMA.decls())
+
+
+class TestCppGeneration:
+    @pytest.fixture(scope="class")
+    def header(self):
+        return generate_cpp_header(CORE_SCHEMA)
+
+    def test_deterministic(self, header):
+        assert generate_cpp_header(CORE_SCHEMA) == header
+
+    def test_classes_emitted(self, header):
+        for cls in ("class Cpu", "class PowerStateMachine", "class Channel"):
+            assert cls in header
+
+    def test_inheritance_mirrored(self, header):
+        assert "class Cpu : public HardwareComponent" in header
+        assert "class HardwareComponent : public ModelElement" in header
+
+    def test_getters_and_setters(self, header):
+        assert "get_frequency() const" in header
+        assert "void set_frequency(" in header
+        assert "get_id() const" in header  # the paper's example getter
+
+    def test_quantity_type_used(self, header):
+        assert "struct Quantity" in header
+        assert "xpdl::Quantity static_power_;" in header
+
+    def test_child_navigation(self, header):
+        assert "get_core_children()" in header
+        assert "std::vector<std::shared_ptr<Core>>" in header
+
+    def test_entry_points(self, header):
+        assert "int xpdl_init(const char* filename);" in header
+        assert "std::shared_ptr<System> xpdl_root();" in header
+
+    def test_api_surface_counts(self):
+        surface = api_surface(CORE_SCHEMA)
+        assert surface["classes"] == len(CORE_SCHEMA.decls())
+        assert surface["getters"] == surface["setters"] > 50
+        assert surface["total_methods"] > 150
+
+    def test_balanced_braces(self, header):
+        assert header.count("{") == header.count("}")
+
+
+class TestUml:
+    def test_schema_diagram(self):
+        uml = schema_to_plantuml(CORE_SCHEMA)
+        assert uml.startswith("@startuml")
+        assert uml.rstrip().endswith("@enduml")
+        assert "class Cpu" in uml
+        assert "ModelElement <|-- HardwareComponent" in uml
+        assert '*-- "0..*" Core' in uml or '*-- "0..*"' in uml
+
+    def test_model_object_diagram(self, liu_server):
+        uml = model_to_plantuml(liu_server.root, max_nodes=50)
+        assert "liu_gpu_server" in uml
+        assert "truncated at 50" in uml
+        assert uml.count("object ") <= 51
+
+    def test_small_model_not_truncated(self, repo):
+        m = repo.load_model("ShaveL2")
+        uml = model_to_plantuml(m)
+        assert "truncated" not in uml
+        assert "ShaveL2" in uml
+
+
+class TestPythonFacade:
+    @pytest.fixture(scope="class")
+    def api(self):
+        return materialize_python_api(CORE_SCHEMA)
+
+    def test_source_compiles(self):
+        source = generate_python_api(CORE_SCHEMA)
+        compile(source, "<gen>", "exec")
+
+    def test_facade_classes_exist(self, api):
+        assert "cpu" in api.FACADES
+        assert api.FACADES["cpu"].__name__ == "Cpu"
+        assert issubclass(api.FACADES["cache"], api.FACADES["cpu"].__mro__[1])
+
+    def test_wrap_typed_access(self, api, liu_ctx):
+        gpu = api.wrap(liu_ctx.by_id("gpu1"))
+        assert type(gpu).__name__ == "Device"
+        assert gpu.compute_capability == "3.5"
+        assert gpu.static_power.to("W") == pytest.approx(25)
+        assert gpu.role == "worker"
+
+    def test_bool_and_int_converters(self, api, liu_ctx):
+        from repro.runtime import query_first
+
+        param = query_first(liu_ctx, "//param[@name='num_SM']")
+        p = api.wrap(param)
+        assert p.configurable is False or p.configurable is None
+        cache = query_first(liu_ctx, "//cache[@name='L3']")
+        c = api.wrap(cache)
+        assert c.size.to("MiB") == pytest.approx(15)
+
+    def test_unknown_kind_base_facade(self, api, liu_ctx):
+        handle = liu_ctx.root
+        wrapped = api.wrap(handle)
+        assert wrapped.handle is handle

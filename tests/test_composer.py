@@ -1,0 +1,186 @@
+"""Tests for model composition (the Sec. IV pipeline core)."""
+
+import pytest
+
+from repro.composer import Composer, compose_model
+from repro.diagnostics import CompositionError, DiagnosticSink, ResolutionError
+from repro.model import Cache, Core, Device, Param
+from repro.repository import MemoryStore, ModelRepository
+from repro.units import Quantity
+
+
+def repo_of(files: dict[str, str]) -> ModelRepository:
+    return ModelRepository([MemoryStore(files)])
+
+
+class TestBasics:
+    def test_unknown_identifier_raises(self, repo):
+        with pytest.raises(ResolutionError):
+            compose_model(repo, "no_such_system")
+
+    def test_type_instantiation(self):
+        repo = repo_of(
+            {
+                "sys.xpdl": "<system id='S'><cpu id='c0' type='XC'/></system>",
+                "cpu.xpdl": "<cpu name='XC' frequency='2' frequency_unit='GHz'><core/></cpu>",
+            }
+        )
+        cm = compose_model(repo, "S")
+        cpu = cm.by_id("c0")
+        assert cpu.attrs["frequency"] == "2"
+        assert any(c.kind == "core" for c in cpu.children)
+        assert cpu.name is None  # meta name must not leak
+
+    def test_category_type_kept(self):
+        repo = repo_of(
+            {"sys.xpdl": "<system id='S'><memory id='m' type='DDR3' size='1' unit='GB'/></system>"}
+        )
+        cm = compose_model(repo, "S")
+        assert cm.by_id("m").attrs["type"] == "DDR3"
+        assert "DDR3" in cm.unresolved
+
+    def test_kind_mismatch_import(self):
+        repo = repo_of(
+            {
+                "sys.xpdl": "<system id='S'><software><installed type='Pkg' path='/x'/></software></system>",
+                "pkg.xpdl": "<installed name='Pkg' version='1.0' provides='blas'/>",
+            }
+        )
+        cm = compose_model(repo, "S")
+        inst = [e for e in cm.root.walk() if e.kind == "installed"][0]
+        assert inst.attrs["provides"] == "blas"
+        assert inst.attrs["path"] == "/x"
+
+    def test_type_cycle_raises(self):
+        repo = repo_of(
+            {
+                "a.xpdl": "<device name='A'><device id='inner' type='B'/></device>",
+                "b.xpdl": "<device name='B'><device id='inner2' type='A'/></device>",
+                "sys.xpdl": "<system id='S'><device id='d' type='A'/></system>",
+            }
+        )
+        with pytest.raises(CompositionError):
+            compose_model(repo, "S")
+
+
+class TestParamsAndSubstitution:
+    def test_substitution_of_param_refs(self):
+        repo = repo_of(
+            {
+                "dev.xpdl": (
+                    "<device name='D'>"
+                    "<param name='cfrq' frequency='700' unit='MHz'/>"
+                    "<param name='nc' value='3'/>"
+                    "<group quantity='nc'><core frequency='cfrq'/></group>"
+                    "</device>"
+                ),
+                "sys.xpdl": "<system id='S'><device id='d' type='D'/></system>",
+            }
+        )
+        cm = compose_model(repo, "S")
+        cores = [e for e in cm.root.walk() if e.kind == "core"]
+        assert len(cores) == 3
+        assert cores[0].quantity("frequency").to("MHz") == pytest.approx(700)
+
+    def test_instance_binding_overrides(self, repo):
+        cm = compose_model(repo, "liu_gpu_server")
+        gpu = cm.by_id("gpu1")
+        params = {
+            p.name: p for p in gpu.find_children(Param)
+        }
+        assert params["L1size"].quantity("size").to("KB") == pytest.approx(32)
+        l1s = [
+            c
+            for c in gpu.find_all(Cache)
+            if c.name == "L1"
+        ]
+        assert l1s and l1s[0].size.to("KB") == pytest.approx(32)
+
+    def test_constraint_violation_reported(self):
+        repo = repo_of(
+            {
+                "dev.xpdl": (
+                    "<device name='D'>"
+                    "<const name='total' value='64'/>"
+                    "<param name='a' value='30'/>"
+                    "<param name='b' value='30'/>"
+                    "<constraints><constraint expr='a + b == total'/></constraints>"
+                    "</device>"
+                ),
+                "sys.xpdl": "<system id='S'><device id='d' type='D'/></system>",
+            }
+        )
+        cm = compose_model(repo, "S")
+        assert any(d.code == "XPDL0410" for d in cm.sink)
+
+    def test_external_bindings(self):
+        repo = repo_of(
+            {
+                "dev.xpdl": (
+                    "<device name='D'>"
+                    "<param name='n' type='integer'/>"
+                    "<group quantity='n'><core/></group>"
+                    "</device>"
+                ),
+                "sys.xpdl": "<system id='S'><device id='d' type='D'/></system>",
+            }
+        )
+        cm = Composer(repo).compose(
+            "S", bindings={"n": Quantity.dimensionless(5)}
+        )
+        assert cm.count("core") == 5
+
+    def test_kepler_constraint_decidable_after_binding(self, repo):
+        cm = compose_model(repo, "liu_gpu_server")
+        # With L1size/shmsize fixed to 32+32, the constraint holds: no error.
+        assert not any(d.code == "XPDL0410" for d in cm.sink)
+
+
+class TestEndpoints:
+    def test_dangling_endpoint_reported(self):
+        repo = repo_of(
+            {
+                "sys.xpdl": (
+                    "<system id='S'><cpu id='c'/>"
+                    "<interconnects><interconnect id='l' head='c' tail='ghost'/></interconnects>"
+                    "</system>"
+                )
+            }
+        )
+        cm = compose_model(repo, "S")
+        assert any(d.code == "XPDL0420" for d in cm.sink)
+
+    def test_cluster_endpoints_resolve_after_expansion(self, xs_cluster):
+        assert not any(d.code == "XPDL0420" for d in xs_cluster.sink)
+
+
+class TestPaperSystems:
+    def test_liu_counts(self, liu_server):
+        assert liu_server.count("core") == 2501  # 4 CPU + 2496 GPU + 1 pd ref
+        assert liu_server.count("device") == 1
+        assert not liu_server.sink.has_errors()
+
+    def test_myriad_counts(self, myriad_server):
+        shaves = [
+            e
+            for e in myriad_server.root.walk()
+            if e.kind == "core" and e.get("type") == "Myriad1_Shave"
+        ]
+        assert len(shaves) == 16  # 8 physical + 8 power-domain selectors
+        assert not myriad_server.sink.has_errors()
+
+    def test_xscluster_counts(self, xs_cluster):
+        assert xs_cluster.count("node") == 4
+        assert xs_cluster.count("device") == 8
+        assert xs_cluster.by_id("n0") is not None
+        assert xs_cluster.by_id("n3") is not None
+        assert not xs_cluster.sink.has_errors()
+
+    def test_compose_without_expansion(self, repo):
+        cm = Composer(repo, expand=False).compose("XScluster")
+        assert cm.count("node") == 1  # template node only
+
+    def test_environments_recorded(self, liu_server):
+        assert any(
+            "gpu1" in path for path in liu_server.environments
+        )

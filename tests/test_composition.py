@@ -1,0 +1,179 @@
+"""Tests for conditional composition and the SpMV case study."""
+
+import pytest
+
+from repro.diagnostics import XpdlError
+from repro.composition import (
+    CallContext,
+    Component,
+    Dispatcher,
+    ExecutionResult,
+    SpmvProblem,
+    Variant,
+    density_at_least,
+    density_below,
+    make_spmv_component,
+    requires_cuda_device,
+)
+from repro.units import Quantity
+
+
+def q(v, u):
+    return Quantity.of(v, u)
+
+
+def dummy_exec(name):
+    def run(_testbed, _call):
+        return ExecutionResult(name, q(1, "ms"), q(1, "mJ"))
+
+    return run
+
+
+class TestSelectability:
+    def test_software_requirement(self, liu_ctx, liu_testbed):
+        v = Variant("v", dummy_exec("v"), requires_software=("gpu_sparse_blas",))
+        assert v.selectable(liu_ctx, CallContext())
+        v2 = Variant("v2", dummy_exec("v2"), requires_software=("fpga_toolkit",))
+        assert not v2.selectable(liu_ctx, CallContext())
+
+    def test_cuda_device_constraint(self, liu_ctx):
+        v = Variant("v", dummy_exec("v"), constraints=(requires_cuda_device,))
+        assert v.selectable(liu_ctx, CallContext())
+
+    def test_density_constraints(self, liu_ctx):
+        hi = Variant("hi", dummy_exec("hi"), constraints=(density_at_least(0.01),))
+        lo = Variant("lo", dummy_exec("lo"), constraints=(density_below(0.01),))
+        dense = CallContext({"density": 0.05})
+        sparse = CallContext({"density": 0.001})
+        assert hi.selectable(liu_ctx, dense) and not hi.selectable(liu_ctx, sparse)
+        assert lo.selectable(liu_ctx, sparse) and not lo.selectable(liu_ctx, dense)
+
+    def test_component_selectable_variants(self, liu_ctx):
+        comp = make_spmv_component()
+        call = SpmvProblem(n=1024, density=0.01).call_context()
+        names = {v.name for v in comp.selectable_variants(liu_ctx, call)}
+        assert names == {"cpu_csr", "gpu_csr"}
+
+    def test_missing_call_property(self):
+        call = CallContext({"rows": 10.0})
+        with pytest.raises(XpdlError):
+            call["density"]
+        assert call.get("density") is None
+
+
+class TestSpmvProblem:
+    def test_nnz_from_density(self):
+        p = SpmvProblem(n=1000, density=0.01)
+        assert p.nnz == 10_000
+
+    def test_materialize_shapes(self):
+        p = SpmvProblem(n=100, density=0.05, seed=3)
+        values, col_idx, row_ptr = p.materialize()
+        assert values.shape == (p.nnz,)
+        assert col_idx.shape == (p.nnz,)
+        assert row_ptr.shape == (101,)
+        assert row_ptr[-1] == p.nnz
+        assert (col_idx < 100).all()
+
+    def test_deterministic(self):
+        a = SpmvProblem(n=50, density=0.1, seed=7).materialize()[0]
+        b = SpmvProblem(n=50, density=0.1, seed=7).materialize()[0]
+        assert (a == b).all()
+
+
+class TestSpmvVariants:
+    def test_both_variants_execute(self, liu_testbed):
+        comp = make_spmv_component()
+        call = SpmvProblem(n=2048, density=0.01).call_context()
+        cpu = comp.variant("cpu_csr").execute(liu_testbed, call)
+        gpu = comp.variant("gpu_csr").execute(liu_testbed, call)
+        assert cpu.time.magnitude > 0 and gpu.time.magnitude > 0
+        assert cpu.energy.magnitude > 0 and gpu.energy.magnitude > 0
+
+    def test_gpu_wins_dense_cpu_wins_sparse(self, liu_testbed):
+        comp = make_spmv_component()
+        dense = SpmvProblem(n=4096, density=0.05).call_context()
+        sparse = SpmvProblem(n=4096, density=5e-5).call_context()
+        cpu_d = comp.variant("cpu_csr").execute(liu_testbed, dense)
+        gpu_d = comp.variant("gpu_csr").execute(liu_testbed, dense)
+        assert gpu_d.time < cpu_d.time
+        cpu_s = comp.variant("cpu_csr").execute(liu_testbed, sparse)
+        gpu_s = comp.variant("gpu_csr").execute(liu_testbed, sparse)
+        assert cpu_s.time < gpu_s.time
+
+    def test_unknown_variant_raises(self):
+        comp = make_spmv_component()
+        with pytest.raises(XpdlError):
+            comp.variant("tpu_csr")
+
+
+class TestDispatcher:
+    def test_first_policy(self, liu_ctx, liu_testbed):
+        disp = Dispatcher(liu_ctx, liu_testbed, policy="first")
+        comp = make_spmv_component()
+        call = SpmvProblem(n=1024, density=0.01).call_context()
+        chosen = disp.select(comp, call)
+        assert chosen.name == "cpu_csr"  # declaration order
+
+    def test_predict_policy_tracks_crossover(self, liu_ctx, liu_testbed):
+        disp = Dispatcher(liu_ctx, liu_testbed, policy="predict")
+        comp = make_spmv_component()
+        dense = SpmvProblem(n=4096, density=0.05).call_context()
+        assert disp.select(comp, dense).name == "gpu_csr"
+        sparse = SpmvProblem(n=4096, density=5e-5).call_context()
+        assert disp.select(comp, sparse).name == "cpu_csr"
+
+    def test_tuned_policy_learns(self, liu_ctx, liu_testbed):
+        disp = Dispatcher(liu_ctx, liu_testbed, policy="tuned")
+        comp = make_spmv_component()
+        training = [
+            SpmvProblem(n=4096, density=d).call_context()
+            for d in (2e-5, 5e-5, 1e-4, 1e-3, 1e-2, 5e-2)
+        ]
+        table = disp.calibrate(comp, "density", training)
+        assert len(table.points) == len(training)
+        sparse = SpmvProblem(n=4096, density=3e-5).call_context()
+        dense = SpmvProblem(n=4096, density=3e-2).call_context()
+        assert disp.select(comp, sparse).name == "cpu_csr"
+        assert disp.select(comp, dense).name == "gpu_csr"
+
+    def test_tuned_beats_or_matches_static(self, liu_ctx, liu_testbed):
+        """The paper's case-study shape: tuned selection is never worse than
+        the best static choice across the density sweep."""
+        comp = make_spmv_component()
+        disp = Dispatcher(liu_ctx, liu_testbed, policy="tuned")
+        densities = [2e-5, 1e-4, 1e-3, 1e-2, 1e-1]
+        training = [
+            SpmvProblem(n=4096, density=d).call_context() for d in densities
+        ]
+        disp.calibrate(comp, "density", training)
+        total_tuned = total_cpu = total_gpu = 0.0
+        for d in densities:
+            call = SpmvProblem(n=4096, density=d).call_context()
+            total_tuned += disp.invoke(comp, call).time.magnitude
+            total_cpu += comp.variant("cpu_csr").execute(liu_testbed, call).time.magnitude
+            total_gpu += comp.variant("gpu_csr").execute(liu_testbed, call).time.magnitude
+        assert total_tuned <= min(total_cpu, total_gpu) * 1.0001
+
+    def test_dispatch_records(self, liu_ctx, liu_testbed):
+        disp = Dispatcher(liu_ctx, liu_testbed, policy="predict")
+        comp = make_spmv_component()
+        disp.invoke(comp, SpmvProblem(n=512, density=0.01).call_context())
+        assert len(disp.records) == 1
+        rec = disp.records[0]
+        assert rec.component == "spmv"
+        assert set(rec.selectable) == {"cpu_csr", "gpu_csr"}
+        assert rec.policy == "predict"
+
+    def test_no_selectable_variant_raises(self, liu_ctx, liu_testbed):
+        comp = Component(
+            "x",
+            (Variant("v", dummy_exec("v"), requires_software=("quantum",)),),
+        )
+        disp = Dispatcher(liu_ctx, liu_testbed)
+        with pytest.raises(XpdlError):
+            disp.select(comp, CallContext())
+
+    def test_bad_policy_rejected(self, liu_ctx, liu_testbed):
+        with pytest.raises(XpdlError):
+            Dispatcher(liu_ctx, liu_testbed, policy="vibes")

@@ -1,0 +1,125 @@
+"""Tests for the semantic model diff tool."""
+
+import pytest
+
+from repro.model import from_document
+from repro.tools import (
+    ChangeKind,
+    diff_models,
+    models_equivalent,
+    render_diff,
+)
+from repro.xpdlxml import parse_xml
+
+
+def model(text: str):
+    return from_document(parse_xml(text))
+
+
+BASE = """
+<cpu name="X" frequency="2" frequency_unit="GHz">
+  <group prefix="core" quantity="4">
+    <core/>
+    <cache name="L1" size="32" unit="KiB"/>
+  </group>
+  <cache name="L3" size="15" unit="MiB"/>
+</cpu>
+"""
+
+
+class TestEquivalence:
+    def test_identical(self):
+        assert models_equivalent(model(BASE), model(BASE))
+
+    def test_attribute_order_irrelevant(self):
+        a = model('<core frequency="2" frequency_unit="GHz" endian="LE"/>')
+        b = model('<core endian="LE" frequency="2" frequency_unit="GHz"/>')
+        assert models_equivalent(a, b)
+
+    def test_unit_respellings_equal(self):
+        a = model('<cache name="L3" size="15" unit="MiB"/>')
+        b = model('<cache name="L3" size="15360" unit="KiB"/>')
+        assert models_equivalent(a, b)
+
+    def test_frequency_respelling(self):
+        a = model('<core frequency="2" frequency_unit="GHz"/>')
+        b = model('<core frequency="2000" frequency_unit="MHz"/>')
+        assert models_equivalent(a, b)
+
+
+class TestChanges:
+    def test_attr_changed(self):
+        new = BASE.replace('size="15" unit="MiB"', 'size="20" unit="MiB"')
+        changes = diff_models(model(BASE), model(new))
+        assert len(changes) == 1
+        c = changes[0]
+        assert c.kind is ChangeKind.ATTR_CHANGED
+        assert c.attribute == "size"
+        assert "L3" in c.path
+
+    def test_attr_added_and_removed(self):
+        old = model('<core frequency="2" frequency_unit="GHz"/>')
+        new = model('<core endian="LE"/>')
+        kinds = {c.kind for c in diff_models(old, new)}
+        assert kinds == {ChangeKind.ATTR_ADDED, ChangeKind.ATTR_REMOVED}
+
+    def test_element_added(self):
+        new = BASE.replace(
+            "</cpu>", '<cache name="L4" size="64" unit="MiB"/></cpu>'
+        )
+        changes = diff_models(model(BASE), model(new))
+        assert [c.kind for c in changes] == [ChangeKind.ADDED]
+        assert "L4" in changes[0].path
+
+    def test_element_removed(self):
+        new = BASE.replace('<cache name="L3" size="15" unit="MiB"/>', "")
+        changes = diff_models(model(BASE), model(new))
+        assert [c.kind for c in changes] == [ChangeKind.REMOVED]
+
+    def test_nested_change_has_full_path(self):
+        new = BASE.replace('size="32" unit="KiB"', 'size="48" unit="KiB"')
+        changes = diff_models(model(BASE), model(new))
+        assert len(changes) == 1
+        assert "group" in changes[0].path and "L1" in changes[0].path
+
+    def test_anonymous_children_matched_by_position(self):
+        old = model("<cpu name='X'><core/><core/></cpu>")
+        new = model("<cpu name='X'><core/><core endian='BE'/></cpu>")
+        changes = diff_models(old, new)
+        assert len(changes) == 1
+        assert changes[0].attribute == "endian"
+
+    def test_render(self):
+        new = BASE.replace('size="15"', 'size="20"')
+        text = render_diff(diff_models(model(BASE), model(new)))
+        assert "'15' -> '20'" in text
+        assert render_diff([]) == "(no semantic differences)"
+
+
+class TestVersionScenario:
+    def test_vendor_update(self, repo):
+        """A realistic vendor update: K20c gains a param value change."""
+        old = repo.load_model("Nvidia_K20c")
+        new = old.clone()
+        param = next(
+            c for c in new.children if c.attrs.get("name") == "cfrq"
+        )
+        param.attrs["frequency"] = "732"
+        changes = diff_models(old, new)
+        assert len(changes) == 1
+        assert changes[0].attribute == "frequency"
+        assert changes[0].old == "706" and changes[0].new == "732"
+
+    def test_cli_diff(self, capsys, tmp_path):
+        from repro.cli import main
+
+        a = tmp_path / "a.xpdl"
+        b = tmp_path / "b.xpdl"
+        a.write_text('<cache name="C" size="32" unit="KiB"/>')
+        b.write_text('<cache name="C" size="64" unit="KiB"/>')
+        code = main(["diff", str(a), str(b)])
+        out = capsys.readouterr().out
+        assert code == 1  # differences found
+        assert "'32' -> '64'" in out
+        code = main(["diff", str(a), str(a)])
+        assert code == 0

@@ -1,0 +1,106 @@
+"""Tests for host discovery and descriptor emission."""
+
+import os
+
+import pytest
+
+from repro.composer import compose_model
+from repro.discovery import (
+    CacheSpec,
+    HostSpec,
+    canned_spec,
+    cpu_descriptor_name,
+    emit_cpu_descriptor,
+    emit_descriptors,
+    emit_system_descriptor,
+    probe_linux,
+)
+from repro.repository import LocalDirStore, ModelRepository
+from repro.schema import validate_model
+from repro.model import from_document
+from repro.xpdlxml import parse_xml
+
+
+class TestHostSpec:
+    def test_canned_mirrors_paper_host(self):
+        spec = canned_spec()
+        assert spec.total_cores == 4
+        assert spec.base_frequency_mhz == 2000.0
+        levels = sorted(c.level for c in spec.caches)
+        assert levels == [1, 2, 3]
+
+    def test_probe_linux_best_effort(self):
+        spec = probe_linux()
+        if spec is None:
+            pytest.skip("no sysfs on this host")
+        assert spec.total_cores >= 1
+        assert spec.memory_mib > 0
+        assert spec.sockets >= 1
+
+
+class TestEmission:
+    def test_cpu_descriptor_valid_xpdl(self):
+        text = emit_cpu_descriptor(canned_spec())
+        model = from_document(parse_xml(text, strict=True))
+        sink = validate_model(model)
+        assert not sink.has_errors(), sink.render()
+        assert model.kind == "cpu"
+        assert model.name == cpu_descriptor_name(canned_spec())
+
+    def test_cache_hierarchy_structure(self):
+        text = emit_cpu_descriptor(canned_spec())
+        model = from_document(parse_xml(text))
+        from repro.model import Cache
+
+        caches = model.find_all(Cache)
+        names = {c.name for c in caches}
+        assert {"L1", "L2", "L3"} <= names
+        l3 = next(c for c in caches if c.name == "L3")
+        assert l3.parent is model  # shared by all: outermost scope
+
+    def test_system_descriptor(self):
+        text = emit_system_descriptor(canned_spec())
+        model = from_document(parse_xml(text, strict=True))
+        assert model.kind == "system"
+        assert model.ident == "excess_sim"
+
+    def test_identifier_sanitization(self):
+        spec = canned_spec()
+        spec.cpu_model = "Weird CPU (rev 2.1) @ 3GHz!"
+        assert " " not in cpu_descriptor_name(spec)
+        assert "(" not in cpu_descriptor_name(spec)
+
+    def test_emitted_descriptors_compose(self, tmp_path):
+        """The discovery loop closes: emitted files form a loadable repo
+        whose system model composes cleanly."""
+        spec = canned_spec()
+        for relpath, text in emit_descriptors(spec).items():
+            path = tmp_path / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+        repo = ModelRepository([LocalDirStore(str(tmp_path))])
+        cm = compose_model(repo, "excess_sim")
+        assert not cm.sink.has_errors(), cm.sink.render()
+        # 1 socket x 4 cores, expanded.
+        assert cm.count("core") == 4
+        from repro.analysis import count_cores
+
+        assert count_cores(cm.root) == 4
+
+    def test_multi_socket_emission(self, tmp_path):
+        spec = HostSpec(
+            hostname="dual",
+            cpu_model="TestChip",
+            sockets=2,
+            cores_per_socket=8,
+            caches=[CacheSpec(1, 32), CacheSpec(3, 8192, shared_by=8)],
+            memory_mib=1024,
+        )
+        for relpath, text in emit_descriptors(spec).items():
+            path = tmp_path / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+        repo = ModelRepository([LocalDirStore(str(tmp_path))])
+        cm = compose_model(repo, "dual")
+        assert cm.count("socket") == 2
+        assert cm.count("core") == 16

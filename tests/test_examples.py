@@ -1,0 +1,45 @@
+"""Smoke tests: every example script runs to completion and prints what
+its docstring promises."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+CASES = {
+    "quickstart.py": ["composed liu_gpu_server", "cores:", "2500"],
+    "energy_bootstrap.py": ["bootstrapped 8 entries", "divsd energy vs frequency"],
+    "conditional_composition_spmv.py": ["selectable variants", "tuned selection is"],
+    "cluster_energy_audit.py": ["synthesized attribute roll-up", "widest path"],
+    "dvfs_optimizer.py": ["optimal state", "CMX off after all shaves off? True"],
+    "platform_discovery.py": ["composed", "generated C++ query API"],
+    "energy_aware_scheduling.py": ["HEFT baseline", "verification against"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    for needle in CASES[script]:
+        assert needle in result.stdout, (
+            f"{script}: missing {needle!r} in output\n{result.stdout[-2000:]}"
+        )
+
+
+def test_all_examples_covered():
+    scripts = {
+        f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+    }
+    assert scripts == set(CASES), (
+        "new example scripts must be added to the smoke-test table"
+    )

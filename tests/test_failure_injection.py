@@ -1,0 +1,213 @@
+"""Failure injection: malformed inputs must produce diagnostics or typed
+errors — never hangs, crashes with unrelated exceptions, or silent garbage."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.diagnostics import (
+    DiagnosticSink,
+    QueryError,
+    XpdlError,
+)
+from repro.ir import IRModel
+from repro.model import from_document
+from repro.schema import validate_model
+from repro.xpdlxml import parse_xml
+
+
+# ---------------------------------------------------------------------------
+# XML fuzzing: the recovering parser must never raise in non-strict mode
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=200)
+@given(st.text(max_size=200))
+def test_parser_never_raises_on_garbage(text):
+    sink = DiagnosticSink(max_errors=10_000)
+    doc = parse_xml(text, sink=sink)
+    assert doc.root is not None  # recovery always yields a tree
+
+
+@settings(max_examples=100)
+@given(
+    st.text(
+        alphabet=st.sampled_from(list("<>/=\"' abc&;!-[]?")),
+        max_size=120,
+    )
+)
+def test_parser_survives_markup_soup(text):
+    sink = DiagnosticSink(max_errors=10_000)
+    parse_xml(text, sink=sink)
+
+
+@settings(max_examples=100)
+@given(st.text(max_size=200))
+def test_model_pipeline_survives_garbage(text):
+    """parse -> model -> validate on arbitrary text never crashes."""
+    sink = DiagnosticSink(max_errors=10_000)
+    doc = parse_xml(text, sink=sink)
+    model = from_document(doc)
+    validate_model(model, sink=sink)
+
+
+# ---------------------------------------------------------------------------
+# IR corruption: loads either succeed or raise a typed error
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def liu_blob(liu_server):
+    return IRModel.from_model(liu_server.root).to_bytes()
+
+
+def test_truncated_ir_rejected(liu_blob):
+    for cut in (0, 4, 8, 20, len(liu_blob) // 2, len(liu_blob) - 3):
+        with pytest.raises((QueryError, Exception)) as exc:
+            IRModel.from_bytes(liu_blob[:cut])
+        # Typed failure, not a hang or silent partial model.
+        assert exc.type is not SystemError
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_bitflipped_ir_never_silently_wrong(liu_blob, data):
+    """A corrupted file either fails to load or loads into a structurally
+    consistent tree (parents/children agree)."""
+    idx = data.draw(st.integers(8, len(liu_blob) - 1))  # keep the magic
+    bit = data.draw(st.integers(0, 7))
+    corrupted = bytearray(liu_blob)
+    corrupted[idx] ^= 1 << bit
+    try:
+        ir = IRModel.from_bytes(bytes(corrupted))
+    except Exception:
+        return  # typed rejection is fine
+    for node in ir.nodes:
+        for c in node.children:
+            assert 0 <= c < len(ir.nodes)
+            assert ir.nodes[c].parent == node.index
+
+
+def test_empty_ir_file(tmp_path):
+    path = tmp_path / "empty.xir"
+    path.write_bytes(b"")
+    with pytest.raises(QueryError):
+        IRModel.load(str(path))
+
+
+# ---------------------------------------------------------------------------
+# repository-level failures
+# ---------------------------------------------------------------------------
+
+
+def test_descriptor_with_xml_errors_still_indexes(repo):
+    from repro.repository import MemoryStore, ModelRepository
+
+    broken = ModelRepository(
+        [
+            MemoryStore(
+                {
+                    "bad.xpdl": "<cpu name='Broken'><core></cpu>",
+                    "good.xpdl": "<cpu name='Fine'/>",
+                }
+            )
+        ]
+    )
+    # Indexing is resilient; loading the broken file surfaces diagnostics.
+    assert "Fine" in broken.identifiers()
+    assert "Broken" in broken.identifiers()
+    sink = DiagnosticSink()
+    broken.load("Broken", sink)
+    assert len(sink) > 0
+
+
+def test_closure_with_dangling_everything():
+    from repro.repository import MemoryStore, ModelRepository
+
+    repo = ModelRepository(
+        [
+            MemoryStore(
+                {
+                    "sys.xpdl": (
+                        "<system id='S'>"
+                        "<cpu id='c' type='Ghost1' extends='Ghost2'/>"
+                        "<device id='d' type='Ghost3'/>"
+                        "</system>"
+                    )
+                }
+            )
+        ]
+    )
+    sink = DiagnosticSink()
+    closure = repo.load_closure("S", sink)
+    assert set(closure) == {"S"}
+    notes = [d for d in sink if d.code == "XPDL0211"]
+    assert len(notes) == 3
+
+
+def test_compose_with_bad_quantity_param():
+    from repro.composer import Composer
+    from repro.repository import MemoryStore, ModelRepository
+
+    repo = ModelRepository(
+        [
+            MemoryStore(
+                {
+                    "sys.xpdl": (
+                        "<system id='S'>"
+                        "<group quantity='not_bound_anywhere'><core/></group>"
+                        "</system>"
+                    )
+                }
+            )
+        ]
+    )
+    composed = Composer(repo).compose("S")
+    assert any(d.code == "XPDL0400" for d in composed.sink)
+    # The unexpanded group survives so downstream tooling can still work.
+    assert composed.count("group") == 1
+
+
+# ---------------------------------------------------------------------------
+# power machinery misuse
+# ---------------------------------------------------------------------------
+
+
+def test_run_in_off_state_rejected(liu_testbed):
+    m = liu_testbed.machine("gpu_host")
+    if m.psm is None or not any(s.is_off() for s in m.psm.by_frequency()):
+        pytest.skip("no off state modeled")
+    m.cursor.current = "C1"
+    with pytest.raises(XpdlError):
+        m.run_stream({"fadd": 10})
+    m.cursor.current = "P3"  # restore
+
+
+def test_energy_accountant_rejects_off_phase():
+    from repro.power import (
+        EnergyAccountant,
+        InstructionEnergyModel,
+        Phase,
+        PowerStateDef,
+        PowerStateMachineModel,
+        TransitionDef,
+    )
+    from repro.units import Quantity
+
+    psm = PowerStateMachineModel(
+        "p",
+        [
+            PowerStateDef("OFF", Quantity.of(0, "GHz"), Quantity.of(0.1, "W")),
+            PowerStateDef("ON", Quantity.of(1, "GHz"), Quantity.of(10, "W")),
+        ],
+        [
+            TransitionDef("ON", "OFF", Quantity.of(1, "us"), Quantity.of(1, "nJ")),
+            TransitionDef("OFF", "ON", Quantity.of(1, "us"), Quantity.of(1, "nJ")),
+        ],
+    )
+    instrs = InstructionEnergyModel("i", [])
+    instrs.set_energy("op", Quantity.of(1, "pJ"))
+    acct = EnergyAccountant(psm, instrs, initial_state="ON")
+    with pytest.raises(XpdlError):
+        acct.run([Phase("dark", {"op": 10}, state="OFF")])

@@ -1,0 +1,151 @@
+"""Tests for C3 linearization and meta-model merging."""
+
+import pytest
+
+from repro.diagnostics import CompositionError, DiagnosticSink
+from repro.inherit import InheritanceEngine, c3_linearize, merge_element
+from repro.model import from_document
+from repro.repository import MemoryStore, ModelRepository
+from repro.xpdlxml import parse_xml
+
+
+def model(text: str):
+    return from_document(parse_xml(text))
+
+
+def repo_of(files: dict[str, str]) -> ModelRepository:
+    return ModelRepository([MemoryStore(files)])
+
+
+class TestC3:
+    def test_single_chain(self):
+        parents = {"C": ("B",), "B": ("A",), "A": ()}
+        assert c3_linearize("C", parents) == ["C", "B", "A"]
+
+    def test_diamond(self):
+        parents = {"D": ("B", "C"), "B": ("A",), "C": ("A",), "A": ()}
+        assert c3_linearize("D", parents) == ["D", "B", "C", "A"]
+
+    def test_multiple_inheritance_order_preserved(self):
+        parents = {"X": ("P", "Q"), "P": (), "Q": ()}
+        assert c3_linearize("X", parents) == ["X", "P", "Q"]
+
+    def test_cycle_raises(self):
+        parents = {"A": ("B",), "B": ("A",)}
+        with pytest.raises(CompositionError):
+            c3_linearize("A", parents)
+
+    def test_inconsistent_hierarchy_raises(self):
+        # The classic C3 failure: orders conflict.
+        parents = {
+            "Z": ("X", "Y"),
+            "X": ("A", "B"),
+            "Y": ("B", "A"),
+            "A": (),
+            "B": (),
+        }
+        with pytest.raises(CompositionError):
+            c3_linearize("Z", parents)
+
+    def test_no_parents(self):
+        assert c3_linearize("A", {}) == ["A"]
+
+
+class TestMerge:
+    def test_attribute_override(self):
+        base = model('<device name="B" compute_capability="3.0" role="worker"/>')
+        derived = model('<device name="D" compute_capability="3.5"/>')
+        merged = merge_element(base, derived)
+        assert merged.attrs["compute_capability"] == "3.5"  # overscribed
+        assert merged.attrs["role"] == "worker"  # inherited
+        assert merged.name == "D"
+
+    def test_named_child_merged_not_duplicated(self):
+        base = model(
+            '<device name="B"><param name="num_SM" type="integer"/></device>'
+        )
+        derived = model(
+            '<device name="D"><param name="num_SM" value="13"/></device>'
+        )
+        merged = merge_element(base, derived)
+        params = [c for c in merged.children if c.kind == "param"]
+        assert len(params) == 1
+        assert params[0].attrs["value"] == "13"
+        assert params[0].attrs["type"] == "integer"
+
+    def test_anonymous_children_appended(self):
+        base = model('<cpu name="B"><core/></cpu>')
+        derived = model('<cpu name="D"><core/></cpu>')
+        merged = merge_element(base, derived)
+        assert len([c for c in merged.children if c.kind == "core"]) == 2
+
+    def test_instance_identity_strips_base_name(self):
+        base = model('<cpu name="Meta" frequency="2" frequency_unit="GHz"/>')
+        inst = model('<cpu id="c0"/>')
+        merged = merge_element(base, inst)
+        assert merged.ident == "c0"
+        assert merged.name is None
+        assert merged.attrs["frequency"] == "2"
+
+
+class TestEngine:
+    def test_resolve_k20c_chain(self, repo):
+        engine = InheritanceEngine(repo)
+        order = engine.linearization("Nvidia_K20c")
+        assert order == ["Nvidia_K20c", "Nvidia_Kepler", "Nvidia_GPU"]
+        resolved = engine.resolve("Nvidia_K20c")
+        assert resolved.attrs["compute_capability"] == "3.5"  # override
+        assert resolved.attrs["role"] == "worker"  # from family root
+        params = {
+            c.attrs.get("name"): c
+            for c in resolved.children
+            if c.kind == "param"
+        }
+        assert params["num_SM"].attrs["value"] == "13"  # bound by K20c
+        assert "extends" not in resolved.attrs
+        assert resolved.attrs["resolved_extends"]
+
+    def test_resolution_cached(self, repo):
+        engine = InheritanceEngine(repo)
+        assert engine.resolve("Nvidia_K20c") is engine.resolve("Nvidia_K20c")
+
+    def test_opaque_supertype_warns(self):
+        repo = repo_of({"x.xpdl": "<device name='X' extends='NoSuchBase'/>"})
+        engine = InheritanceEngine(repo)
+        sink = DiagnosticSink()
+        resolved = engine.resolve("X", sink)
+        assert resolved.name == "X"
+        assert any(d.code == "XPDL0300" for d in sink)
+
+    def test_resolve_inline(self, repo):
+        engine = InheritanceEngine(repo)
+        inst = model('<device id="g" extends="Nvidia_Kepler"/>')
+        merged = engine.resolve_inline(inst)
+        assert merged.ident == "g"
+        assert any(c.kind == "const" for c in merged.children)
+
+    def test_multiple_inheritance_merge(self):
+        repo = repo_of(
+            {
+                "a.xpdl": "<device name='HasA' a='1'/>",
+                "b.xpdl": "<device name='HasB' b='2'/>",
+                "c.xpdl": "<device name='C' extends='HasA, HasB'/>",
+            }
+        )
+        engine = InheritanceEngine(repo)
+        resolved = engine.resolve("C")
+        assert resolved.attrs["a"] == "1"
+        assert resolved.attrs["b"] == "2"
+
+    def test_later_supertype_wins_conflicts(self):
+        # Python-style MRO: the *first listed* base is nearest, so its value
+        # should win over later bases.
+        repo = repo_of(
+            {
+                "a.xpdl": "<device name='A' x='from_a'/>",
+                "b.xpdl": "<device name='B' x='from_b'/>",
+                "c.xpdl": "<device name='C' extends='A, B'/>",
+            }
+        )
+        resolved = InheritanceEngine(repo).resolve("C")
+        assert resolved.attrs["x"] == "from_a"

@@ -1,0 +1,238 @@
+"""Tests for microbenchmark codegen, execution and bootstrapping."""
+
+import pytest
+
+from repro.diagnostics import DiagnosticSink
+from repro.microbench import (
+    MicrobenchRunner,
+    bootstrap_instruction_model,
+    generate_build_script,
+    generate_driver,
+    generate_marker_library,
+    generate_suite,
+    plan_bootstrap,
+)
+from repro.model import Inst, Instructions, Microbenchmarks
+from repro.simhw import PerfectMeter, PowerMeter, testbed_from_model
+from repro.units import Quantity
+
+
+def q(v, u):
+    return Quantity.of(v, u)
+
+
+@pytest.fixture(scope="module")
+def x86_instrs(repo):
+    return repo.load_model("x86_base_isa")
+
+
+@pytest.fixture(scope="module")
+def x86_suite(repo):
+    return repo.load_model("mb_x86_base_1")
+
+
+@pytest.fixture()
+def host_machine(liu_server):
+    # Fresh testbed per test: benchmarking mutates machine state (DVFS).
+    return testbed_from_model(liu_server.root).machine("gpu_host")
+
+
+class TestCodegen:
+    def test_driver_structure(self):
+        d = generate_driver("fa1", "fadd", unroll=8, iterations=1000)
+        assert d.instructions_per_run == 8000
+        assert "MB_MARK_START" in d.source
+        assert d.source.count("acc = acc + 1.0e-9;") == 8
+        assert "#define ITERATIONS 1000L" in d.source
+        assert d.filename == "fadd.c"
+
+    def test_unknown_instruction_generic_kernel(self):
+        d = generate_driver("x1", "vfmadd")
+        assert "generic ALU op" in d.source
+
+    def test_suite_generation(self, x86_suite):
+        drivers = generate_suite(x86_suite)
+        assert len(drivers) == 9
+        ids = {d.benchmark_id for d in drivers}
+        assert {"fm1", "fa1", "dv1"} <= ids
+        files = {d.filename for d in drivers}
+        assert "divsd.c" in files
+
+    def test_build_script(self, x86_suite):
+        drivers = generate_suite(x86_suite)
+        script = generate_build_script(x86_suite, drivers)
+        assert script.startswith("#!/bin/sh")
+        assert "fadd.c mb_markers.c" in script
+        assert "-O0" in script
+        assert script.count('"$CC"') == len(drivers)
+
+    def test_marker_library(self):
+        lib = generate_marker_library()
+        assert "MB_MARK_START" in lib and "MB_MARK_STOP" in lib
+
+    def test_codegen_deterministic(self):
+        a = generate_driver("fa1", "fadd").source
+        b = generate_driver("fa1", "fadd").source
+        assert a == b
+
+
+class TestRunner:
+    def test_perfect_meter_recovers_truth(self, host_machine):
+        runner = MicrobenchRunner(host_machine, PerfectMeter(), repetitions=1)
+        d = generate_driver("fa1", "fadd")
+        run = runner.run(d)
+        truth = host_machine.truth.energy("fadd", host_machine.frequency)
+        assert run.energy_per_instruction.magnitude == pytest.approx(
+            truth.magnitude, rel=1e-6
+        )
+
+    def test_noisy_meter_close(self, host_machine):
+        runner = MicrobenchRunner(
+            host_machine, PowerMeter(seed=1, noise_std_w=0.05), repetitions=5
+        )
+        d = generate_driver("mo1", "mov")
+        run = runner.run(d)
+        truth = host_machine.truth.energy("mov", host_machine.frequency)
+        rel_err = (
+            abs(run.energy_per_instruction.magnitude - truth.magnitude)
+            / truth.magnitude
+        )
+        assert rel_err < 0.10
+        assert run.repetitions == 5
+        assert run.samples_j.size == 5
+
+    def test_frequency_sweep(self, host_machine):
+        runner = MicrobenchRunner(host_machine, PerfectMeter(), repetitions=1)
+        d = generate_driver("fa1", "fadd")
+        runs = runner.run_frequency_sweep(d)
+        assert [r.frequency.to("GHz") for r in runs] == [1.2, 1.6, 2.0]
+        energies = [r.energy_per_instruction.magnitude for r in runs]
+        assert energies == sorted(energies)  # grows with frequency
+
+
+class TestPlanning:
+    def test_placeholders_planned(self, x86_instrs, x86_suite):
+        items = plan_bootstrap(x86_instrs, x86_suite)
+        names = {i.instruction for i in items}
+        assert "fmul" in names and "fadd" in names
+        assert "divsd" not in names  # has a data table already
+        fm = next(i for i in items if i.instruction == "fmul")
+        assert fm.benchmark_id == "fm1"
+        assert fm.reason == "placeholder"
+
+    def test_force_includes_known(self, x86_instrs, x86_suite):
+        items = plan_bootstrap(x86_instrs, x86_suite, force=True)
+        assert any(
+            i.instruction == "divsd" and i.reason == "forced" for i in items
+        )
+
+    def test_unknown_mb_ref_falls_back_to_name(self, repo):
+        from repro.model import from_document
+        from repro.xpdlxml import parse_xml
+
+        instrs = from_document(
+            parse_xml(
+                "<instructions name='i'>"
+                "<inst name='foo' energy='?' energy_unit='pJ' mb='ghost'/>"
+                "</instructions>"
+            )
+        )
+        suite = from_document(
+            parse_xml(
+                "<microbenchmarks id='s'><microbenchmark id='real' type='x'/>"
+                "</microbenchmarks>"
+            )
+        )
+        items = plan_bootstrap(instrs, suite)
+        assert items[0].benchmark_id == "foo"
+
+
+class TestBootstrap:
+    def test_full_bootstrap_accuracy(self, liu_server, x86_suite):
+        bed = testbed_from_model(liu_server.root)
+        machine = bed.machine("gpu_host")
+        instrs = next(
+            i
+            for i in liu_server.root.find_all(Instructions)
+            if i.name == "x86_base_isa"
+        ).clone()
+        model, report = bootstrap_instruction_model(
+            instrs,
+            machine,
+            suite=x86_suite,
+            meter=PowerMeter(seed=42),
+            repetitions=5,
+        )
+        assert report.updated == 8
+        assert not report.skipped
+        assert model.unknown_instructions() == []
+        for run in report.runs:
+            truth = machine.truth.energy(run.instruction, run.frequency)
+            rel = abs(
+                run.energy_per_instruction.magnitude - truth.magnitude
+            ) / truth.magnitude
+            assert rel < 0.05, run.instruction
+
+    def test_write_back_into_tree(self, liu_server, x86_suite):
+        bed = testbed_from_model(liu_server.root)
+        instrs = next(
+            i
+            for i in liu_server.root.find_all(Instructions)
+            if i.name == "x86_base_isa"
+        ).clone()
+        bootstrap_instruction_model(
+            instrs,
+            bed.machine("gpu_host"),
+            suite=x86_suite,
+            meter=PerfectMeter(),
+            repetitions=1,
+        )
+        placeholders = [
+            i for i in instrs.find_all(Inst) if i.needs_benchmarking()
+        ]
+        assert placeholders == []
+
+    def test_frequency_sweep_bootstrap(self, liu_server, x86_suite):
+        bed = testbed_from_model(liu_server.root)
+        machine = bed.machine("gpu_host")
+        instrs = next(
+            i
+            for i in liu_server.root.find_all(Instructions)
+            if i.name == "x86_base_isa"
+        ).clone()
+        model, report = bootstrap_instruction_model(
+            instrs,
+            machine,
+            suite=x86_suite,
+            meter=PerfectMeter(),
+            repetitions=1,
+            frequency_sweep=True,
+        )
+        e12 = model.energy("fadd", q(1.2, "GHz")).magnitude
+        e20 = model.energy("fadd", q(2.0, "GHz")).magnitude
+        assert e20 > e12
+        # The model's table interpolates between the measured levels.
+        mid = model.energy("fadd", q(1.4, "GHz")).magnitude
+        assert e12 < mid < e20
+
+    def test_unexecutable_instruction_skipped(self, liu_server):
+        from repro.model import from_document
+        from repro.xpdlxml import parse_xml
+
+        bed = testbed_from_model(liu_server.root)
+        instrs = from_document(
+            parse_xml(
+                "<instructions name='weird'>"
+                "<inst name='quantum_op' energy='?' energy_unit='pJ'/>"
+                "</instructions>"
+            )
+        )
+        sink = DiagnosticSink()
+        _model, report = bootstrap_instruction_model(
+            instrs,
+            bed.machine("gpu_host"),
+            meter=PerfectMeter(),
+            sink=sink,
+        )
+        assert report.skipped == ["quantum_op"]
+        assert any(d.code == "XPDL0700" for d in sink)

@@ -1,0 +1,167 @@
+"""Coverage for smaller public API surfaces not exercised elsewhere."""
+
+import pytest
+
+from repro.model import (
+    ELEMENT_REGISTRY,
+    Installed,
+    ModelElement,
+    ProgrammingModel,
+    Properties,
+    Software,
+    from_document,
+    from_dom,
+    to_dom,
+    visit,
+)
+from repro.xpdlxml import parse_xml, parse_xml_file
+
+
+def model(text: str):
+    return from_document(parse_xml(text))
+
+
+class TestModelOddsAndEnds:
+    def test_visit_enter_leave_order(self):
+        m = model("<cpu name='X'><group><core/></group></cpu>")
+        events = []
+        visit(
+            m,
+            enter=lambda e: events.append(("in", e.kind)),
+            leave=lambda e: events.append(("out", e.kind)),
+        )
+        assert events == [
+            ("in", "cpu"),
+            ("in", "group"),
+            ("in", "core"),
+            ("out", "core"),
+            ("out", "group"),
+            ("out", "cpu"),
+        ]
+
+    def test_properties_as_dict(self):
+        p = model(
+            "<properties>"
+            "<property name='a' value='1'/>"
+            "<property name='b' type='t'/>"
+            "<property value='orphan'/>"
+            "</properties>"
+        )
+        assert isinstance(p, Properties)
+        assert p.as_dict() == {"a": "1", "b": "t"}
+
+    def test_programming_model_list(self):
+        pm = model("<programming_model type='cuda6.0, opencl ,'/>")
+        assert isinstance(pm, ProgrammingModel)
+        assert pm.models() == ["cuda6.0", "opencl"]
+
+    def test_software_installed(self):
+        sw = model(
+            "<software><installed type='X' path='/x'/>"
+            "<hostOS id='os'/><installed type='Y'/></software>"
+        )
+        assert isinstance(sw, Software)
+        assert [i.attrs["type"] for i in sw.installed()] == ["X", "Y"]
+        assert all(isinstance(i, Installed) for i in sw.installed())
+
+    def test_registry_known_tags(self):
+        tags = ELEMENT_REGISTRY.known_tags()
+        assert "cpu" in tags and "power_state_machine" in tags
+
+    def test_dom_model_dom_roundtrip(self):
+        doc = parse_xml("<cpu name='X'><core frequency='2'/></cpu>")
+        m = from_dom(doc.root)
+        back = to_dom(m)
+        assert back.tag == "cpu"
+        assert back.elements("core")[0].get("frequency") == "2"
+
+    def test_parse_xml_file(self, tmp_path):
+        f = tmp_path / "x.xpdl"
+        f.write_text("<cache name='C' size='1' unit='KiB'/>")
+        doc = parse_xml_file(str(f))
+        assert doc.root.get("name") == "C"
+        assert doc.source_name == str(f)
+
+
+class TestExprTokenizer:
+    def test_token_stream(self):
+        from repro.params import tokenize
+
+        tokens = list(tokenize("a + 2 >= min(b, 3)"))
+        kinds = [t.kind for t in tokens]
+        texts = [t.text for t in tokens]
+        assert kinds[-1] == "end"
+        assert ">=" in texts and "min" in texts
+        assert texts[:3] == ["a", "+", "2"]
+
+    def test_positions(self):
+        from repro.params import tokenize
+
+        tokens = list(tokenize("ab + c"))
+        assert tokens[0].pos == 0
+        assert tokens[1].pos == 3
+        assert tokens[2].pos == 5
+
+
+class TestStoreHelpers:
+    def test_store_from_paths(self, tmp_path):
+        from repro.repository import store_from_paths
+
+        (tmp_path / "a").mkdir()
+        stores = store_from_paths(
+            [str(tmp_path / "a"), str(tmp_path / "missing")]
+        )
+        assert len(stores) == 1
+
+    def test_machine_from_unit_none_without_power_model(self):
+        from repro.simhw import machine_from_unit
+
+        assert machine_from_unit(model("<cpu name='X'><core/></cpu>")) is None
+
+
+class TestCompositionHelpers:
+    def test_problem_size_constraint(self, liu_ctx):
+        from repro.composition import CallContext, problem_size_at_least
+
+        check = problem_size_at_least("nnz", 1000)
+        assert check(liu_ctx, CallContext({"nnz": 2000.0}))
+        assert not check(liu_ctx, CallContext({"nnz": 10.0}))
+        assert not check(liu_ctx, CallContext({}))
+
+    def test_energy_delay_product(self):
+        from repro.power import StateChoice, energy_delay_product
+        from repro.units import Quantity
+
+        c = StateChoice(
+            state="P1",
+            feasible=True,
+            run_time=Quantity.of(2, "s"),
+            idle_time=Quantity.of(0, "s"),
+            energy=Quantity.of(10, "J"),
+            switch_energy=Quantity.of(0, "J"),
+        )
+        assert energy_delay_product(c) == pytest.approx(20.0)
+
+
+class TestNamingHelpers:
+    def test_member_and_children_names(self):
+        from repro.codegen import children_member, member_name, strip_namespace
+
+        assert member_name("static_power") == "static_power_"
+        assert children_member("cache") == "caches_"
+        assert children_member("interconnects") == "interconnects_list_"
+        assert strip_namespace("xpdl:modelElement") == "modelElement"
+        assert strip_namespace("cpu") == "cpu"
+
+
+class TestCliParser:
+    def test_build_parser_lists_subcommands(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        # argparse stores subparsers in _subparsers; probe via parse_args.
+        for cmd in ("list", "compose", "diff", "to-json", "control"):
+            ns = parser.parse_args([cmd] + (
+                ["x"] if cmd not in ("list",) else []
+            ) + (["y"] if cmd == "diff" else []))
+            assert callable(ns.fn)

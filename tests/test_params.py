@@ -1,0 +1,212 @@
+"""Tests for the expression language and parameter spaces."""
+
+import pytest
+
+from repro.diagnostics import ConstraintError
+from repro.model import from_document
+from repro.params import (
+    Evaluator,
+    ParamSpace,
+    declared_value,
+    evaluate,
+    names_in,
+    parse_expr,
+)
+from repro.units import Quantity
+from repro.xpdlxml import parse_xml
+
+
+def model(text: str):
+    return from_document(parse_xml(text))
+
+
+class TestExprParsing:
+    def test_precedence(self):
+        e = parse_expr("1 + 2 * 3")
+        assert evaluate("1 + 2 * 3").magnitude == 7
+
+    def test_parentheses(self):
+        assert evaluate("(1 + 2) * 3").magnitude == 9
+
+    def test_comparison_chain_is_single(self):
+        assert evaluate("1 + 1 == 2") is True
+        assert evaluate("3 < 2") is False
+
+    def test_logical_ops(self):
+        assert evaluate("1 < 2 && 2 < 3") is True
+        assert evaluate("1 > 2 || 2 < 3") is True
+        assert evaluate("!(1 > 2)") is True
+
+    def test_unit_suffix(self):
+        v = evaluate("64 KB")
+        assert v.to("KB") == pytest.approx(64)
+
+    def test_unary_minus(self):
+        assert evaluate("-3 + 5").magnitude == 2
+
+    def test_modulo(self):
+        assert evaluate("7 % 3").magnitude == pytest.approx(1)
+
+    def test_function_calls(self):
+        assert evaluate("min(3, 1, 2)").magnitude == 1
+        assert evaluate("max(3, 1, 2)").magnitude == 3
+        assert evaluate("abs(0 - 5)").magnitude == 5
+
+    def test_names_in(self):
+        e = parse_expr("L1size + shmsize == shmtotalsize")
+        assert names_in(e) == {"L1size", "shmsize", "shmtotalsize"}
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ConstraintError):
+            parse_expr("1 + 2 )")
+
+    def test_bad_char_raises(self):
+        with pytest.raises(ConstraintError):
+            parse_expr("1 $ 2")
+
+    def test_str_roundtrip_parses(self):
+        e = parse_expr("a + b * min(c, 2) == 64 KB")
+        reparsed = parse_expr(str(e))
+        assert names_in(reparsed) == names_in(e)
+
+
+class TestEvaluator:
+    def test_unit_aware_equality(self):
+        env = {
+            "L1size": Quantity.of(16, "KB"),
+            "shmsize": Quantity.of(48, "KB"),
+            "shmtotalsize": Quantity.of(64, "KB"),
+        }
+        assert Evaluator(env).eval_bool("L1size + shmsize == shmtotalsize")
+
+    def test_equality_across_unit_spellings(self):
+        env = {"a": Quantity.of(1, "MiB"), "b": Quantity.of(1024, "KiB")}
+        assert Evaluator(env).eval_bool("a == b")
+
+    def test_dimension_mismatch_raises(self):
+        env = {"a": Quantity.of(1, "W"), "b": Quantity.of(1, "s")}
+        with pytest.raises(ConstraintError):
+            Evaluator(env).eval("a + b")
+
+    def test_dimensionless_vs_unitful_equality(self):
+        env = {"sets": Quantity.of(2, "1")}
+        assert Evaluator(env).eval_bool("sets == 2")
+
+    def test_unbound_name_raises(self):
+        with pytest.raises(ConstraintError) as exc:
+            evaluate("missing + 1")
+        assert "missing" in str(exc.value)
+
+    def test_eval_int(self):
+        assert Evaluator({"n": Quantity.dimensionless(13)}).eval_int("n") == 13
+        with pytest.raises(ConstraintError):
+            Evaluator({"n": Quantity.dimensionless(1.5)}).eval_int("n")
+        with pytest.raises(ConstraintError):
+            Evaluator({"n": Quantity.of(1, "W")}).eval_int("n")
+
+    def test_eval_bool_guard(self):
+        with pytest.raises(ConstraintError):
+            Evaluator().eval_bool("1 + 1")
+
+    def test_short_circuit(self):
+        # The right side would raise on unbound name; && short-circuits.
+        assert Evaluator({"x": Quantity.dimensionless(1)}).eval_bool(
+            "x > 5 && missing > 0"
+        ) is False
+
+    def test_division(self):
+        env = {"e": Quantity.of(6, "J"), "t": Quantity.of(2, "s")}
+        p = Evaluator(env).eval_quantity("e / t")
+        assert p.to("W") == pytest.approx(3)
+
+
+class TestDeclaredValue:
+    def test_value_attribute(self):
+        p = model('<param name="num_SM" value="13"/>')
+        assert declared_value(p).magnitude == 13
+
+    def test_value_with_unit(self):
+        p = model('<param name="f" value="706" unit="MHz"/>')
+        assert declared_value(p).to("MHz") == pytest.approx(706)
+
+    def test_size_metric(self):
+        p = model('<param name="gmsz" size="5" unit="GB"/>')
+        assert declared_value(p).to("GB") == pytest.approx(5)
+
+    def test_frequency_metric_with_bare_unit(self):
+        # Listing 9's spelling: frequency="706" unit="MHz".
+        p = model('<param name="cfrq" frequency="706" unit="MHz"/>')
+        assert declared_value(p).to("MHz") == pytest.approx(706)
+
+    def test_unbound_param(self):
+        assert declared_value(model('<param name="x" type="integer"/>')) is None
+
+    def test_placeholder_not_a_value(self):
+        assert declared_value(model('<param name="x" value="?"/>')) is None
+
+    def test_const_size(self):
+        c = model('<const name="shmtotalsize" size="64" unit="KB"/>')
+        assert declared_value(c).to("KB") == pytest.approx(64)
+
+
+KEPLER = """
+<device name="Nvidia_Kepler">
+  <const name="shmtotalsize" size="64" unit="KB"/>
+  <param name="L1size" configurable="true" range="16, 32, 48" unit="KB"/>
+  <param name="shmsize" configurable="true" range="16, 32, 48" unit="KB"/>
+  <param name="num_SM" type="integer"/>
+  <constraints><constraint expr="L1size + shmsize == shmtotalsize"/></constraints>
+</device>
+"""
+
+
+class TestParamSpace:
+    def test_collection(self):
+        space = ParamSpace.from_element(model(KEPLER))
+        assert set(space.consts) == {"shmtotalsize"}
+        assert set(space.params) == {"L1size", "shmsize", "num_SM"}
+        assert space.constraints == ["L1size + shmsize == shmtotalsize"]
+
+    def test_kepler_configurations(self):
+        space = ParamSpace.from_element(model(KEPLER))
+        configs = list(space.configurations())
+        splits = sorted(
+            (c["L1size"].to("KB"), c["shmsize"].to("KB")) for c in configs
+        )
+        assert splits == [(16.0, 48.0), (32.0, 32.0), (48.0, 16.0)]
+
+    def test_unbound_report(self):
+        space = ParamSpace.from_element(model(KEPLER))
+        assert set(space.unbound()) == {"L1size", "shmsize", "num_SM"}
+
+    def test_bind_valid(self):
+        space = ParamSpace.from_element(model(KEPLER))
+        space.bind("L1size", Quantity.of(16, "KB"))
+        assert "L1size" not in space.unbound()
+
+    def test_bind_out_of_range(self):
+        space = ParamSpace.from_element(model(KEPLER))
+        with pytest.raises(ConstraintError):
+            space.bind("L1size", Quantity.of(20, "KB"))
+
+    def test_bind_unknown_param(self):
+        space = ParamSpace.from_element(model(KEPLER))
+        with pytest.raises(ConstraintError):
+            space.bind("nope", Quantity.dimensionless(1))
+
+    def test_violated_constraints(self):
+        space = ParamSpace.from_element(model(KEPLER))
+        bad = {
+            "L1size": Quantity.of(16, "KB"),
+            "shmsize": Quantity.of(16, "KB"),
+        }
+        assert space.violated_constraints(bad)
+
+    def test_undecidable_reported_as_none(self):
+        space = ParamSpace.from_element(model(KEPLER))
+        results = space.check_constraints()
+        assert results == [("L1size + shmsize == shmtotalsize", None)]
+
+    def test_no_configurables_yields_empty_binding(self):
+        space = ParamSpace.from_element(model('<device name="d"/>'))
+        assert list(space.configurations()) == [{}]

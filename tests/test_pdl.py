@@ -1,0 +1,179 @@
+"""Tests for the PEPPHER PDL baseline: model, parser, queries, conversion,
+modularity metrics."""
+
+import pytest
+
+from repro.diagnostics import ParseError, QueryError, XpdlError
+from repro.pdl import (
+    ControlRole,
+    PdlPlatform,
+    PdlProcessingUnit,
+    PdlQueryEngine,
+    comparison_rows,
+    measure_pdl,
+    measure_xpdl,
+    parse_pdl,
+    pdl_to_xpdl,
+    write_pdl,
+    xpdl_to_pdl,
+)
+
+PDL_DOC = """
+<platform name="gpu_server">
+  <property name="SITE" value="liu"/>
+  <pu id="cpu0" role="Master" type="x86_64">
+    <property name="x86_MAX_CLOCK_FREQUENCY" value="2000000000" mandatory="true"/>
+    <pu id="gpu0" role="Worker" type="gpu">
+      <property name="CUDA_CC" value="3.5"/>
+    </pu>
+    <pu id="cpu1" role="Hybrid" type="x86_64"/>
+  </pu>
+  <memoryregion id="main" size="16GB" scope="global"/>
+  <interconnect id="pci0" endpoints="cpu0 gpu0" bandwidth="6GiB/s"/>
+</platform>
+"""
+
+
+class TestModel:
+    def test_control_tree_structure(self):
+        p = parse_pdl(PDL_DOC)
+        assert p.master.ident == "cpu0"
+        assert p.master.role is ControlRole.MASTER
+        assert {pu.ident for pu in p.workers()} == {"gpu0"}
+        assert len(p.processing_units()) == 3
+
+    def test_worker_cannot_control(self):
+        worker = PdlProcessingUnit(ident="w", role=ControlRole.WORKER)
+        with pytest.raises(XpdlError):
+            worker.add(PdlProcessingUnit(ident="x", role=ControlRole.WORKER))
+
+    def test_validation_single_master(self):
+        p = parse_pdl(PDL_DOC)
+        assert p.validate() == []
+
+    def test_validation_detects_two_masters(self):
+        p = parse_pdl(PDL_DOC)
+        p.master.children[1].role = ControlRole.MASTER
+        problems = p.validate()
+        assert any("more than one Master" in m for m in problems)
+
+    def test_validation_detects_bad_endpoint(self):
+        p = parse_pdl(PDL_DOC)
+        p.interconnects[0].endpoints = ("cpu0", "ghost")
+        assert any("ghost" in m for m in p.validate())
+
+    def test_mandatory_properties(self):
+        p = parse_pdl(PDL_DOC)
+        pu = p.pu_by_id("cpu0")
+        prop = pu.properties["x86_MAX_CLOCK_FREQUENCY"]
+        assert prop.mandatory
+
+
+class TestParser:
+    def test_roundtrip(self):
+        p = parse_pdl(PDL_DOC)
+        p2 = parse_pdl(write_pdl(p))
+        assert [u.ident for u in p2.processing_units()] == [
+            u.ident for u in p.processing_units()
+        ]
+        assert p2.pu_by_id("gpu0").property_value("CUDA_CC") == "3.5"
+        assert p2.memory_regions[0].size == "16GB"
+        assert p2.interconnects[0].endpoints == ("cpu0", "gpu0")
+
+    def test_bad_root(self):
+        with pytest.raises(ParseError):
+            parse_pdl("<notplatform/>")
+
+    def test_bad_role(self):
+        with pytest.raises(ParseError):
+            parse_pdl('<platform name="p"><pu id="x" role="Boss"/></platform>')
+
+
+class TestQueries:
+    @pytest.fixture()
+    def engine(self):
+        return PdlQueryEngine(parse_pdl(PDL_DOC))
+
+    def test_exists_and_value(self, engine):
+        assert engine.exists("gpu0", "CUDA_CC")
+        assert not engine.exists("gpu0", "nope")
+        assert engine.value("gpu0", "CUDA_CC") == "3.5"
+        assert engine.value("gpu0", "nope") is None
+
+    def test_find(self, engine):
+        assert [pu.ident for pu in engine.find("CUDA_CC")] == ["gpu0"]
+        assert [pu.ident for pu in engine.find("CUDA_CC", "3.5")] == ["gpu0"]
+        assert engine.find("CUDA_CC", "9.9") == []
+
+    def test_unknown_pu_raises(self, engine):
+        with pytest.raises(QueryError):
+            engine.value("ghost", "k")
+
+    def test_textual_queries(self, engine):
+        assert engine.query("exists(gpu0, CUDA_CC)") is True
+        assert engine.query("value(gpu0, CUDA_CC)") == "3.5"
+        assert engine.query("find(CUDA_CC=3.5)") == ["gpu0"]
+        assert engine.query("role(Worker)") == ["gpu0"]
+        assert engine.query("role(Master)") == ["cpu0"]
+
+    def test_malformed_query(self, engine):
+        with pytest.raises(QueryError):
+            engine.query("frobnicate(x)")
+        with pytest.raises(QueryError):
+            engine.query("exists(onlyone)")
+
+
+class TestConversion:
+    def test_xpdl_to_pdl_roles_derived_from_structure(self, liu_server):
+        platforms = xpdl_to_pdl(liu_server.root)
+        assert len(platforms) == 1
+        p = platforms[0]
+        assert p.master is not None
+        assert p.master.role is ControlRole.MASTER
+        workers = p.workers()
+        assert any(w.ident == "gpu1" for w in workers)
+        assert p.validate() == []
+
+    def test_attributes_become_adhoc_properties(self, liu_server):
+        p = xpdl_to_pdl(liu_server.root)[0]
+        gpu = p.pu_by_id("gpu1")
+        assert gpu.property_value("DEVICE_COMPUTE_CAPABILITY") == "3.5"
+        host = p.master
+        assert host.property_value("CPU_NUM_CORES") == "4"
+
+    def test_cluster_becomes_one_doc_per_node(self, xs_cluster):
+        platforms = xpdl_to_pdl(xs_cluster.root)
+        assert [p.name for p in platforms] == ["n0", "n1", "n2", "n3"]
+        for p in platforms:
+            assert p.validate() == []
+
+    def test_pdl_to_xpdl(self):
+        p = parse_pdl(PDL_DOC)
+        system = pdl_to_xpdl(p)
+        assert system.ident == "gpu_server"
+        kinds = [c.kind for c in system.children]
+        assert "cpu" in kinds and "device" in kinds
+        devices = [c for c in system.children if c.kind == "device"]
+        assert devices[0].attrs["role"] == "worker"
+
+
+class TestModularityMetrics:
+    def test_xpdl_vs_pdl_shape(self, repo, xs_cluster):
+        """E4's headline: XPDL avoids duplication via reuse; flattened PDL
+        repeats shared content in every node document."""
+        mx = measure_xpdl(repo, "XScluster")
+        mp = measure_pdl(xpdl_to_pdl(xs_cluster.root))
+        assert mx.duplicated_lines == 0
+        assert mp.duplicated_lines > 0
+        assert mp.duplication_ratio > 0.3
+        reused = {k: v for k, v in mx.reuse_counts.items() if v > 1}
+        assert "Intel_Xeon_E5_2630L" in reused
+        assert "pcie3" in reused
+
+    def test_comparison_rows_render(self, repo, xs_cluster):
+        mx = measure_xpdl(repo, "XScluster")
+        mp = measure_pdl(xpdl_to_pdl(xs_cluster.root))
+        rows = comparison_rows(mx, mp)
+        metrics = [r[0] for r in rows]
+        assert "duplication ratio" in metrics
+        assert all(len(r) == 3 for r in rows)

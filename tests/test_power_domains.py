@@ -1,0 +1,121 @@
+"""Tests for power domains and the switch-off condition semantics."""
+
+import pytest
+
+from repro.composer import compose_model
+from repro.diagnostics import XpdlError
+from repro.model import PowerDomains, from_document
+from repro.power import (
+    PowerDomainSet,
+    ResidencyTracker,
+    parse_condition,
+)
+from repro.units import Quantity
+from repro.xpdlxml import parse_xml
+
+
+def model(text: str):
+    return from_document(parse_xml(text))
+
+
+@pytest.fixture(scope="module")
+def myriad_domains(repo):
+    cm = compose_model(repo, "myriad_server")
+    pds_elem = next(
+        p
+        for p in cm.root.find_all(PowerDomains)
+        if (p.name or "").startswith("Myriad1")
+    )
+    return PowerDomainSet.from_element(pds_elem)
+
+
+class TestConditionParsing:
+    def test_single_clause(self):
+        clauses = parse_condition("Shave_pds off")
+        assert clauses[0].name == "Shave_pds"
+        assert clauses[0].required_state == "off"
+
+    def test_conjunction(self):
+        clauses = parse_condition("A off && B on")
+        assert len(clauses) == 2
+        assert clauses[1].required_state == "on"
+
+    def test_malformed_raises(self):
+        with pytest.raises(XpdlError):
+            parse_condition("whatever")
+        with pytest.raises(XpdlError):
+            parse_condition("A maybe")
+
+
+class TestListing12Semantics:
+    def test_domains_enumerated(self, myriad_domains):
+        names = myriad_domains.names()
+        assert "main_pd" in names
+        assert "CMX_pd" in names
+        assert sum(1 for n in names if n.startswith("Shave_pd")) == 8
+
+    def test_main_island_cannot_switch_off(self, myriad_domains):
+        ok, reason = myriad_domains.can_switch_off("main_pd")
+        assert not ok and "main" in reason
+
+    def test_cmx_requires_all_shaves_off(self, myriad_domains):
+        pds = PowerDomainSet(
+            myriad_domains.name, list(myriad_domains.domains.values())
+        )
+        ok, reason = pds.can_switch_off("CMX_pd")
+        assert not ok and "Shave_pds" in reason
+        members = pds.group_members("Shave_pds")
+        assert len(members) == 8
+        for m in members[:-1]:
+            pds.switch_off(m)
+        ok, _ = pds.can_switch_off("CMX_pd")
+        assert not ok  # one shave still on
+        pds.switch_off(members[-1])
+        ok, _ = pds.can_switch_off("CMX_pd")
+        assert ok
+        pds.switch_off("CMX_pd")
+        assert not pds.is_on("CMX_pd")
+
+    def test_switch_on_restores(self, myriad_domains):
+        pds = PowerDomainSet(
+            myriad_domains.name, list(myriad_domains.domains.values())
+        )
+        pds.switch_off("Shave_pd0")
+        pds.switch_on("Shave_pd0")
+        assert pds.is_on("Shave_pd0")
+
+    def test_unknown_domain_raises(self, myriad_domains):
+        with pytest.raises(XpdlError):
+            myriad_domains.is_on("nope")
+
+    def test_unknown_condition_target_raises(self):
+        pds_elem = model(
+            "<power_domains name='p'>"
+            "<power_domain name='a' switchoffCondition='ghost off'/>"
+            "</power_domains>"
+        )
+        pds = PowerDomainSet.from_element(pds_elem)
+        with pytest.raises(XpdlError):
+            pds.can_switch_off("a")
+
+
+class TestResidency:
+    def test_energy_integration(self, myriad_domains):
+        pds = PowerDomainSet(
+            myriad_domains.name, list(myriad_domains.domains.values())
+        )
+        tracker = ResidencyTracker(pds)
+        power = {n: Quantity.of(45, "mW") for n in pds.names()}
+        tracker.advance(Quantity.of(1, "s"), power)
+        for m in pds.group_members("Shave_pds"):
+            pds.switch_off(m)
+        tracker.advance(Quantity.of(1, "s"), power)
+        rec = tracker.records["Shave_pd0"]
+        assert rec.on_time.to("s") == pytest.approx(1)
+        assert rec.off_time.to("s") == pytest.approx(1)
+        assert rec.energy.to("mJ") == pytest.approx(45)
+        assert tracker.total_time.to("s") == pytest.approx(2)
+        # 10 domains on for 1s + 2 (main, CMX) on for the second second.
+        assert tracker.total_energy().to("mJ") == pytest.approx(
+            45 * 10 + 45 * 2
+        )

@@ -1,0 +1,232 @@
+"""Tests for instruction energy models, accounting and DVFS optimization."""
+
+import pytest
+
+from repro.diagnostics import XpdlError
+from repro.model import Instructions, from_document
+from repro.power import (
+    EnergyAccountant,
+    InstructionEnergyModel,
+    Phase,
+    PowerStateDef,
+    PowerStateMachineModel,
+    TransitionDef,
+    best_state,
+    evaluate_state,
+    optimize_state,
+)
+from repro.units import ENERGY, Quantity
+from repro.xpdlxml import parse_xml
+
+
+def q(v, u):
+    return Quantity.of(v, u)
+
+
+def model(text: str):
+    from repro.model import from_document
+
+    return from_document(parse_xml(text))
+
+
+@pytest.fixture(scope="module")
+def x86_model(repo) -> InstructionEnergyModel:
+    instrs = repo.load_model("x86_base_isa")
+    return InstructionEnergyModel.from_element(instrs)
+
+
+class TestInstructionModel:
+    def test_paper_divsd_table(self, x86_model):
+        # Listing 14's printed rows.
+        assert x86_model.energy("divsd", q(2.8, "GHz")).to("nJ") == pytest.approx(18.625)
+        assert x86_model.energy("divsd", q(2.9, "GHz")).to("nJ") == pytest.approx(19.573)
+        assert x86_model.energy("divsd", q(3.4, "GHz")).to("nJ") == pytest.approx(21.023)
+
+    def test_interpolation_between_rows(self, x86_model):
+        mid = x86_model.energy("divsd", q(2.85, "GHz")).to("nJ")
+        assert 18.625 < mid < 19.573
+
+    def test_clamping_outside_table(self, x86_model):
+        low = x86_model.energy("divsd", q(1.0, "GHz")).to("nJ")
+        assert low == pytest.approx(18.625)
+        high = x86_model.energy("divsd", q(5.0, "GHz")).to("nJ")
+        assert high == pytest.approx(21.023)
+
+    def test_table_requires_frequency(self, x86_model):
+        with pytest.raises(XpdlError):
+            x86_model.energy("divsd")
+
+    def test_unknown_entries_listed(self, x86_model):
+        assert "fmul" in x86_model.unknown_instructions()
+        assert "divsd" not in x86_model.unknown_instructions()
+
+    def test_placeholder_energy_raises(self, x86_model):
+        with pytest.raises(XpdlError):
+            x86_model.energy("fmul", q(2.0, "GHz"))
+
+    def test_set_energy_constant(self, x86_model):
+        m = InstructionEnergyModel(
+            "t", [e for e in ()]
+        )
+        m.set_energy("fadd", q(80, "pJ"))
+        assert m.energy("fadd").to("pJ") == pytest.approx(80)
+
+    def test_set_energy_builds_table(self):
+        m = InstructionEnergyModel("t", [])
+        m.set_energy("x", q(10, "nJ"), frequency=q(1, "GHz"))
+        m.set_energy("x", q(20, "nJ"), frequency=q(2, "GHz"))
+        assert m.energy("x", q(1.5, "GHz")).to("nJ") == pytest.approx(15)
+        # Updating an existing row replaces it.
+        m.set_energy("x", q(12, "nJ"), frequency=q(1, "GHz"))
+        assert m.energy("x", q(1, "GHz")).to("nJ") == pytest.approx(12)
+
+    def test_write_back_replaces_placeholders(self, repo):
+        instrs = repo.load_model("x86_base_isa").clone()
+        m = InstructionEnergyModel.from_element(instrs)
+        m.set_energy("fmul", q(366, "pJ"))
+        updated = m.write_back(instrs)
+        assert updated == 1
+        from repro.model import Inst
+
+        fmul = next(i for i in instrs.find_all(Inst) if i.name == "fmul")
+        assert fmul.energy.to("pJ") == pytest.approx(366)
+
+    def test_unknown_instruction_raises(self, x86_model):
+        with pytest.raises(XpdlError):
+            x86_model.energy("vfmadd231pd")
+
+
+def make_psm():
+    states = [
+        PowerStateDef("IDLE", q(0.8, "GHz"), q(5, "W")),
+        PowerStateDef("P1", q(1.2, "GHz"), q(20, "W")),
+        PowerStateDef("P3", q(2.0, "GHz"), q(34, "W")),
+    ]
+    transitions = [
+        TransitionDef(a, b, q(10, "us"), q(50, "nJ"))
+        for a in ("IDLE", "P1", "P3")
+        for b in ("IDLE", "P1", "P3")
+        if a != b
+    ]
+    return PowerStateMachineModel("psm", states, transitions)
+
+
+def make_instructions():
+    m = InstructionEnergyModel("isa", [])
+    m.set_energy("fadd", q(100, "pJ"))
+    m.set_energy("load", q(200, "pJ"))
+    return m
+
+
+class TestAccounting:
+    def test_single_phase_breakdown(self):
+        acct = EnergyAccountant(make_psm(), make_instructions(), initial_state="P3")
+        phases = [Phase("work", {"fadd": 1_000_000, "load": 500_000})]
+        breakdown = acct.run(phases)
+        cost = breakdown.phases[0]
+        # 1.5M instructions at 2 GHz, CPI 1.
+        assert cost.time.to("ms") == pytest.approx(0.75)
+        assert cost.static_energy.to("J") == pytest.approx(34 * 0.75e-3)
+        assert cost.dynamic_energy.to("J") == pytest.approx(
+            1e6 * 100e-12 + 0.5e6 * 200e-12
+        )
+        assert breakdown.total_energy.magnitude == pytest.approx(
+            cost.total_energy.magnitude
+        )
+
+    def test_state_switch_charged(self):
+        acct = EnergyAccountant(make_psm(), make_instructions(), initial_state="P3")
+        phases = [
+            Phase("a", {"fadd": 1000}, state="P1"),
+            Phase("b", {"fadd": 1000}, state="P3"),
+        ]
+        breakdown = acct.run(phases)
+        assert breakdown.switch_energy.to("nJ") == pytest.approx(100)
+        assert breakdown.phases[0].state == "P1"
+        assert breakdown.phases[1].state == "P3"
+
+    def test_cpi_scales_time(self):
+        acct = EnergyAccountant(make_psm(), make_instructions(), initial_state="P3")
+        b1 = acct.run([Phase("x", {"fadd": 1000}, cycles_per_instruction=1.0)])
+        acct2 = EnergyAccountant(make_psm(), make_instructions(), initial_state="P3")
+        b4 = acct2.run([Phase("x", {"fadd": 1000}, cycles_per_instruction=4.0)])
+        assert b4.time.magnitude == pytest.approx(4 * b1.time.magnitude)
+
+    def test_base_power_added(self):
+        acct = EnergyAccountant(
+            make_psm(),
+            make_instructions(),
+            initial_state="P3",
+            base_power=q(6, "W"),
+        )
+        b = acct.run([Phase("x", {"fadd": 2_000_000})])
+        assert b.static_energy.to("J") == pytest.approx(40 * 1e-3)
+
+    def test_average_power(self):
+        acct = EnergyAccountant(make_psm(), make_instructions(), initial_state="P1")
+        b = acct.run([Phase("x", {"fadd": 1_200_000})])
+        # 1 ms at 20 W static + dynamic.
+        assert b.average_power().to("W") == pytest.approx(
+            20 + 1.2e6 * 100e-12 / 1e-3, rel=1e-6
+        )
+
+
+class TestDvfs:
+    def test_infeasible_deadline(self):
+        psm = make_psm()
+        choice = best_state(psm, cycles=4e9, deadline=q(1, "s"))
+        # 4G cycles at 2 GHz = 2 s > deadline at every state.
+        assert choice is None
+
+    def test_race_to_idle_wins_with_cheap_idle(self):
+        psm = make_psm()
+        # 1G cycles, 1 s deadline: P3 runs 0.5 s @34 W + idles 0.5 s @5 W
+        # = 19.5 J; P1 runs 0.833 s @20 W + idles @5 W = 17.5 J -> P1 wins;
+        # the optimizer must rank feasible states by energy.
+        ranked = optimize_state(psm, cycles=1e9, deadline=q(1, "s"))
+        feasible = [c for c in ranked if c.feasible]
+        assert feasible[0].state == "P1"
+
+    def test_pace_wins_when_idle_expensive(self):
+        states = [
+            PowerStateDef("LO", q(1.0, "GHz"), q(10, "W")),
+            PowerStateDef("HI", q(2.0, "GHz"), q(40, "W")),
+        ]
+        transitions = [
+            TransitionDef("LO", "HI", q(1, "us"), q(1, "nJ")),
+            TransitionDef("HI", "LO", q(1, "us"), q(1, "nJ")),
+        ]
+        psm = PowerStateMachineModel("p", states, transitions)
+        # Idle state == LO (10 W).  HI: 0.5s*40 + 0.5s*10 = 25 J;
+        # LO: 1s*10 = 10 J -> pace wins.
+        choice = best_state(psm, cycles=1e9, deadline=q(1, "s"))
+        assert choice.state == "LO"
+        assert choice.total_energy.to("J") == pytest.approx(10, rel=1e-3)
+
+    def test_dynamic_energy_term(self):
+        psm = make_psm()
+        with_dyn = evaluate_state(
+            psm,
+            "P3",
+            1e9,
+            q(1, "s"),
+            dynamic_energy_per_cycle=Quantity(1e-10, ENERGY),
+        )
+        without = evaluate_state(psm, "P3", 1e9, q(1, "s"))
+        assert with_dyn.energy.magnitude - without.energy.magnitude == pytest.approx(0.1)
+
+    def test_switch_cost_into_state_counted(self):
+        psm = make_psm()
+        c = evaluate_state(psm, "P1", 1e6, q(1, "s"), start_state="P3")
+        assert c.switch_energy.magnitude > 0
+
+    def test_crossover_over_deadline_sweep(self):
+        """Tight deadlines force fast states; loose ones favor slow — the
+        E5 bench's crossover must exist."""
+        psm = make_psm()
+        cycles = 1.5e9
+        tight = best_state(psm, cycles, q(0.8, "s"))
+        loose = best_state(psm, cycles, q(10, "s"))
+        assert tight.state == "P3"
+        assert loose.state in ("P1", "IDLE")
+        assert tight.state != loose.state

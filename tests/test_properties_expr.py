@@ -1,0 +1,116 @@
+"""Property-based tests for the expression language.
+
+Random dimensionless arithmetic ASTs are evaluated both by the XPDL
+evaluator and by a direct Python reference; results must agree.  Printing
+and re-parsing an AST must preserve its value.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given, strategies as st
+
+from repro.params import Evaluator, parse_expr
+from repro.params.expr import Binary, Call, Expr, Name, Num, Unary
+from repro.units import Quantity
+
+_NAMES = ["a", "b", "c", "num_SM", "L1size"]
+
+
+@st.composite
+def arith_exprs(draw, depth=3) -> Expr:
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return Num(
+                draw(
+                    st.floats(
+                        min_value=-1e6,
+                        max_value=1e6,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    )
+                )
+            )
+        return Name(draw(st.sampled_from(_NAMES)))
+    kind = draw(st.sampled_from(["+", "-", "*", "neg", "min", "max", "abs"]))
+    if kind == "neg":
+        return Unary("-", draw(arith_exprs(depth=depth - 1)))
+    if kind in ("min", "max"):
+        return Call(
+            kind,
+            (
+                draw(arith_exprs(depth=depth - 1)),
+                draw(arith_exprs(depth=depth - 1)),
+            ),
+        )
+    if kind == "abs":
+        return Call("abs", (draw(arith_exprs(depth=depth - 1)),))
+    return Binary(
+        kind,
+        draw(arith_exprs(depth=depth - 1)),
+        draw(arith_exprs(depth=depth - 1)),
+    )
+
+
+def _reference(expr: Expr, env: dict[str, float]) -> float:
+    if isinstance(expr, Num):
+        return expr.value
+    if isinstance(expr, Name):
+        return env[expr.ident]
+    if isinstance(expr, Unary):
+        return -_reference(expr.operand, env)
+    if isinstance(expr, Call):
+        args = [_reference(a, env) for a in expr.args]
+        return {"min": min, "max": max, "abs": lambda x: abs(x)}[expr.func](*args)
+    if isinstance(expr, Binary):
+        left = _reference(expr.left, env)
+        right = _reference(expr.right, env)
+        return {"+": left + right, "-": left - right, "*": left * right}[expr.op]
+    raise AssertionError(expr)
+
+
+_env_values = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@given(arith_exprs(), st.lists(_env_values, min_size=5, max_size=5))
+def test_evaluator_matches_reference(expr, values):
+    env_f = dict(zip(_NAMES, values))
+    env_q = {k: Quantity.dimensionless(v) for k, v in env_f.items()}
+    expected = _reference(expr, env_f)
+    assume(abs(expected) < 1e300)
+    got = Evaluator(env_q).eval_quantity(expr).magnitude
+    assert math.isclose(got, expected, rel_tol=1e-9, abs_tol=1e-6)
+
+
+@given(arith_exprs(), st.lists(_env_values, min_size=5, max_size=5))
+def test_print_parse_roundtrip_preserves_value(expr, values):
+    env_q = {
+        k: Quantity.dimensionless(v) for k, v in zip(_NAMES, values)
+    }
+    original = Evaluator(env_q).eval_quantity(expr).magnitude
+    assume(abs(original) < 1e300)
+    reparsed = parse_expr(str(expr))
+    again = Evaluator(env_q).eval_quantity(reparsed).magnitude
+    assert math.isclose(again, original, rel_tol=1e-9, abs_tol=1e-6)
+
+
+@given(arith_exprs(), arith_exprs(), st.lists(_env_values, min_size=5, max_size=5))
+def test_comparison_consistency(left, right, values):
+    """Exactly one of <, ==, > holds (trichotomy through the evaluator)."""
+    env_q = {k: Quantity.dimensionless(v) for k, v in zip(_NAMES, values)}
+    ev = Evaluator(env_q)
+    lv = ev.eval_quantity(left).magnitude
+    rv = ev.eval_quantity(right).magnitude
+    assume(abs(lv) < 1e300 and abs(rv) < 1e300)
+    lt = ev.eval(Binary("<", left, right))
+    gt = ev.eval(Binary(">", left, right))
+    eq = ev.eval(Binary("==", left, right))
+    # Equality is tolerant (data-sheet arithmetic), so near-equal values may
+    # satisfy both == and a strict comparison; < and > stay exclusive and
+    # at least one relation always holds.
+    assert not (lt and gt)
+    assert lt or gt or eq
+    assert eq == math.isclose(lv, rv, rel_tol=1e-9)

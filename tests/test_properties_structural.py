@@ -1,0 +1,177 @@
+"""Property-based tests for structural invariants: group expansion counts,
+C3 linearization laws, composition determinism."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.composer import Composer
+from repro.diagnostics import CompositionError
+from repro.groups import expand_groups
+from repro.inherit import c3_linearize
+from repro.model import from_document
+from repro.repository import MemoryStore, ModelRepository
+from repro.xpdlxml import parse_xml
+
+
+def model(text: str):
+    return from_document(parse_xml(text))
+
+
+# ---------------------------------------------------------------------------
+# group expansion: expanded leaf count == product of nested quantities
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def nested_groups(draw, depth=3):
+    """Random nested homogeneous groups around a single <core/> leaf."""
+    quantities = draw(
+        st.lists(st.integers(0, 5), min_size=1, max_size=depth)
+    )
+    inner = "<core/>"
+    for i, q in enumerate(quantities):
+        inner = f'<group prefix="g{i}_" quantity="{q}">{inner}</group>'
+    return inner, quantities
+
+
+@given(nested_groups())
+def test_expansion_count_is_product(data):
+    text, quantities = data
+    expanded = expand_groups(model(text))
+    count = sum(1 for e in expanded.walk() if e.kind == "core")
+    product = 1
+    for q in quantities:
+        product *= q
+    assert count == product
+
+
+@given(nested_groups())
+def test_expansion_ids_unique_within_parent(data):
+    text, _quantities = data
+    expanded = expand_groups(model(text))
+    for elem in expanded.walk():
+        ids = [c.ident for c in elem.children if c.ident]
+        assert len(ids) == len(set(ids))
+
+
+@given(nested_groups())
+def test_expansion_idempotent(data):
+    text, _q = data
+    once = expand_groups(model(text))
+
+    def shape(e):
+        return (e.kind, tuple(sorted(e.attrs.items())), tuple(shape(c) for c in e.children))
+
+    twice = expand_groups(once)
+    assert shape(twice) == shape(once)
+
+
+# ---------------------------------------------------------------------------
+# C3 linearization laws over random DAG hierarchies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def hierarchies(draw):
+    """A random single-inheritance-biased DAG over n classes.
+
+    Classes are c0..cn-1; a class may only extend higher-numbered classes,
+    guaranteeing acyclicity.
+    """
+    n = draw(st.integers(1, 8))
+    parents: dict[str, tuple[str, ...]] = {}
+    for i in range(n):
+        candidates = [f"c{j}" for j in range(i + 1, n)]
+        k = draw(st.integers(0, min(2, len(candidates))))
+        chosen = tuple(draw(st.permutations(candidates))[:k]) if k else ()
+        parents[f"c{i}"] = chosen
+    return parents
+
+
+@given(hierarchies())
+def test_c3_contains_all_ancestors_once(parents):
+    for cls in parents:
+        try:
+            lin = c3_linearize(cls, parents)
+        except CompositionError:
+            continue  # legitimately inconsistent (Python would reject too)
+        assert lin[0] == cls
+        assert len(lin) == len(set(lin))
+        # Every transitive ancestor appears.
+        expected = set()
+        stack = [cls]
+        while stack:
+            cur = stack.pop()
+            if cur in expected:
+                continue
+            expected.add(cur)
+            stack.extend(parents.get(cur, ()))
+        assert set(lin) == expected
+
+
+@given(hierarchies())
+def test_c3_respects_local_precedence(parents):
+    """A class precedes its own parents, and parents keep declared order."""
+    for cls in parents:
+        try:
+            lin = c3_linearize(cls, parents)
+        except CompositionError:
+            continue
+        pos = {c: i for i, c in enumerate(lin)}
+        for c in lin:
+            for p in parents.get(c, ()):
+                assert pos[c] < pos[p]
+        declared = parents[cls]
+        indices = [pos[p] for p in declared]
+        assert indices == sorted(indices)
+
+
+@given(hierarchies())
+def test_c3_monotone_with_superclass(parents):
+    """The linearization of a class is consistent with each parent's own
+    linearization (C3 monotonicity)."""
+    for cls in parents:
+        try:
+            lin = c3_linearize(cls, parents)
+        except CompositionError:
+            continue
+        pos = {c: i for i, c in enumerate(lin)}
+        for p in parents[cls]:
+            plin = c3_linearize(p, parents)
+            sub = [pos[c] for c in plin]
+            assert sub == sorted(sub)
+
+
+# ---------------------------------------------------------------------------
+# composition determinism
+# ---------------------------------------------------------------------------
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(1, 4), st.integers(1, 4))
+def test_composition_deterministic(nodes, cores):
+    files = {
+        "cpu.xpdl": (
+            "<cpu name='C'>"
+            f"<group prefix='core' quantity='{cores}'><core/></group>"
+            "</cpu>"
+        ),
+        "sys.xpdl": (
+            "<system id='S'><cluster>"
+            f"<group prefix='n' quantity='{nodes}'>"
+            "<node><cpu id='c0' type='C'/></node>"
+            "</group></cluster></system>"
+        ),
+    }
+
+    def build():
+        repo = ModelRepository([MemoryStore(files)])
+        return Composer(repo).compose("S")
+
+    def shape(e):
+        return (e.kind, tuple(sorted(e.attrs.items())), tuple(shape(c) for c in e.children))
+
+    a, b = build(), build()
+    assert shape(a.root) == shape(b.root)
+    assert a.count("core") == nodes * cores

@@ -1,0 +1,166 @@
+"""Tests for the distributed model repository."""
+
+import pytest
+
+from repro.diagnostics import DiagnosticSink, ResolutionError
+from repro.repository import (
+    CachingStore,
+    LocalDirStore,
+    MemoryStore,
+    ModelRepository,
+    RemoteSimStore,
+)
+
+
+def make_repo(files: dict[str, str]) -> ModelRepository:
+    return ModelRepository([MemoryStore(files)])
+
+
+class TestStores:
+    def test_memory_store(self):
+        s = MemoryStore({"a.xpdl": "<cpu name='A'/>"})
+        assert s.list_paths() == ["a.xpdl"]
+        assert "cpu" in s.fetch("a.xpdl")
+        with pytest.raises(ResolutionError):
+            s.fetch("missing.xpdl")
+
+    def test_local_dir_store(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "x.xpdl").write_text("<cpu name='X'/>")
+        (tmp_path / "ignored.txt").write_text("nope")
+        s = LocalDirStore(str(tmp_path))
+        assert s.list_paths() == ["sub/x.xpdl"]
+        assert "X" in s.fetch("sub/x.xpdl")
+
+    def test_remote_sim_accounting(self):
+        backing = MemoryStore({"a.xpdl": "<cpu name='A'/>" * 10})
+        remote = RemoteSimStore(backing, latency_s=0.1, bandwidth_bps=1000)
+        remote.fetch("a.xpdl")
+        assert remote.log.fetches == 1
+        assert remote.log.bytes > 0
+        assert remote.log.simulated_latency_s > 0.1
+
+    def test_remote_sim_failure_injection(self):
+        backing = MemoryStore({"a.xpdl": "<cpu name='A'/>"})
+        remote = RemoteSimStore(backing, fail_every=2)
+        remote.fetch("a.xpdl")
+        with pytest.raises(ResolutionError):
+            remote.fetch("a.xpdl")
+        remote.fetch("a.xpdl")  # third call succeeds again
+        assert remote.log.failures == 1
+
+    def test_caching_store(self):
+        backing = MemoryStore({"a.xpdl": "<cpu name='A'/>"})
+        remote = RemoteSimStore(backing)
+        cache = CachingStore(remote)
+        cache.fetch("a.xpdl")
+        cache.fetch("a.xpdl")
+        assert cache.hits == 1 and cache.misses == 1
+        assert remote.log.fetches == 1  # second hit never reached the remote
+
+
+class TestIndex:
+    def test_index_by_name_and_id(self):
+        repo = make_repo(
+            {
+                "a.xpdl": "<cpu name='CpuA'/>",
+                "b.xpdl": "<system id='sysB'/>",
+            }
+        )
+        assert set(repo.identifiers()) == {"CpuA", "sysB"}
+        assert "CpuA" in repo
+
+    def test_shadowing_first_store_wins(self):
+        s1 = MemoryStore({"a.xpdl": "<cpu name='X' frequency='1'/>"}, url="one:")
+        s2 = MemoryStore({"b.xpdl": "<cpu name='X' frequency='2'/>"}, url="two:")
+        repo = ModelRepository([s1, s2])
+        sink = DiagnosticSink()
+        repo.index(sink)
+        model = repo.load_model("X")
+        assert model.attrs["frequency"] == "1"
+
+    def test_descriptor_without_identifier_warned(self):
+        repo = make_repo({"a.xpdl": "<cpu/>"})
+        sink = DiagnosticSink()
+        repo.index(sink)
+        assert any(d.code == "XPDL0200" for d in sink)
+
+    def test_add_inline(self):
+        repo = make_repo({})
+        repo.add_inline("gen.xpdl", "<cpu name='Gen'/>")
+        assert "Gen" in repo
+
+
+class TestLoading:
+    def test_load_caches(self):
+        repo = make_repo({"a.xpdl": "<cpu name='A'/>"})
+        m1 = repo.load("A")
+        m2 = repo.load("A")
+        assert m1 is m2
+
+    def test_load_unknown_with_case_hint(self):
+        repo = make_repo({"a.xpdl": "<cpu name='CpuA'/>"})
+        with pytest.raises(ResolutionError) as exc:
+            repo.load("cpua")
+        assert "CpuA" in str(exc.value)
+
+    def test_references_of(self):
+        repo = make_repo({})
+        from repro.model import from_document
+        from repro.xpdlxml import parse_xml
+
+        model = from_document(
+            parse_xml(
+                "<system id='s'><cpu id='c' type='T' extends='E1,E2'/>"
+                "<instructions name='i' mb='MB'/></system>"
+            )
+        )
+        refs = repo.references_of(model)
+        assert {"T", "E1", "E2", "MB"} <= refs
+
+
+class TestClosure:
+    def test_recursive_closure(self):
+        repo = make_repo(
+            {
+                "sys.xpdl": "<system id='S'><cpu id='c' type='A'/></system>",
+                "a.xpdl": "<cpu name='A'><power_model type='P'/></cpu>",
+                "p.xpdl": "<power_model name='P'/>",
+            }
+        )
+        closure = repo.load_closure("S")
+        assert set(closure) == {"S", "A", "P"}
+
+    def test_category_refs_noted_not_fatal(self):
+        repo = make_repo(
+            {"m.xpdl": "<memory name='M' type='DDR3' size='1' unit='GB'/>"}
+        )
+        sink = DiagnosticSink()
+        closure = repo.load_closure("M", sink)
+        assert set(closure) == {"M"}
+        assert any(d.code == "XPDL0211" for d in sink)
+        assert not sink.has_errors()
+
+    def test_cycle_detected(self):
+        repo = make_repo(
+            {
+                "a.xpdl": "<cpu name='A' extends='B'/>",
+                "b.xpdl": "<cpu name='B' extends='A'/>",
+            }
+        )
+        sink = DiagnosticSink()
+        closure = repo.load_closure("A", sink)
+        assert any(d.code == "XPDL0210" for d in sink)
+        assert "A" in closure and "B" in closure
+
+    def test_paper_corpus_closures(self, repo):
+        for system in ("myriad_server", "liu_gpu_server", "XScluster"):
+            sink = DiagnosticSink()
+            closure = repo.load_closure(system, sink)
+            assert system in closure
+            assert len(closure) > 5
+            assert not sink.has_errors()
+
+    def test_stats(self, repo):
+        stats = repo.stats()
+        assert stats["descriptors"] >= 40

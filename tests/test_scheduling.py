@@ -1,0 +1,196 @@
+"""Tests for the energy-aware scheduling layer."""
+
+import pytest
+
+from repro.diagnostics import XpdlError
+from repro.scheduling import (
+    EnergyAwareScheduler,
+    Task,
+    TaskGraph,
+    chain,
+    fork_join,
+    random_dag,
+)
+
+MIX = {"fadd": 2_000_000, "fmul": 1_000_000, "load": 1_500_000}
+ISA = "x86_base_isa"
+
+
+@pytest.fixture()
+def scheduler(liu_testbed):
+    # CPU-only scheduling: the GPU's ISA cannot run the x86 mixes anyway.
+    return EnergyAwareScheduler(liu_testbed, machines=["gpu_host"])
+
+
+@pytest.fixture()
+def hetero_scheduler(liu_testbed):
+    return EnergyAwareScheduler(liu_testbed)
+
+
+class TestTaskGraph:
+    def test_duplicate_task_rejected(self):
+        tg = TaskGraph()
+        tg.add_task(Task("a"))
+        with pytest.raises(XpdlError):
+            tg.add_task(Task("a"))
+
+    def test_cycle_rejected(self):
+        tg = TaskGraph()
+        tg.add_task(Task("a"))
+        tg.add_task(Task("b"))
+        tg.add_dependency("a", "b")
+        with pytest.raises(XpdlError):
+            tg.add_dependency("b", "a")
+
+    def test_unknown_endpoint_rejected(self):
+        tg = TaskGraph()
+        tg.add_task(Task("a"))
+        with pytest.raises(XpdlError):
+            tg.add_dependency("a", "ghost")
+
+    def test_topological_order(self):
+        tg = chain(4, mix=MIX, isa=ISA)
+        names = [t.name for t in tg.topological_order()]
+        assert names == ["t0", "t1", "t2", "t3"]
+
+    def test_predecessors_with_bytes(self):
+        tg = chain(2, mix=MIX, isa=ISA, nbytes=512)
+        preds = tg.predecessors("t1")
+        assert preds[0][0].name == "t0" and preds[0][1] == 512
+
+    def test_fork_join_shape(self):
+        tg = fork_join(4, mix=MIX, isa=ISA)
+        assert len(tg) == 6
+        assert len(tg.successors("source")) == 4
+        assert len(tg.predecessors("sink")) == 4
+
+    def test_random_dag_deterministic(self):
+        a = random_dag(8, mix=MIX, isa=ISA, seed=5)
+        b = random_dag(8, mix=MIX, isa=ISA, seed=5)
+        assert [
+            (t.name, t.mixes) for t in a.tasks()
+        ] == [(t.name, t.mixes) for t in b.tasks()]
+
+    def test_mix_for(self):
+        t = Task("x", {"a": {"fadd": 1}, "b": {"exotic": 1}})
+        assert t.mix_for(["fadd", "load"]) == {"fadd": 1}
+        assert t.mix_for(["exotic"]) == {"exotic": 1}
+        assert t.mix_for(["other"]) is None
+
+
+class TestMapping:
+    def test_chain_is_sequential(self, scheduler):
+        tg = chain(3, mix=MIX, isa=ISA)
+        s = scheduler.schedule(tg)
+        p = [s.placements[f"t{i}"] for i in range(3)]
+        assert p[0].finish <= p[1].start + 1e-12
+        assert p[1].finish <= p[2].start + 1e-12
+        assert s.makespan == pytest.approx(p[2].finish)
+
+    def test_dependencies_respected(self, scheduler):
+        tg = random_dag(10, mix=MIX, isa=ISA, seed=3, nbytes=1000)
+        s = scheduler.schedule(tg)
+        for task in tg.tasks():
+            p = s.placements[task.name]
+            for pred, nbytes in tg.predecessors(task.name):
+                pp = s.placements[pred.name]
+                min_start = pp.finish + scheduler.transfer_time(
+                    pp.machine, p.machine, nbytes
+                )
+                assert p.start >= min_start - 1e-12
+
+    def test_no_machine_overlap(self, scheduler):
+        tg = fork_join(6, mix=MIX, isa=ISA)
+        s = scheduler.schedule(tg)
+        for machine in scheduler.machine_names:
+            placements = s.on_machine(machine)
+            for a, b in zip(placements, placements[1:]):
+                assert a.finish <= b.start + 1e-12
+
+    def test_runs_at_fastest_state(self, scheduler):
+        tg = chain(2, mix=MIX, isa=ISA)
+        s = scheduler.schedule(tg)
+        assert all(p.state == "P3" for p in s.placements.values())
+
+    def test_unrunnable_task_rejected(self, scheduler):
+        tg = TaskGraph()
+        tg.add_task(Task("weird", {"isa": {"quantum_op": 1}}))
+        with pytest.raises(XpdlError):
+            scheduler.schedule(tg)
+
+    def test_allowed_machines_respected(self, hetero_scheduler):
+        tg = TaskGraph()
+        tg.add_task(
+            Task("pinned", {ISA: MIX}, allowed_machines=("gpu_host",))
+        )
+        s = hetero_scheduler.schedule(tg)
+        assert s.placements["pinned"].machine == "gpu_host"
+
+    def test_heterogeneous_dispatch_by_isa(self, hetero_scheduler):
+        tg = TaskGraph()
+        tg.add_task(Task("cpu_work", {ISA: MIX}))
+        tg.add_task(
+            Task("gpu_work", {"ptx": {"fma_f32": 5_000_000}})
+        )
+        s = hetero_scheduler.schedule(tg)
+        assert s.placements["cpu_work"].machine == "gpu_host"
+        assert s.placements["gpu_work"].machine == "gpu1"
+
+    def test_verify_against_testbed(self, scheduler, liu_testbed):
+        tg = random_dag(8, mix=MIX, isa=ISA, seed=1)
+        s = scheduler.schedule(tg)
+        errors = scheduler.verify_on_testbed(tg, s)
+        assert max(errors.values()) < 1e-9
+
+
+class TestSlackReclamation:
+    def test_saves_energy_under_relaxed_deadline(self, scheduler):
+        tg = random_dag(10, mix=MIX, isa=ISA, seed=2, nbytes=100_000)
+        s = scheduler.schedule(tg)
+        idle = {m: scheduler.idle_power(m) for m in scheduler.machine_names}
+        before = s.total_energy(idle)
+        slowed = scheduler.reclaim_slack(tg, s, deadline=s.makespan * 1.5)
+        after = s.total_energy(idle)
+        assert slowed > 0
+        assert after < before
+
+    def test_deadline_respected(self, scheduler):
+        tg = random_dag(10, mix=MIX, isa=ISA, seed=2)
+        s = scheduler.schedule(tg)
+        deadline = s.makespan * 1.3
+        scheduler.reclaim_slack(tg, s, deadline=deadline)
+        assert s.makespan <= deadline + 1e-9
+
+    def test_zero_slack_changes_little(self, scheduler):
+        tg = chain(4, mix=MIX, isa=ISA)
+        s = scheduler.schedule(tg)
+        makespan0 = s.makespan
+        scheduler.reclaim_slack(tg, s)  # deadline = current makespan
+        assert s.makespan <= makespan0 + 1e-12
+
+    def test_missed_deadline_rejected(self, scheduler):
+        tg = chain(2, mix=MIX, isa=ISA)
+        s = scheduler.schedule(tg)
+        with pytest.raises(XpdlError):
+            scheduler.reclaim_slack(tg, s, deadline=s.makespan * 0.5)
+
+    def test_dependencies_still_hold_after_reclaim(self, scheduler):
+        tg = random_dag(12, mix=MIX, isa=ISA, seed=4, nbytes=50_000)
+        s = scheduler.schedule(tg)
+        scheduler.reclaim_slack(tg, s, deadline=s.makespan * 2.0)
+        for task in tg.tasks():
+            p = s.placements[task.name]
+            for pred, nbytes in tg.predecessors(task.name):
+                pp = s.placements[pred.name]
+                assert p.start >= pp.finish - 1e-9
+
+    def test_monotone_with_deadline(self, scheduler):
+        """Looser deadlines can only reduce (or keep) energy."""
+        idle = {m: scheduler.idle_power(m) for m in scheduler.machine_names}
+        energies = []
+        for factor in (1.0, 1.3, 1.8, 3.0):
+            tg = random_dag(8, mix=MIX, isa=ISA, seed=6)
+            s = scheduler.schedule(tg)
+            scheduler.reclaim_slack(tg, s, deadline=s.makespan * factor)
+            energies.append(s.total_energy(idle))
+        assert all(a >= b - 1e-9 for a, b in zip(energies, energies[1:]))

@@ -1,0 +1,211 @@
+"""Tests for the schema object model, XML round-trip and validator."""
+
+import pytest
+
+from repro.diagnostics import DiagnosticSink, SchemaError
+from repro.model import from_document
+from repro.schema import (
+    AttrKind,
+    AttributeDecl,
+    CORE_SCHEMA,
+    ElementDecl,
+    Schema,
+    SchemaValidator,
+    schema_from_xml,
+    schema_to_xml,
+    validate_model,
+)
+from repro.xpdlxml import parse_xml
+
+
+def validate_text(text: str) -> DiagnosticSink:
+    return validate_model(from_document(parse_xml(text)))
+
+
+def codes(sink: DiagnosticSink) -> set[str]:
+    return {d.code for d in sink}
+
+
+class TestSchemaModel:
+    def test_core_schema_has_paper_tags(self):
+        for tag in (
+            "system",
+            "cluster",
+            "node",
+            "socket",
+            "cpu",
+            "core",
+            "cache",
+            "memory",
+            "device",
+            "group",
+            "interconnect",
+            "channel",
+            "const",
+            "param",
+            "constraint",
+            "power_model",
+            "power_domain",
+            "power_state_machine",
+            "power_state",
+            "transition",
+            "instructions",
+            "inst",
+            "data",
+            "microbenchmarks",
+            "microbenchmark",
+            "software",
+            "installed",
+            "hostOS",
+            "programming_model",
+            "properties",
+            "property",
+        ):
+            assert tag in CORE_SCHEMA, tag
+
+    def test_effective_attributes_inherit(self):
+        attrs = CORE_SCHEMA.effective_attributes("cpu")
+        assert "name" in attrs  # from xpdl:modelElement
+        assert "static_power" in attrs  # from xpdl:hardwareComponent
+        assert "frequency" in attrs  # own
+
+    def test_effective_children(self):
+        children = CORE_SCHEMA.effective_children("cpu")
+        assert "core" in children and "cache" in children
+
+    def test_open_flags_inherit(self):
+        s = Schema()
+        s.element("base", open_content=True)
+        s.element("derived", bases=("base",))
+        assert s.is_open_content("derived")
+
+    def test_duplicate_declaration_rejected(self):
+        s = Schema()
+        s.element("cpu")
+        with pytest.raises(ValueError):
+            s.element("cpu")
+
+    def test_unit_attr_of_quantity(self):
+        decl = AttributeDecl("static_power", AttrKind.QUANTITY)
+        assert decl.unit_attr() == "static_power_unit"
+        assert AttributeDecl("size", AttrKind.QUANTITY).unit_attr() == "unit"
+        assert AttributeDecl("x", AttrKind.STRING).unit_attr() is None
+
+
+class TestSchemaIO:
+    def test_roundtrip_identical(self):
+        xml = schema_to_xml(CORE_SCHEMA)
+        s2 = schema_from_xml(xml)
+        assert s2.tags() == CORE_SCHEMA.tags()
+        for tag in CORE_SCHEMA.tags():
+            a1 = CORE_SCHEMA.effective_attributes(tag)
+            a2 = s2.effective_attributes(tag)
+            assert set(a1) == set(a2), tag
+            for name in a1:
+                assert a1[name].kind == a2[name].kind
+                assert a1[name].required == a2[name].required
+                assert a1[name].dimension == a2[name].dimension
+            assert CORE_SCHEMA.effective_children(tag).keys() == s2.effective_children(tag).keys()
+
+    def test_bad_root_raises(self):
+        with pytest.raises(SchemaError):
+            schema_from_xml("<notschema/>")
+
+
+class TestValidator:
+    def test_valid_cpu_clean(self):
+        sink = validate_text(
+            '<cpu name="X"><core frequency="2" frequency_unit="GHz"/>'
+            '<cache name="L1" size="32" unit="KiB"/></cpu>'
+        )
+        assert not sink.has_errors()
+        assert len(sink) == 0
+
+    def test_missing_required_attribute(self):
+        sink = validate_text('<cache name="L1"/>')
+        assert "XPDL0101" in codes(sink)
+
+    def test_unknown_unit(self):
+        sink = validate_text('<cache name="L1" size="1" unit="XiB"/>')
+        assert "XPDL0103" in codes(sink)
+
+    def test_wrong_dimension_unit(self):
+        sink = validate_text('<core frequency="2" frequency_unit="W"/>')
+        assert "XPDL0104" in codes(sink)
+
+    def test_unit_without_metric(self):
+        sink = validate_text('<cache name="L1" size="1" unit="KiB" frequency_unit="GHz"/>')
+        assert "XPDL0102" in codes(sink)
+
+    def test_metric_without_unit_warns(self):
+        sink = validate_text('<core frequency="2"/>')
+        assert "XPDL0115" in codes(sink)
+        assert not sink.has_errors()
+
+    def test_placeholder_is_fine(self):
+        sink = validate_text(
+            '<inst name="fmul" energy="?" energy_unit="pJ"/>'
+        )
+        assert not sink.has_errors()
+
+    def test_param_reference_value_allowed(self):
+        # Listing 8: frequency="cfrq" names a param.
+        sink = validate_text('<core frequency="cfrq"/>')
+        assert not sink.has_errors()
+
+    def test_bad_int(self):
+        sink = validate_text('<cache name="L1" size="1" unit="KiB" sets="two"/>')
+        assert "XPDL0110" in codes(sink)
+
+    def test_bad_enum(self):
+        sink = validate_text('<cpu name="X" role="boss"/>')
+        assert "XPDL0113" in codes(sink)
+
+    def test_bad_bool(self):
+        sink = validate_text('<param name="p" configurable="maybe"/>')
+        assert "XPDL0112" in codes(sink)
+
+    def test_unknown_attribute_warns(self):
+        sink = validate_text('<cpu name="X" turbo="yes"/>')
+        assert "XPDL0105" in codes(sink)
+        assert not sink.has_errors()
+
+    def test_unknown_element_warns(self):
+        sink = validate_text("<fpga/>")
+        assert "XPDL0100" in codes(sink)
+
+    def test_open_attributes_escape(self):
+        # <property> allows arbitrary attributes.
+        sink = validate_text('<property name="k" anything="v"/>')
+        assert "XPDL0105" not in codes(sink)
+
+    def test_required_constraint_expr(self):
+        sink = validate_text("<constraint/>")
+        assert "XPDL0101" in codes(sink)
+
+    def test_child_multiplicity_max(self):
+        sink = validate_text(
+            "<system id='s'><software/><software/></system>"
+        )
+        assert "XPDL0122" in codes(sink)
+
+    def test_unexpected_child_warns(self):
+        sink = validate_text("<socket><memory size='1' unit='GB'/></socket>")
+        assert "XPDL0120" in codes(sink)
+
+    def test_group_content_is_transparent(self):
+        sink = validate_text(
+            "<cpu name='X'><group quantity='2'><core/></group></cpu>"
+        )
+        assert "XPDL0120" not in codes(sink)
+
+    def test_validate_strict_raises(self):
+        model = from_document(parse_xml('<cache name="L1"/>'))
+        with pytest.raises(SchemaError):
+            SchemaValidator().validate_strict(model)
+
+    def test_whole_corpus_validates(self, repo):
+        for ident in repo.identifiers():
+            sink = DiagnosticSink()
+            repo.load(ident, sink)
+            assert not sink.has_errors(), f"{ident}: {sink.render()}"

@@ -1,0 +1,44 @@
+"""The shipped xpdl_schema.xml must stay in sync with the in-code schema.
+
+The paper plans to publish the central schema for download so generated
+APIs stay consistent; this golden test enforces that the shipped artifact
+is regenerated whenever the programmatic schema changes
+(``python -c "from repro.schema import *; ..."`` or ``xpdl schema -o``).
+"""
+
+import os
+
+from repro.schema import CORE_SCHEMA, schema_from_xml, schema_to_xml
+
+ARTIFACT = os.path.join(
+    os.path.dirname(__file__),
+    "..",
+    "src",
+    "repro",
+    "schema",
+    "data",
+    "xpdl_schema.xml",
+)
+
+
+def test_shipped_schema_matches_code():
+    shipped = open(ARTIFACT).read()
+    assert shipped == schema_to_xml(CORE_SCHEMA), (
+        "src/repro/schema/data/xpdl_schema.xml is stale; regenerate with "
+        "`xpdl schema -o src/repro/schema/data/xpdl_schema.xml`"
+    )
+
+
+def test_shipped_schema_loads():
+    schema = schema_from_xml(open(ARTIFACT).read())
+    assert schema.tags() == CORE_SCHEMA.tags()
+
+
+def test_generated_api_from_shipped_schema():
+    """The full download->generate loop the paper describes."""
+    from repro.codegen import api_surface, generate_cpp_header
+
+    schema = schema_from_xml(open(ARTIFACT).read())
+    header = generate_cpp_header(schema)
+    assert "class Cpu" in header
+    assert api_surface(schema) == api_surface(CORE_SCHEMA)

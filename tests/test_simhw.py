@@ -1,0 +1,211 @@
+"""Tests for the simulated hardware substrate."""
+
+import pytest
+
+from repro.diagnostics import XpdlError
+from repro.model import from_document
+from repro.simhw import (
+    GroundTruth,
+    PerfectMeter,
+    PowerMeter,
+    SimLink,
+    SimMachine,
+    links_from_interconnect,
+)
+from repro.simhw import testbed_from_model as make_testbed
+from repro.units import Quantity
+from repro.xpdlxml import parse_xml
+
+
+def q(v, u):
+    return Quantity.of(v, u)
+
+
+def model(text: str):
+    return from_document(parse_xml(text))
+
+
+@pytest.fixture(scope="module")
+def x86_truth(repo) -> GroundTruth:
+    return GroundTruth.for_isa(repo.load_model("x86_base_isa"))
+
+
+class TestGroundTruth:
+    def test_declared_table_is_truth(self, x86_truth):
+        # Listing 14's divsd table is reproduced exactly by the truth.
+        assert x86_truth.energy("divsd", q(2.8, "GHz")).to("nJ") == pytest.approx(18.625)
+        assert x86_truth.energy("divsd", q(3.4, "GHz")).to("nJ") == pytest.approx(21.023)
+
+    def test_synthesized_entries_deterministic(self, repo):
+        t1 = GroundTruth.for_isa(repo.load_model("x86_base_isa"))
+        t2 = GroundTruth.for_isa(repo.load_model("x86_base_isa"))
+        for name in t1.names():
+            assert t1.energy(name, q(2, "GHz")).magnitude == t2.energy(
+                name, q(2, "GHz")
+            ).magnitude
+            assert t1.cpi(name) == t2.cpi(name)
+
+    def test_synthesized_in_plausible_range(self, x86_truth):
+        e = x86_truth.energy("fadd", q(2, "GHz")).to("pJ")
+        assert 15 <= e <= 400
+
+    def test_energy_grows_with_frequency(self, x86_truth):
+        lo = x86_truth.energy("fmul", q(1, "GHz")).magnitude
+        hi = x86_truth.energy("fmul", q(3, "GHz")).magnitude
+        assert hi > lo
+
+    def test_unknown_instruction_raises(self, x86_truth):
+        with pytest.raises(XpdlError):
+            x86_truth.energy("bogus", q(2, "GHz"))
+
+    def test_cpi_at_least_one(self, x86_truth):
+        assert all(x86_truth.cpi(n) >= 1.0 for n in x86_truth.names())
+
+
+class TestSimMachine:
+    def test_run_stream_physics(self, x86_truth):
+        m = SimMachine("m", x86_truth, fixed_frequency=q(2, "GHz"))
+        r = m.run_stream({"fadd": 1000})
+        cpi = x86_truth.cpi("fadd")
+        assert r.duration.to("s") == pytest.approx(1000 * cpi / 2e9)
+        assert r.dynamic_energy.magnitude == pytest.approx(
+            1000 * x86_truth.energy("fadd", q(2, "GHz")).magnitude
+        )
+        assert r.instructions == 1000
+
+    def test_static_energy_from_state_power(self, liu_testbed):
+        m = liu_testbed.machine("gpu_host")
+        r = m.run_stream({"fadd": 10_000})
+        expected = (m.state_power + m.base_power).magnitude * r.duration.magnitude
+        assert r.static_energy.magnitude == pytest.approx(expected)
+
+    def test_set_frequency_via_psm(self, liu_testbed):
+        m = liu_testbed.machine("gpu_host")
+        m.set_frequency(q(1.2, "GHz"))
+        assert m.cursor.current == "P1"
+        with pytest.raises(XpdlError):
+            m.set_frequency(q(9, "GHz"))
+        m.set_frequency(q(2.0, "GHz"))  # restore for other tests
+
+    def test_available_frequencies(self, liu_testbed):
+        freqs = [
+            f.to("GHz") for f in liu_testbed.machine("gpu_host").available_frequencies()
+        ]
+        assert freqs == [1.2, 1.6, 2.0]
+
+    def test_issue_width(self, x86_truth):
+        m1 = SimMachine("a", x86_truth, fixed_frequency=q(2, "GHz"))
+        m2 = SimMachine("b", x86_truth, fixed_frequency=q(2, "GHz"), issue_width=2)
+        t1 = m1.run_stream({"fadd": 1000}).duration.magnitude
+        t2 = m2.run_stream({"fadd": 1000}).duration.magnitude
+        assert t2 == pytest.approx(t1 / 2)
+
+    def test_run_idle(self, x86_truth):
+        m = SimMachine("m", x86_truth, base_power=q(3, "W"))
+        r = m.run_idle(q(2, "s"))
+        assert r.energy.to("J") == pytest.approx(6)
+        assert r.instructions == 0
+
+
+class TestPowerMeter:
+    def test_perfect_meter_exact(self, x86_truth):
+        m = SimMachine("m", x86_truth, base_power=q(10, "W"))
+        run = m.run_stream({"fadd": 1_000_000})
+        meas = PerfectMeter().observe(run)
+        assert meas.energy.magnitude == pytest.approx(
+            run.energy.magnitude, rel=1e-9
+        )
+
+    def test_noise_decreases_with_duration(self, x86_truth):
+        m = SimMachine("m", x86_truth, base_power=q(10, "W"))
+        short = m.run_stream({"fadd": 10_000})
+        long = m.run_stream({"fadd": 10_000_000})
+        errs_short, errs_long = [], []
+        for seed in range(10):
+            meter = PowerMeter(seed=seed, noise_std_w=0.5)
+            ms = meter.observe(short)
+            ml = meter.observe(long)
+            errs_short.append(
+                abs(ms.mean_power.magnitude - short.mean_power.magnitude)
+            )
+            errs_long.append(
+                abs(ml.mean_power.magnitude - long.mean_power.magnitude)
+            )
+        assert sum(errs_long) < sum(errs_short)
+
+    def test_offset_bias(self, x86_truth):
+        m = SimMachine("m", x86_truth, base_power=q(10, "W"))
+        run = m.run_idle(q(1, "s"))
+        meter = PowerMeter(noise_std_w=0.0, offset_w=1.0)
+        meas = meter.observe(run)
+        assert meas.mean_power.to("W") == pytest.approx(11.0, rel=1e-6)
+
+    def test_determinism_per_seed(self, x86_truth):
+        m = SimMachine("m", x86_truth, base_power=q(10, "W"))
+        run = m.run_stream({"fadd": 100_000})
+        e1 = PowerMeter(seed=7).observe(run).energy.magnitude
+        e2 = PowerMeter(seed=7).observe(run).energy.magnitude
+        assert e1 == e2
+
+
+class TestSimLink:
+    def test_transfer_affine_model(self):
+        link = SimLink(
+            "l", q(1, "GB/s"), q(1, "us"), q(10, "pJ"), q(100, "pJ")
+        )
+        r = link.transfer(10**9)
+        assert r.time.to("s") == pytest.approx(1 + 1e-6)
+        assert r.energy.to("J") == pytest.approx(10e-12 * 1e9 + 100e-12)
+
+    def test_transfer_many_messages(self):
+        link = SimLink("l", q(1, "GB/s"), q(1, "us"), q(0, "pJ"), q(100, "pJ"))
+        r = link.transfer_many(1000, messages=5)
+        assert r.energy.to("pJ") == pytest.approx(500)
+        assert r.time.to("us") == pytest.approx(6, rel=1e-3)
+
+    def test_from_channel_uses_declared_values(self, repo):
+        ic = repo.load_model("pcie3")
+        links = links_from_interconnect(ic)
+        assert set(links) == {"up_link", "down_link"}
+        up = links["up_link"]
+        assert up.energy_per_byte.to("pJ") == pytest.approx(8)
+        # '?' offsets get deterministic synthesized truth.
+        assert up.energy_offset.magnitude > 0
+
+    def test_placeholder_truth_deterministic(self, repo):
+        l1 = links_from_interconnect(repo.load_model("pcie3"))["up_link"]
+        l2 = links_from_interconnect(repo.load_model("pcie3"))["up_link"]
+        assert l1.energy_offset.magnitude == pytest.approx(
+            l2.energy_offset.magnitude
+        )
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(XpdlError):
+            SimLink("l", Quantity.of(0, "GB/s"), q(0, "s"), q(0, "J"), q(0, "J"))
+
+
+class TestTestbedFactory:
+    def test_liu_testbed_shape(self, liu_testbed):
+        assert set(liu_testbed.machines) == {"gpu_host", "gpu1"}
+        assert "connection1" in liu_testbed.links
+        assert set(liu_testbed.links["connection1"]) == {"up_link", "down_link"}
+
+    def test_gpu_machine_has_ptx_isa(self, liu_testbed):
+        gpu = liu_testbed.machine("gpu1")
+        assert "fma_f32" in gpu.truth
+        assert gpu.psm is not None
+
+    def test_instruction_models_captured(self, liu_testbed):
+        assert "x86_base_isa" in liu_testbed.instruction_models
+        assert "ptx_kepler_isa" in liu_testbed.instruction_models
+
+    def test_unknown_machine_message(self, liu_testbed):
+        with pytest.raises(XpdlError) as exc:
+            liu_testbed.machine("nope")
+        assert "gpu_host" in str(exc.value)
+
+    def test_myriad_testbed(self, myriad_server):
+        bed = make_testbed(myriad_server.root)
+        # Host CPU (via Xeon1 alias) and the Myriad1 both carry power models.
+        assert len(bed.machines) >= 2
+        assert any("vau_add" in m.truth for m in bed.machines.values())

@@ -1,0 +1,238 @@
+"""Unit tests for the unit system: dimensions, quantities, conventions."""
+
+import math
+
+import pytest
+
+from repro.diagnostics import UnitError
+from repro.units import (
+    BANDWIDTH,
+    DIMENSIONLESS,
+    ENERGY,
+    FREQUENCY,
+    INFORMATION,
+    POWER,
+    TIME,
+    DEFAULT_REGISTRY,
+    Quantity,
+    UnitRegistry,
+    dimension_name,
+    is_placeholder,
+    is_unit_attribute,
+    metric_for_unit_attribute,
+    read_metric,
+    unit_attribute_for,
+    write_metric,
+)
+
+
+class TestDimension:
+    def test_power_is_energy_per_time(self):
+        assert ENERGY / TIME == POWER
+
+    def test_bandwidth_is_information_per_time(self):
+        assert INFORMATION / TIME == BANDWIDTH
+
+    def test_frequency_is_inverse_time(self):
+        assert DIMENSIONLESS / TIME == FREQUENCY
+
+    def test_mul_div_roundtrip(self):
+        assert (POWER * TIME) == ENERGY
+        assert (BANDWIDTH * TIME) == INFORMATION
+
+    def test_pow(self):
+        assert (TIME**2) / TIME == TIME
+
+    def test_names(self):
+        assert dimension_name(POWER) == "power"
+        assert dimension_name(INFORMATION) == "size"
+        weird = POWER * POWER
+        assert "joule" in dimension_name(weird)
+
+
+class TestRegistry:
+    def test_iec_vs_jedec_vs_si(self):
+        r = DEFAULT_REGISTRY
+        assert r.factor("KiB") == 1024
+        assert r.factor("KB") == 1024  # JEDEC data-sheet convention
+        assert r.factor("kB") == 1024  # the paper's Myriad listing spelling
+        assert r.factor("kB_dec") == 1000
+
+    def test_frequency_units(self):
+        assert DEFAULT_REGISTRY.factor("GHz") == 1e9
+        assert DEFAULT_REGISTRY.dimension("MHz") == FREQUENCY
+
+    def test_energy_units(self):
+        assert DEFAULT_REGISTRY.factor("pJ") == pytest.approx(1e-12)
+        assert DEFAULT_REGISTRY.factor("Wh") == 3600.0
+
+    def test_bandwidth_bits_vs_bytes(self):
+        assert DEFAULT_REGISTRY.factor("Gbit/s") == pytest.approx(1e9 / 8)
+        assert DEFAULT_REGISTRY.factor("GiB/s") == 2**30
+
+    def test_unknown_unit_suggests(self):
+        with pytest.raises(UnitError) as exc:
+            DEFAULT_REGISTRY.get("ghz")
+        assert "GHz" in str(exc.value)
+
+    def test_redefine_identical_ok_different_raises(self):
+        r = UnitRegistry()
+        r.define("W", 1.0, POWER)  # identical: silently accepted
+        with pytest.raises(UnitError):
+            r.define("W", 2.0, POWER)
+        r.define("W", 2.0, POWER, overwrite=True)
+        assert r.factor("W") == 2.0
+
+    def test_canonical_symbols(self):
+        assert DEFAULT_REGISTRY.canonical_symbol(POWER) == "W"
+        assert DEFAULT_REGISTRY.canonical_symbol(INFORMATION) == "B"
+
+    def test_symbols_by_dimension(self):
+        syms = DEFAULT_REGISTRY.symbols(FREQUENCY)
+        assert "GHz" in syms and "Hz" in syms
+        assert "W" not in syms
+
+
+class TestQuantity:
+    def test_of_and_to(self):
+        q = Quantity.of(15, "MiB")
+        assert q.to("KiB") == pytest.approx(15 * 1024)
+        assert q.to("B") == pytest.approx(15 * 2**20)
+
+    def test_to_wrong_dimension_raises(self):
+        with pytest.raises(UnitError):
+            Quantity.of(1, "GHz").to("W")
+
+    def test_parse_with_space_and_without(self):
+        assert Quantity.parse("2 GHz").to("MHz") == pytest.approx(2000)
+        assert Quantity.parse("2GHz").to("GHz") == pytest.approx(2)
+
+    def test_parse_scientific_notation(self):
+        assert Quantity.parse("1.5e3 Hz").magnitude == pytest.approx(1500)
+
+    def test_parse_bare_number_dimensionless(self):
+        q = Quantity.parse("42")
+        assert q.is_dimensionless()
+        assert float(q) == 42
+
+    def test_parse_default_unit(self):
+        q = Quantity.parse("3", default_unit="W")
+        assert q.dimension == POWER
+
+    def test_parse_garbage_raises(self):
+        with pytest.raises(UnitError):
+            Quantity.parse("GHz")
+        with pytest.raises(UnitError):
+            Quantity.parse("1.2.3 W")
+
+    def test_addition_same_dimension(self):
+        q = Quantity.of(1, "W") + Quantity.of(500, "mW")
+        assert q.to("W") == pytest.approx(1.5)
+
+    def test_addition_dimension_mismatch(self):
+        with pytest.raises(UnitError):
+            Quantity.of(1, "W") + Quantity.of(1, "s")
+
+    def test_power_times_time_is_energy(self):
+        e = Quantity.of(2, "W") * Quantity.of(3, "s")
+        assert e.dimension == ENERGY
+        assert e.to("J") == pytest.approx(6)
+
+    def test_energy_over_time_is_power(self):
+        p = Quantity.of(6, "J") / Quantity.of(3, "s")
+        assert p.dimension == POWER
+
+    def test_scalar_mul_div(self):
+        q = Quantity.of(4, "W") * 0.5
+        assert q.to("W") == pytest.approx(2)
+        assert (2 * Quantity.of(4, "W")).to("W") == pytest.approx(8)
+        assert (Quantity.of(4, "W") / 2).to("W") == pytest.approx(2)
+
+    def test_rtruediv(self):
+        inv = 1 / Quantity.of(2, "s")
+        assert inv.dimension == FREQUENCY
+        assert inv.magnitude == pytest.approx(0.5)
+
+    def test_comparisons(self):
+        a, b = Quantity.of(1, "KiB"), Quantity.of(1, "MiB")
+        assert a < b and b > a and a <= a and b >= b
+        with pytest.raises(UnitError):
+            _ = a < Quantity.of(1, "s")
+
+    def test_neg_abs_pow(self):
+        q = -Quantity.of(2, "W")
+        assert q.magnitude == -2
+        assert abs(q).magnitude == 2
+        assert (Quantity.of(2, "s") ** 2).dimension == TIME**2
+
+    def test_float_coercion_guard(self):
+        with pytest.raises(UnitError):
+            float(Quantity.of(1, "W"))
+
+    def test_format(self):
+        assert Quantity.of(2, "GHz").format("GHz") == "2 GHz"
+        assert "W" in str(Quantity.of(3, "W"))
+
+    def test_close_to(self):
+        a = Quantity.of(1.0, "W")
+        b = Quantity.of(1.0 + 1e-12, "W")
+        assert a.close_to(b)
+
+
+class TestConvention:
+    def test_unit_attribute_names(self):
+        assert unit_attribute_for("static_power") == "static_power_unit"
+        assert unit_attribute_for("size") == "unit"
+        assert metric_for_unit_attribute("static_power_unit") == "static_power"
+        assert metric_for_unit_attribute("unit") == "size"
+
+    def test_is_unit_attribute(self):
+        assert is_unit_attribute("unit")
+        assert is_unit_attribute("frequency_unit")
+        assert not is_unit_attribute("frequency")
+
+    def test_read_metric_paired(self):
+        attrs = {"static_power": "4", "static_power_unit": "W"}
+        q = read_metric(attrs, "static_power")
+        assert q.to("W") == pytest.approx(4)
+
+    def test_read_metric_size_exception(self):
+        attrs = {"size": "32", "unit": "KiB"}
+        q = read_metric(attrs, "size")
+        assert q.to("KiB") == pytest.approx(32)
+
+    def test_read_metric_absent_and_placeholder(self):
+        assert read_metric({}, "size") is None
+        assert read_metric({"energy": "?"}, "energy") is None
+
+    def test_read_metric_dimension_check(self):
+        attrs = {"frequency": "2", "frequency_unit": "W"}
+        with pytest.raises(UnitError):
+            read_metric(attrs, "frequency", expect=FREQUENCY)
+
+    def test_read_metric_non_numeric_raises(self):
+        with pytest.raises(UnitError):
+            read_metric({"size": "abc"}, "size")
+
+    def test_write_metric_roundtrip(self):
+        attrs: dict[str, str] = {}
+        write_metric(attrs, "static_power", Quantity.of(4, "W"))
+        assert attrs == {"static_power": "4", "static_power_unit": "W"}
+        assert read_metric(attrs, "static_power").to("W") == pytest.approx(4)
+
+    def test_write_metric_placeholder(self):
+        attrs: dict[str, str] = {}
+        write_metric(attrs, "energy", None)
+        assert attrs["energy"] == "?"
+
+    def test_write_metric_explicit_unit(self):
+        attrs: dict[str, str] = {}
+        write_metric(attrs, "frequency", Quantity.of(2, "GHz"), unit="MHz")
+        assert attrs["frequency"] == "2000"
+        assert attrs["frequency_unit"] == "MHz"
+
+    def test_is_placeholder(self):
+        assert is_placeholder("?")
+        assert is_placeholder(" ? ")
+        assert not is_placeholder("3")
+        assert not is_placeholder(None)

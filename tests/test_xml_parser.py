@@ -1,0 +1,174 @@
+"""Unit tests for the from-scratch XML parser."""
+
+import pytest
+
+from repro.diagnostics import DiagnosticSink, ParseError
+from repro.xpdlxml import (
+    XmlCData,
+    XmlComment,
+    XmlPI,
+    XmlText,
+    parse_xml,
+)
+
+
+class TestBasicParsing:
+    def test_simple_element(self):
+        doc = parse_xml("<cpu/>")
+        assert doc.root.tag == "cpu"
+        assert doc.root.children == []
+
+    def test_attributes(self):
+        doc = parse_xml('<cpu name="X" frequency="2"/>')
+        assert doc.root.get("name") == "X"
+        assert doc.root.get("frequency") == "2"
+        assert doc.root.get("missing") is None
+        assert doc.root.get("missing", "d") == "d"
+
+    def test_attribute_order_preserved(self):
+        doc = parse_xml('<e b="1" a="2" c="3"/>')
+        assert [k for k, _ in doc.root.attr_items()] == ["b", "a", "c"]
+
+    def test_nested_elements(self):
+        doc = parse_xml("<a><b><c/></b><b/></a>")
+        assert len(doc.root.elements("b")) == 2
+        assert doc.root.elements("b")[0].first("c") is not None
+
+    def test_text_content(self):
+        doc = parse_xml("<a>hello <b/>world</a>")
+        assert doc.root.text_content() == "hello world"
+
+    def test_xml_declaration(self):
+        doc = parse_xml('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert doc.xml_decl == {"version": "1.0", "encoding": "UTF-8"}
+
+    def test_single_quotes(self):
+        doc = parse_xml("<a x='1'/>")
+        assert doc.root.get("x") == "1"
+
+    def test_whitespace_tolerance(self):
+        doc = parse_xml('<a\n  x = "1"\n  y="2"\n/>')
+        assert doc.root.get("x") == "1"
+
+
+class TestEntities:
+    def test_predefined_entities(self):
+        doc = parse_xml("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert doc.root.text_content() == "<>&'\""
+
+    def test_numeric_character_references(self):
+        doc = parse_xml("<a>&#65;&#x42;</a>")
+        assert doc.root.text_content() == "AB"
+
+    def test_entities_in_attributes(self):
+        doc = parse_xml('<a x="a&amp;b"/>')
+        assert doc.root.get("x") == "a&b"
+
+    def test_unknown_entity_reported(self):
+        sink = DiagnosticSink()
+        parse_xml("<a>&bogus;</a>", sink=sink)
+        assert any(d.code == "XML0012" for d in sink)
+
+
+class TestMarkup:
+    def test_comment(self):
+        doc = parse_xml("<a><!-- note --><b/></a>")
+        comments = [c for c in doc.root.children if isinstance(c, XmlComment)]
+        assert comments[0].text == " note "
+
+    def test_cdata(self):
+        doc = parse_xml("<a><![CDATA[<raw> & text]]></a>")
+        cdata = [c for c in doc.root.children if isinstance(c, XmlCData)]
+        assert cdata[0].text == "<raw> & text"
+
+    def test_processing_instruction(self):
+        doc = parse_xml("<a><?target some data?></a>")
+        pis = [c for c in doc.root.children if isinstance(c, XmlPI)]
+        assert pis[0].target == "target"
+        assert pis[0].data == "some data"
+
+    def test_doctype_skipped(self):
+        doc = parse_xml("<!DOCTYPE a><a/>")
+        assert doc.root.tag == "a"
+
+    def test_prolog_comment(self):
+        doc = parse_xml("<!-- header --><a/>")
+        assert any(isinstance(n, XmlComment) for n in doc.prolog)
+
+
+class TestPaperQuirks:
+    """The paper's listings contain small XML violations we must survive."""
+
+    def test_unquoted_attribute_value(self):
+        # Listing 1 writes quantity=2.
+        sink = DiagnosticSink()
+        doc = parse_xml('<group prefix="core" quantity=2 />', sink=sink)
+        assert doc.root.get("quantity") == "2"
+        assert any(d.code == "XML0013" for d in sink)
+        assert not sink.has_errors()
+
+    def test_valueless_attribute(self):
+        sink = DiagnosticSink()
+        doc = parse_xml("<device configurable/>", sink=sink)
+        assert doc.root.get("configurable") == "true"
+        assert any(d.code == "XML0017" for d in sink)
+
+
+class TestErrors:
+    def test_mismatched_end_tag_recovers(self):
+        sink = DiagnosticSink()
+        doc = parse_xml("<a><b></c></a>", sink=sink)
+        assert any(d.code == "XML0031" for d in sink)
+        assert doc.root.tag == "a"
+
+    def test_unterminated_comment(self):
+        sink = DiagnosticSink()
+        parse_xml("<a><!-- oops</a>", sink=sink)
+        assert any(d.code == "XML0004" for d in sink)
+
+    def test_duplicate_attribute(self):
+        sink = DiagnosticSink()
+        parse_xml('<a x="1" x="2"/>', sink=sink)
+        assert any(d.code == "XML0018" for d in sink)
+
+    def test_multiple_roots(self):
+        sink = DiagnosticSink()
+        parse_xml("<a/><b/>", sink=sink)
+        assert any(d.code == "XML0020" for d in sink)
+
+    def test_no_root(self):
+        sink = DiagnosticSink()
+        parse_xml("   ", sink=sink)
+        assert any(d.code == "XML0022" for d in sink)
+
+    def test_eof_inside_element(self):
+        sink = DiagnosticSink()
+        parse_xml("<a><b>", sink=sink)
+        assert any(d.code == "XML0032" for d in sink)
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(ParseError):
+            parse_xml("<a><b></c></a>", strict=True)
+
+    def test_strict_mode_ok_for_valid(self):
+        doc = parse_xml("<a><b/></a>", strict=True)
+        assert doc.root.tag == "a"
+
+
+class TestSpans:
+    def test_element_span_covers_whole_element(self):
+        text = '<a>\n  <b x="1"/>\n</a>'
+        doc = parse_xml(text, source_name="t.xpdl")
+        b = doc.root.elements("b")[0]
+        assert b.span.source == "t.xpdl"
+        assert b.span.start.line == 2
+
+    def test_attribute_value_span(self):
+        doc = parse_xml('<a name="hello"/>')
+        span = doc.root.attr_span("name")
+        assert span.start.offset > 0
+
+    def test_iter(self):
+        doc = parse_xml("<a><b><c/></b><c/></a>")
+        assert len(list(doc.root.iter("c"))) == 2
+        assert [e.tag for e in doc.root.iter()] == ["a", "b", "c", "c"]

@@ -1,0 +1,70 @@
+"""Tests for the DOM path query mini-language."""
+
+import pytest
+
+from repro.diagnostics import QueryError
+from repro.xpdlxml import find_all, find_first, parse_xml
+
+DOC = """
+<system id="s">
+  <node id="n0">
+    <cpu id="c0"><cache name="L1"/><cache name="L2"/></cpu>
+    <cpu id="c1"><cache name="L1"/></cpu>
+  </node>
+  <node id="n1">
+    <cpu id="c2"><cache name="L3" size="15"/></cpu>
+  </node>
+</system>
+"""
+
+
+@pytest.fixture
+def root():
+    return parse_xml(DOC).root
+
+
+class TestPaths:
+    def test_child_tag(self, root):
+        assert len(find_all(root, "node")) == 2
+
+    def test_nested_path(self, root):
+        cpus = find_all(root, "node/cpu")
+        assert [c.get("id") for c in cpus] == ["c0", "c1", "c2"]
+
+    def test_descendant_axis(self, root):
+        caches = find_all(root, "//cache")
+        assert len(caches) == 4
+
+    def test_descendant_mid_path(self, root):
+        l1s = find_all(root, "node/cpu/cache[@name='L1']")
+        assert len(l1s) == 2
+
+    def test_index_predicate(self, root):
+        second = find_all(root, "node[1]")
+        assert second[0].get("id") == "n1"
+
+    def test_index_out_of_range(self, root):
+        assert find_all(root, "node[9]") == []
+
+    def test_attr_presence(self, root):
+        sized = find_all(root, "//cache[@size]")
+        assert len(sized) == 1
+
+    def test_attr_equality(self, root):
+        l3 = find_first(root, "//cache[@name='L3']")
+        assert l3 is not None and l3.get("size") == "15"
+
+    def test_wildcard(self, root):
+        assert len(find_all(root, "node/*")) == 3
+
+    def test_no_match_returns_empty(self, root):
+        assert find_all(root, "gpu") == []
+        assert find_first(root, "gpu") is None
+
+    def test_combined_predicates(self, root):
+        first_l1 = find_all(root, "//cache[@name='L1'][0]")
+        assert len(first_l1) == 1
+
+    def test_malformed_raises(self, root):
+        with pytest.raises(QueryError):
+            find_all(root, "node[")

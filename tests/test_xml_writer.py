@@ -1,0 +1,147 @@
+"""Writer tests + parse/write round-trip properties."""
+
+from hypothesis import given, strategies as st
+
+from repro.xpdlxml import (
+    XmlElement,
+    document,
+    element,
+    escape_attr,
+    escape_text,
+    parse_xml,
+    text,
+    write_element,
+    write_xml,
+)
+
+
+class TestEscaping:
+    def test_escape_text(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_escape_attr(self):
+        assert escape_attr('a"b') == "a&quot;b"
+        assert escape_attr("a\nb") == "a&#10;b"
+
+
+class TestWriter:
+    def test_self_closing_empty(self):
+        e = element("cpu", {"name": "X"})
+        assert write_element(e) == '<cpu name="X" />'
+
+    def test_nested_pretty(self):
+        e = element("a", children=[element("b"), element("c")])
+        out = write_element(e)
+        assert out == "<a>\n  <b />\n  <c />\n</a>"
+
+    def test_text_only_inline(self):
+        e = element("a")
+        e.append(text("hello"))
+        assert write_element(e) == "<a>hello</a>"
+
+    def test_long_attribute_run_wraps(self):
+        e = element("x", {f"attr{i}": "v" * 10 for i in range(8)})
+        out = write_element(e)
+        assert "\n" in out  # wrapped
+
+    def test_compact_mode(self):
+        e = element("a", children=[element("b")])
+        out = write_element(e, pretty=False)
+        assert out == "<a><b /></a>"
+
+    def test_document_has_declaration(self):
+        doc = document(element("a"))
+        out = write_xml(doc)
+        assert out.startswith("<?xml")
+
+    def test_cdata_split_protection(self):
+        from repro.xpdlxml import XmlCData, synth_span
+
+        e = element("a")
+        e.append(XmlCData(synth_span(), "x]]>y"))
+        out = write_element(e)
+        reparsed = parse_xml(out, strict=True)
+        assert reparsed.root.text_content() == "x]]>y"
+
+
+# ---------------------------------------------------------------------------
+# round-trip properties
+# ---------------------------------------------------------------------------
+
+_tag = st.sampled_from(["cpu", "core", "cache", "memory", "group", "device"])
+_attr_name = st.sampled_from(
+    ["name", "id", "size", "unit", "frequency", "type", "prefix"]
+)
+_attr_value = st.text(
+    alphabet=st.characters(
+        codec="utf-8",
+        categories=("L", "N", "P", "S", "Zs"),
+        exclude_characters="\x00",
+    ),
+    max_size=20,
+)
+
+
+@st.composite
+def xml_trees(draw, depth=3):
+    tag = draw(_tag)
+    n_attrs = draw(st.integers(0, 4))
+    attrs = {}
+    for _ in range(n_attrs):
+        attrs[draw(_attr_name)] = draw(_attr_value)
+    elem = element(tag, attrs)
+    if depth > 0:
+        for _ in range(draw(st.integers(0, 3))):
+            elem.append(draw(xml_trees(depth=depth - 1)))
+    return elem
+
+
+def _structure(e: XmlElement):
+    return (
+        e.tag,
+        tuple(sorted(e.attr_items())),
+        tuple(
+            _structure(c) for c in e.elements()
+        ),
+    )
+
+
+@given(xml_trees())
+def test_write_parse_roundtrip_structure(tree):
+    """parse(write(t)) preserves tags, attributes and element structure."""
+    out = write_element(tree)
+    reparsed = parse_xml(out, strict=True)
+    assert _structure(reparsed.root) == _structure(tree)
+
+
+@given(xml_trees())
+def test_write_is_stable(tree):
+    """Writing a reparsed tree gives identical text (canonical form)."""
+    once = write_element(tree)
+    twice = write_element(parse_xml(once, strict=True).root)
+    assert once == twice
+
+
+@given(
+    st.text(
+        alphabet=st.characters(codec="utf-8", exclude_characters="\x00\r"),
+        max_size=60,
+    )
+)
+def test_text_content_roundtrip(content):
+    e = element("a")
+    e.append(text(content))
+    out = write_element(e, pretty=False)
+    reparsed = parse_xml(out, strict=True)
+    if content.strip():
+        assert reparsed.root.text_content() == content
+    else:
+        # Whitespace-only character data is insignificant and dropped.
+        assert reparsed.root.text_content().strip() == ""
+
+
+@given(_attr_value)
+def test_attr_value_roundtrip(value):
+    e = element("a", {"x": value})
+    reparsed = parse_xml(write_element(e), strict=True)
+    assert reparsed.root.get("x") == value
