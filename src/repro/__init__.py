@@ -27,8 +27,10 @@ from .diagnostics import (
 )
 from .ir import IRModel
 from .modellib import PAPER_SYSTEMS, standard_repository
+from .obs import Observer, get_observer, use_observer
 from .repository import ModelRepository
 from .runtime import QueryContext, xpdl_init, xpdl_init_from_model
+from .toolchain import ToolchainSession
 from .schema import CORE_SCHEMA
 from .units import Quantity
 
@@ -45,7 +47,11 @@ __all__ = [
     "IRModel",
     "PAPER_SYSTEMS",
     "standard_repository",
+    "Observer",
+    "get_observer",
+    "use_observer",
     "ModelRepository",
+    "ToolchainSession",
     "QueryContext",
     "xpdl_init",
     "xpdl_init_from_model",

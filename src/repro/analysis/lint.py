@@ -33,6 +33,7 @@ from ..model import (
     PowerStateMachine,
     Transition,
 )
+from ..obs import get_observer
 from ..units import is_placeholder, is_unit_attribute
 
 
@@ -58,6 +59,10 @@ def lint_model(
     _check_endianness(root, sink, report)
     _check_microbenchmark_refs(root, sink, report)
     report.placeholders = count_placeholders(root)
+    obs = get_observer()
+    if obs.enabled:
+        obs.count("analysis.lint.runs")
+        obs.count("analysis.lint.placeholders", report.placeholders)
     return report
 
 

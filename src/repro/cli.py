@@ -15,8 +15,18 @@ Subcommands cover the whole processing pipeline::
     xpdl schema [-o xpdl_schema.xml]   # export the core schema
     xpdl discover [-d DIR]             # probe this host, emit descriptors
     xpdl to-pdl <ident>                # flatten to PEPPHER PDL (comparison)
+    xpdl stats [ident ...]             # pipeline timings, counters, cache
+
+Every command that touches the repository obtains its artifacts through a
+:class:`~repro.toolchain.ToolchainSession`: one repository, one shared
+diagnostics sink (rendered once per invocation, with stage provenance) and
+a stage cache, so e.g. a composition is performed once however many
+downstream presentations consume it.
 
 Extra search-path directories are added with ``-I DIR`` (repeatable).
+``--trace`` (before the subcommand) streams the observability events of
+the run as JSON-lines to stderr; ``--trace-out FILE`` writes them to a
+file instead.
 """
 
 from __future__ import annotations
@@ -25,33 +35,26 @@ import argparse
 import os
 import sys
 
-from .analysis import (
-    count_placeholders,
-    downgrade_bandwidths,
-    lint_model,
-    runtime_default_filter,
-    filter_model,
-)
-from .composer import Composer
 from .diagnostics import XpdlError
-from .ir import IRModel
-from .modellib import standard_repository
-from .runtime import xpdl_init, query_all
+from .modellib import PAPER_SYSTEMS
+from .obs import NULL_OBSERVER, Observer, get_observer, use_observer
 from .schema import CORE_SCHEMA, schema_to_xml
+from .toolchain import ToolchainSession
 
 
-def _repository(args):
-    return standard_repository(*(args.include or []))
+def _session(args) -> ToolchainSession:
+    return ToolchainSession(include=tuple(args.include or []))
 
 
-def _print_diagnostics(sink) -> None:
-    text = sink.render()
+def _print_diagnostics(session: ToolchainSession) -> None:
+    """Render the session's diagnostics exactly once, to stderr."""
+    text = session.render_diagnostics()
     if text:
         print(text, file=sys.stderr)
 
 
 def cmd_list(args) -> int:
-    repo = _repository(args)
+    repo = _session(args).repository
     for ident in repo.identifiers():
         entry = repo.index()[ident]
         print(f"{ident:32s} <{entry.root_tag}>  {entry.store.url}{entry.path}")
@@ -59,62 +62,40 @@ def cmd_list(args) -> int:
 
 
 def cmd_validate(args) -> int:
-    repo = _repository(args)
-    from .diagnostics import DiagnosticSink
-    from .schema import SchemaValidator
-
+    session = _session(args)
     identifiers = (
-        repo.identifiers() if args.all else [args.identifier]
+        session.repository.identifiers() if args.all else [args.identifier]
     )
     if not identifiers or identifiers == [None]:
         print("xpdl: error: give an identifier or --all", file=sys.stderr)
         return 2
-    worst = 0
     for ident in identifiers:
-        sink = DiagnosticSink()
-        model = repo.load(ident, sink).model
-        SchemaValidator().validate(model, sink)
-        lint_model(model, sink)
-        _print_diagnostics(sink)
+        result = session.validate(ident)
         print(
-            f"{ident}: {sink.error_count} error(s), "
-            f"{sink.warning_count} warning(s), "
-            f"{count_placeholders(model)} placeholder(s)"
+            f"{ident}: {result.errors} error(s), "
+            f"{result.warnings} warning(s), "
+            f"{result.placeholders} placeholder(s)"
         )
-        if sink.has_errors():
-            worst = 1
-    return worst
+    _print_diagnostics(session)
+    return 1 if session.sink.has_errors() else 0
 
 
 def cmd_compose(args) -> int:
-    repo = _repository(args)
-    composed = Composer(repo).compose(args.identifier)
-    downgrade_bandwidths(composed.root, composed.sink)
-    lint_model(composed.root, composed.sink)
-    _print_diagnostics(composed.sink)
-    root = composed.root
-    if not args.keep_all:
-        root, dropped_attrs, dropped_elems = filter_model(
-            root, runtime_default_filter()
-        )
-    ir = IRModel.from_model(
-        root,
-        {
-            "system": args.identifier,
-            "tool": "xpdl compose",
-            "schema": f"{CORE_SCHEMA.name} {CORE_SCHEMA.version}",
-        },
-    )
+    session = _session(args)
+    result = session.emit_ir(args.identifier, keep_all=args.keep_all)
+    _print_diagnostics(session)
     out = args.output or f"{args.identifier}.xir"
-    ir.save(out)
+    result.ir.save(out)
     print(
-        f"composed {args.identifier}: {len(ir)} elements, "
-        f"{len(composed.referenced)} descriptors -> {out}"
+        f"composed {args.identifier}: {len(result.ir)} elements, "
+        f"{len(result.composed.referenced)} descriptors -> {out}"
     )
-    return 1 if composed.sink.has_errors() else 0
+    return 1 if session.sink.has_errors() else 0
 
 
 def cmd_query(args) -> int:
+    from .runtime import query_all, xpdl_init
+
     ctx = xpdl_init(args.file)
     for handle in query_all(ctx, args.path):
         attrs = " ".join(f'{k}="{v}"' for k, v in handle.attrs().items())
@@ -123,6 +104,8 @@ def cmd_query(args) -> int:
 
 
 def cmd_info(args) -> int:
+    from .runtime import xpdl_init
+
     ctx = xpdl_init(args.file)
     print(f"system:          {ctx.meta('system', '?')}")
     print(f"elements:        {len(ctx.ir)}")
@@ -140,8 +123,8 @@ def cmd_benchgen(args) -> int:
     from .microbench import generate_build_script, generate_marker_library, generate_suite
     from .model import Microbenchmarks
 
-    repo = _repository(args)
-    suite = repo.load_model(args.suite)
+    session = _session(args)
+    suite = session.load(args.suite).model
     if not isinstance(suite, Microbenchmarks):
         raise XpdlError(f"{args.suite!r} is not a microbenchmark suite")
     drivers = generate_suite(suite)
@@ -161,38 +144,19 @@ def cmd_benchgen(args) -> int:
 
 
 def cmd_bootstrap(args) -> int:
-    from .microbench import bootstrap_instruction_model
-    from .model import Instructions, Microbenchmarks
-    from .simhw import PowerMeter, testbed_from_model
-
-    repo = _repository(args)
-    composed = Composer(repo).compose(args.identifier)
-    bed = testbed_from_model(composed.root)
-    meter = PowerMeter(seed=args.seed, noise_std_w=args.noise)
+    session = _session(args)
+    result = session.bootstrap(
+        args.identifier,
+        seed=args.seed,
+        noise=args.noise,
+        repetitions=args.repetitions,
+    )
+    _print_diagnostics(session)
     total = 0
-    for machine in bed.machines.values():
-        isa = machine.truth.isa_name
-        instrs = next(
-            (
-                i
-                for i in composed.root.find_all(Instructions)
-                if (i.name or i.ident) == isa
-            ),
-            None,
-        )
-        if instrs is None:
-            continue
-        suite = next(iter(composed.root.find_all(Microbenchmarks)), None)
-        _model, report = bootstrap_instruction_model(
-            instrs,
-            machine,
-            suite=suite,
-            meter=meter,
-            repetitions=args.repetitions,
-        )
+    for machine_name, report in result.reports:
         for run in report.runs:
             print(
-                f"{machine.name:16s} {run.instruction:12s} "
+                f"{machine_name:16s} {run.instruction:12s} "
                 f"{run.energy_per_instruction.magnitude * 1e12:10.2f} pJ "
                 f"(+-{run.relative_spread():.1%} over {run.repetitions} reps)"
             )
@@ -231,8 +195,8 @@ def cmd_uml(args) -> int:
     from .codegen import model_to_plantuml, schema_to_plantuml
 
     if args.model:
-        repo = _repository(args)
-        composed = Composer(repo).compose(args.model)
+        session = _session(args)
+        composed = session.compose(args.model)
         print(model_to_plantuml(composed.root))
     else:
         print(schema_to_plantuml(CORE_SCHEMA))
@@ -271,12 +235,12 @@ def cmd_diff(args) -> int:
     from .tools import diff_models, render_diff
     from .xpdlxml import parse_xml_file
 
-    repo = _repository(args)
+    session = _session(args)
 
     def load_side(spec: str):
         if os.path.isfile(spec):
             return from_document(parse_xml_file(spec))
-        return repo.load_model(spec)
+        return session.load(spec).model
 
     old = load_side(args.old)
     new = load_side(args.new)
@@ -288,11 +252,11 @@ def cmd_diff(args) -> int:
 def cmd_to_json(args) -> int:
     from .codegen import model_to_json
 
-    repo = _repository(args)
+    session = _session(args)
     if args.compose:
-        model = Composer(repo).compose(args.identifier).root
+        model = session.compose(args.identifier).root
     else:
-        model = repo.load_model(args.identifier)
+        model = session.load(args.identifier).model
     text = model_to_json(model)
     if args.output:
         with open(args.output, "w") as fh:
@@ -304,12 +268,12 @@ def cmd_to_json(args) -> int:
 
 
 def cmd_control(args) -> int:
-    from .analysis import control_summary, infer_control_relation
+    from .analysis import infer_control_relation
 
-    repo = _repository(args)
-    composed = Composer(repo).compose(args.identifier)
-    relations = infer_control_relation(composed.root, composed.sink)
-    _print_diagnostics(composed.sink)
+    session = _session(args)
+    composed = session.compose(args.identifier)
+    relations = infer_control_relation(composed.root, session.sink)
+    _print_diagnostics(session)
     for rel in relations:
         src = "explicit" if rel.explicit else "inferred"
         print(f"scope {rel.scope} ({src}):")
@@ -329,12 +293,49 @@ def cmd_control(args) -> int:
 def cmd_to_pdl(args) -> int:
     from .pdl import write_pdl, xpdl_to_pdl
 
-    repo = _repository(args)
-    composed = Composer(repo).compose(args.identifier)
+    session = _session(args)
+    composed = session.compose(args.identifier)
     for platform in xpdl_to_pdl(composed.root):
         print(f"<!-- platform {platform.name} -->")
         print(write_pdl(platform))
     return 0
+
+
+def cmd_stats(args) -> int:
+    observer = get_observer()
+    if not observer.enabled:
+        observer = Observer()  # stats always observes, --trace or not
+    with use_observer(observer):
+        session = ToolchainSession(include=tuple(args.include or []))
+        identifiers = args.identifiers or list(PAPER_SYSTEMS)
+        index = session.repository.index()
+        for ident in identifiers:
+            if ident not in index:
+                raise XpdlError(f"unknown identifier {ident!r}")
+        for _round in range(args.repeat):
+            for ident in identifiers:
+                if index[ident].root_tag == "system":
+                    session.emit_ir(ident)  # full pipeline
+                else:
+                    session.validate(ident)  # meta-models: load + validate
+    _print_diagnostics(session)
+
+    print(f"{'stage':28s} {'runs':>5s} {'total ms':>10s} {'mean ms':>10s}")
+    for name in sorted(observer.stages):
+        st = observer.stages[name]
+        print(
+            f"{name:28s} {st.runs:5d} {st.total_s * 1e3:10.2f} "
+            f"{st.mean_s() * 1e3:10.2f}"
+        )
+    print("counters:")
+    for name in sorted(observer.counters):
+        print(f"  {name:34s} {observer.counters[name]}")
+    cache = session.cache_stats()
+    print(
+        f"cache: hits={cache['hits']} misses={cache['misses']} "
+        f"invalidations={cache['invalidations']}"
+    )
+    return 1 if session.sink.has_errors() else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -347,6 +348,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="DIR",
         help="extra model search-path directory (repeatable)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="stream observability events as JSON-lines to stderr",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the JSON-lines event stream to FILE (implies --trace)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -445,17 +456,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("new")
     p.set_defaults(fn=cmd_diff)
 
+    p = sub.add_parser(
+        "stats",
+        help="run the pipeline and report stage timings, counters, cache",
+    )
+    p.add_argument(
+        "identifiers",
+        nargs="*",
+        help="descriptors to push through the pipeline "
+        "(default: the paper's concrete systems)",
+    )
+    p.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        metavar="N",
+        help="pipeline rounds; round 2+ should be all cache hits (default 2)",
+    )
+    p.set_defaults(fn=cmd_stats)
+
     return parser
+
+
+def _write_trace(observer: Observer, path: str | None) -> bool:
+    """Emit the event stream; returns False if the trace file is unwritable."""
+    text = observer.to_jsonl()
+    if not text:
+        return True
+    if path is None:
+        print(text, file=sys.stderr)
+        return True
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    except OSError as exc:
+        print(f"xpdl: error: cannot write trace to {path}: {exc}", file=sys.stderr)
+        return False
+    return True
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    tracing = args.trace or args.trace_out
+    observer = Observer() if tracing else NULL_OBSERVER
     try:
-        return args.fn(args)
+        with use_observer(observer):
+            code = args.fn(args)
     except XpdlError as exc:
         print(f"xpdl: error: {exc}", file=sys.stderr)
-        return 2
+        code = 2
+    if tracing and not _write_trace(observer, args.trace_out):
+        code = code or 1
+    return code
 
 
 if __name__ == "__main__":

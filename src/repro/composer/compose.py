@@ -36,6 +36,7 @@ from ..model import (
     ModelElement,
     Param,
 )
+from ..obs import NULL_OBSERVER, get_observer
 from ..params import Evaluator, ParamSpace, Value, declared_value
 from ..repository import ModelRepository
 from ..units import Quantity
@@ -114,6 +115,7 @@ class Composer:
         self.inherit = InheritanceEngine(repository)
         self.expand = expand
         self.substitute = substitute
+        self._obs = NULL_OBSERVER
 
     # -- public ---------------------------------------------------------------
     def compose(
@@ -128,6 +130,8 @@ class Composer:
         ``bindings`` pre-binds configurable params (e.g. fixing the K20c
         L1/shm split) before substitution and expansion.
         """
+        obs = self._obs = get_observer()
+        obs.count("compose.runs")
         sink = sink if sink is not None else DiagnosticSink()
         closure = self.repository.load_closure(identifier, sink)
         if identifier not in closure:
@@ -152,6 +156,19 @@ class Composer:
         new_root.parent = None
         composed.root = new_root
         self._verify_interconnects(composed, sink)
+        if obs.enabled:
+            obs.count("compose.descriptors", len(closure))
+            expanded = [
+                e
+                for e in new_root.walk()
+                if e.attrs.get("expanded") == "true"
+            ]
+            obs.count("compose.groups.expanded", len(expanded))
+            obs.count(
+                "compose.groups.members",
+                sum(int(g.attrs.get("member_count", 0)) for g in expanded),
+            )
+            obs.count("compose.elements", sum(1 for _ in new_root.walk()))
         return composed
 
     # -- pipeline --------------------------------------------------------------
@@ -212,6 +229,7 @@ class Composer:
         if type_ref in type_stack:
             chain = " -> ".join(type_stack + (type_ref,))
             raise CompositionError(f"type reference cycle: {chain}")
+        self._obs.count("compose.types.instantiated")
         meta = self.inherit.resolve(type_ref, sink)
         if meta.kind == elem.kind:
             merged = merge_element(meta, elem)

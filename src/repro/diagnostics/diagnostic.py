@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator
 
 from .span import SourceSpan, SourceText
@@ -27,7 +28,9 @@ class Diagnostic:
 
     ``code`` is a stable machine-readable identifier (e.g. ``XPDL0102``);
     ``message`` is the human text; ``span`` points at the offending text.
-    ``hints`` carry optional fix-it style advice.
+    ``hints`` carry optional fix-it style advice.  ``stage`` records which
+    toolchain stage emitted the diagnostic (set automatically inside a
+    :meth:`DiagnosticSink.stage` scope).
     """
 
     severity: Severity
@@ -35,12 +38,16 @@ class Diagnostic:
     message: str
     span: SourceSpan
     hints: tuple[str, ...] = ()
+    stage: str | None = None
 
     def is_error(self) -> bool:
         return self.severity >= Severity.ERROR
 
     def __str__(self) -> str:
-        return f"{self.span}: {self.severity}: {self.message} [{self.code}]"
+        text = f"{self.span}: {self.severity}: {self.message} [{self.code}]"
+        if self.stage:
+            text += f" (stage: {self.stage})"
+        return text
 
 
 class XpdlError(Exception):
@@ -108,6 +115,25 @@ class DiagnosticSink:
         self.max_errors = max_errors
         self.warnings_as_errors = warnings_as_errors
         self.sources: dict[str, SourceText] = dict(sources or {})
+        self._stage: str | None = None
+
+    # -- stage provenance --------------------------------------------------
+    @property
+    def current_stage(self) -> str | None:
+        return self._stage
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Tag every diagnostic emitted in this scope with ``name``.
+
+        Scopes nest; the innermost stage wins (a parse problem surfacing
+        during composition is attributed to the pass that hit it).
+        """
+        prev, self._stage = self._stage, name
+        try:
+            yield
+        finally:
+            self._stage = prev
 
     # -- registration -----------------------------------------------------
     def add_source(self, source: SourceText) -> None:
@@ -115,9 +141,9 @@ class DiagnosticSink:
 
     def emit(self, diag: Diagnostic) -> None:
         if self.warnings_as_errors and diag.severity == Severity.WARNING:
-            diag = Diagnostic(
-                Severity.ERROR, diag.code, diag.message, diag.span, diag.hints
-            )
+            diag = replace(diag, severity=Severity.ERROR)
+        if self._stage is not None and diag.stage is None:
+            diag = replace(diag, stage=self._stage)
         self._diags.append(diag)
         if self.error_count > self.max_errors:
             raise XpdlError(

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from ..diagnostics import QueryError
 from ..model import ELEMENT_REGISTRY, ModelElement
+from ..obs import get_observer
 
 MAGIC = b"XPDLRT01"
 _NO_PARENT = 0xFFFFFFFF
@@ -71,6 +72,10 @@ class IRModel:
             return idx
 
         rec(root, None)
+        obs = get_observer()
+        if obs.enabled:
+            obs.count("ir.emits")
+            obs.count("ir.nodes", len(nodes))
         return IRModel(nodes, meta)
 
     def to_model(self) -> ModelElement:
@@ -160,7 +165,9 @@ class IRModel:
             out.append(b)
         out.append(struct.pack("<I", len(records)))
         out.extend(records)
-        return b"".join(out)
+        blob = b"".join(out)
+        get_observer().count("ir.bytes", len(blob))
+        return blob
 
     @staticmethod
     def from_bytes(data: bytes) -> "IRModel":

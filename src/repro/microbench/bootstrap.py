@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from ..diagnostics import DiagnosticSink, XpdlError
 from ..model import Inst, Instructions, Microbenchmark, Microbenchmarks, ModelElement
+from ..obs import get_observer
 from ..power import InstructionEnergyModel
 from ..simhw import PowerMeter, SimMachine
 from ..units import Quantity
@@ -142,4 +143,9 @@ def bootstrap_instruction_model(
             report.runs.append(r)
     if write_back:
         report.updated = model.write_back(instrs)
+    obs = get_observer()
+    if obs.enabled:
+        obs.count("bench.instructions.planned", len(report.items))
+        obs.count("bench.runs", len(report.runs))
+        obs.count("bench.skipped", len(report.skipped))
     return model, report

@@ -1,0 +1,28 @@
+"""Lightweight observability for the toolchain pipeline.
+
+Per-stage monotonic timings, counters (elements parsed, refs resolved,
+groups expanded, cache hits/misses) and a structured JSON-lines event
+stream, threaded through the parser, repository, composer, analysis,
+microbench and IR layers.  Surfaced by ``xpdl stats`` and the ``--trace``
+flag on every CLI command.
+"""
+
+from .core import (
+    NULL_OBSERVER,
+    Event,
+    NullObserver,
+    Observer,
+    StageStats,
+    get_observer,
+    use_observer,
+)
+
+__all__ = [
+    "NULL_OBSERVER",
+    "Event",
+    "NullObserver",
+    "Observer",
+    "StageStats",
+    "get_observer",
+    "use_observer",
+]

@@ -1,0 +1,182 @@
+"""The observability core: events, counters, stage timers.
+
+An :class:`Observer` collects three kinds of signal while the toolchain
+runs:
+
+* **stage events** — monotonic wall-clock spans around named pipeline
+  stages (``toolchain.compose``, ``toolchain.emit_ir``, ...), nested
+  stages included;
+* **counters** — monotonically increasing totals (elements parsed, refs
+  resolved, groups expanded, cache hits/misses), aggregated rather than
+  logged per increment so hot loops stay cheap;
+* **marks** — one-off structured events (a cache invalidation, a trace
+  annotation).
+
+Everything is exportable as JSON-lines (:meth:`Observer.to_jsonl`) for the
+``xpdl --trace`` flag and machine consumption.
+
+The toolchain layers discover the active observer through a
+:class:`contextvars.ContextVar` (:func:`get_observer`), so deep code —
+the XML parser, the repository, the composer — reports without every
+call site threading an observer argument.  The default is a
+:class:`NullObserver` whose operations are no-ops; instrumented code
+guards expensive aggregation behind ``obs.enabled`` so unobserved runs
+(e.g. the E10 cold-path benches) pay almost nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(slots=True)
+class Event:
+    """One observability event.
+
+    ``event`` is the record type (``stage``, ``counter`` or ``mark``),
+    ``name`` the subject, ``at_s`` the monotonic offset from the
+    observer's epoch, and ``fields`` free-form structured payload.
+    """
+
+    event: str
+    name: str
+    at_s: float
+    fields: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {"event": self.event, "name": self.name, "at_s": round(self.at_s, 9)}
+        payload.update(self.fields)
+        return json.dumps(payload, sort_keys=True)
+
+
+@dataclass(slots=True)
+class StageStats:
+    """Aggregated view of one stage name across all its runs."""
+
+    runs: int = 0
+    total_s: float = 0.0
+
+    def mean_s(self) -> float:
+        return self.total_s / self.runs if self.runs else 0.0
+
+
+class Observer:
+    """Collects stage timings, counters and marks for one toolchain run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._epoch = time.monotonic()
+        self.events: list[Event] = []
+        self.counters: dict[str, int] = {}
+        self.stages: dict[str, StageStats] = {}
+        self._stack: list[str] = []
+
+    # -- time -------------------------------------------------------------
+    def now(self) -> float:
+        """Seconds since this observer was created (monotonic)."""
+        return time.monotonic() - self._epoch
+
+    # -- counters ----------------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    # -- marks -------------------------------------------------------------
+    def mark(self, name: str, **fields) -> None:
+        self.events.append(Event("mark", name, self.now(), fields))
+
+    # -- stages ------------------------------------------------------------
+    @contextmanager
+    def stage(self, name: str, **fields) -> Iterator[None]:
+        """Time a named stage; nests, and records parent provenance."""
+        parent = self._stack[-1] if self._stack else None
+        self._stack.append(name)
+        t0 = time.monotonic()
+        try:
+            yield
+        finally:
+            dur = time.monotonic() - t0
+            self._stack.pop()
+            stats = self.stages.get(name)
+            if stats is None:
+                stats = self.stages[name] = StageStats()
+            stats.runs += 1
+            stats.total_s += dur
+            payload = dict(fields)
+            payload["duration_s"] = round(dur, 9)
+            if parent is not None:
+                payload["parent"] = parent
+            self.events.append(Event("stage", name, t0 - self._epoch, payload))
+
+    @property
+    def current_stage(self) -> str | None:
+        return self._stack[-1] if self._stack else None
+
+    # -- export ------------------------------------------------------------
+    def iter_jsonl(self) -> Iterator[str]:
+        """All events, then one ``counter`` line per counter total."""
+        for ev in self.events:
+            yield ev.to_json()
+        at = self.now()
+        for name in sorted(self.counters):
+            yield Event(
+                "counter", name, at, {"total": self.counters[name]}
+            ).to_json()
+
+    def to_jsonl(self) -> str:
+        return "\n".join(self.iter_jsonl())
+
+
+class NullObserver(Observer):
+    """The do-nothing default; every operation is a cheap no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.events = []
+        self.counters = {}
+        self.stages = {}
+        self._stack = []
+        self._epoch = 0.0
+
+    def now(self) -> float:
+        return 0.0
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def mark(self, name: str, **fields) -> None:
+        pass
+
+    @contextmanager
+    def stage(self, name: str, **fields) -> Iterator[None]:
+        yield
+
+
+NULL_OBSERVER = NullObserver()
+
+_ACTIVE: ContextVar[Observer] = ContextVar("xpdl_observer", default=NULL_OBSERVER)
+
+
+def get_observer() -> Observer:
+    """The observer active in this context (NullObserver when none)."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def use_observer(observer: Observer) -> Iterator[Observer]:
+    """Make ``observer`` the active one for the dynamic extent."""
+    token = _ACTIVE.set(observer)
+    try:
+        yield observer
+    finally:
+        _ACTIVE.reset(token)

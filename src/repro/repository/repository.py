@@ -17,6 +17,7 @@ set of models needed to compose the system.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..diagnostics import (
     DiagnosticSink,
@@ -24,6 +25,7 @@ from ..diagnostics import (
     SourceSpan,
 )
 from ..model import ModelElement, from_document
+from ..obs import get_observer
 from ..schema import SchemaValidator
 from ..xpdlxml import parse_xml
 from .store import DescriptorStore, MemoryStore
@@ -99,6 +101,7 @@ class ModelRepository:
         """Build (or return cached) identifier -> location index."""
         if self._index is not None:
             return self._index
+        obs = get_observer()
         sink = sink if sink is not None else DiagnosticSink()
         index: dict[str, IndexEntry] = {}
         for store in self.stores:
@@ -128,6 +131,9 @@ class ModelRepository:
                     continue
                 index[ident] = IndexEntry(ident, path, store, tag)
         self._index = index
+        if obs.enabled:
+            obs.count("repo.index.builds")
+            obs.count("repo.index.descriptors", len(index))
         return index
 
     def identifiers(self) -> list[str]:
@@ -143,7 +149,9 @@ class ModelRepository:
         sink: DiagnosticSink | None = None,
     ) -> LoadedModel:
         """Load and parse the descriptor defining ``identifier``."""
+        obs = get_observer()
         if identifier in self._models:
+            obs.count("repo.load.cached")
             return self._models[identifier]
         sink = sink if sink is not None else DiagnosticSink()
         entry = self.index().get(identifier)
@@ -155,6 +163,7 @@ class ModelRepository:
                 sink.diagnostics,
             )
         text = entry.store.fetch(entry.path)
+        obs.count("repo.load.parsed")
         doc = parse_xml(text, source_name=f"{entry.store.url}{entry.path}", sink=sink)
         model = from_document(doc)
         if self.validate:
@@ -212,6 +221,7 @@ class ModelRepository:
         not loop.
         """
         sink = sink if sink is not None else DiagnosticSink()
+        obs = get_observer()
         loaded: dict[str, LoadedModel] = {}
         in_progress: list[str] = []
 
@@ -232,6 +242,7 @@ class ModelRepository:
             try:
                 lm = self.load(ident, sink)
             except ResolutionError:
+                obs.count("repo.refs.unresolved")
                 sink.note(
                     "XPDL0211",
                     f"reference {ident!r} has no descriptor "
@@ -239,6 +250,7 @@ class ModelRepository:
                     SourceSpan.unknown(ident),
                 )
                 return
+            obs.count("repo.refs.resolved")
             in_progress.append(ident)
             loaded[ident] = lm
             for ref, is_structural in sorted(self.typed_references_of(lm.model)):
@@ -247,6 +259,35 @@ class ModelRepository:
 
         visit(identifier, True)
         return loaded
+
+    # -- cache invalidation ---------------------------------------------------------
+    def invalidate(self, identifiers: Iterable[str] | None = None) -> None:
+        """Drop cached parses (and the index) so changed sources re-read.
+
+        With ``identifiers`` only those parsed models are dropped; without,
+        everything is.  The identifier index is rebuilt either way because a
+        changed descriptor may define a different identifier.
+        """
+        if identifiers is None:
+            self._models.clear()
+        else:
+            for ident in identifiers:
+                self._models.pop(ident, None)
+        self._index = None
+
+    def source_text(self, identifier: str) -> str | None:
+        """Current on-store text of the descriptor defining ``identifier``.
+
+        Bypasses the parsed-model cache — this is what cache fingerprinting
+        uses to notice edits underneath a warm repository.
+        """
+        entry = self.index().get(identifier)
+        if entry is None:
+            return None
+        try:
+            return entry.store.fetch(entry.path)
+        except ResolutionError:
+            return None
 
     # -- statistics -----------------------------------------------------------------
     def stats(self) -> dict[str, int]:

@@ -15,6 +15,7 @@ from __future__ import annotations
 import re
 
 from ..diagnostics import QueryError
+from ..obs import get_observer
 from .query import ModelHandle, QueryContext
 
 _SEGMENT_RE = re.compile(
@@ -84,6 +85,7 @@ def _apply(handles: list[ModelHandle], segment: str) -> list[ModelHandle]:
 
 def query_all(ctx: QueryContext, path: str) -> list[ModelHandle]:
     """Evaluate a path query from the model root."""
+    get_observer().count("runtime.queries")
     handles = [ctx.root]
     for segment in _split(path):
         handles = _apply(handles, segment)

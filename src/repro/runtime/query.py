@@ -23,6 +23,7 @@ from typing import Iterator
 from ..analysis import NON_PHYSICAL_KINDS
 from ..diagnostics import QueryError
 from ..ir import IRModel, IRNode
+from ..obs import get_observer
 from ..units import (
     DEFAULT_REGISTRY,
     Dimension,
@@ -245,6 +246,7 @@ def xpdl_init(filename: str) -> QueryContext:
         ir = IRModel.load(filename)
     except FileNotFoundError:
         raise QueryError(f"runtime model file not found: {filename}") from None
+    get_observer().count("runtime.inits")
     return QueryContext(ir)
 
 

@@ -1,0 +1,27 @@
+"""The staged toolchain session behind every pipeline consumer.
+
+One :class:`ToolchainSession` owns the repository, the shared diagnostics
+sink and the stage cache; requesting any stage (``load``, ``validate``,
+``inherit``, ``compose``, ``analyze``, ``emit_ir``, ``bootstrap``) runs
+its DAG dependencies at most once per content fingerprint.
+"""
+
+from .session import (
+    STAGES,
+    AnalysisResult,
+    BootstrapResult,
+    EmitResult,
+    StageSpec,
+    ToolchainSession,
+    ValidationResult,
+)
+
+__all__ = [
+    "STAGES",
+    "AnalysisResult",
+    "BootstrapResult",
+    "EmitResult",
+    "StageSpec",
+    "ToolchainSession",
+    "ValidationResult",
+]

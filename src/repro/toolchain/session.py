@@ -1,0 +1,424 @@
+"""The staged toolchain session: one pipeline, shared artifacts.
+
+The paper's Sec. IV pipeline (browse -> parse/validate -> inherit/bind/
+expand -> compose -> microbenchmark-bootstrap -> analyze -> emit runtime
+IR) used to be re-implemented ad hoc by every CLI command.  A
+:class:`ToolchainSession` owns the three shared resources instead:
+
+* the :class:`~repro.repository.ModelRepository` (model search path),
+* one :class:`~repro.diagnostics.DiagnosticSink` every stage appends to
+  (with stage provenance on each diagnostic),
+* an :class:`~repro.obs.Observer` receiving per-stage timings and
+  counters.
+
+Stages form an explicit DAG (:data:`STAGES`)::
+
+    load -> validate
+    load -> inherit
+    load -> compose -> analyze -> emit_ir
+                   \\-> bootstrap
+
+Requesting a stage (:meth:`ToolchainSession.request`, or the typed
+convenience wrappers) first requests its dependencies, so ``emit_ir``
+transparently reuses the cached composition.  Every stage result is
+memoized under a **content fingerprint**: a SHA-256 over the transitive
+``.xpdl`` source texts the stage consumed plus its frozen options.  A
+repeated request with unchanged sources is a cache hit (counted as
+``toolchain.cache.hits``); touching any transitively-referenced
+descriptor — or changing a composer option — changes the fingerprint,
+drops the stale entry, invalidates the repository's parsed-model cache
+for the affected identifiers and recomputes (incremental recomposition).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..analysis import (
+    count_cores,
+    count_placeholders,
+    downgrade_bandwidths,
+    filter_model,
+    lint_model,
+    runtime_default_filter,
+)
+from ..composer import ComposedModel, Composer
+from ..diagnostics import DiagnosticSink
+from ..inherit import InheritanceEngine
+from ..ir import IRModel
+from ..model import ModelElement
+from ..obs import Observer, get_observer, use_observer
+from ..repository import LoadedModel, ModelRepository
+from ..schema import CORE_SCHEMA
+
+#: Value types flowing through stages are deliberately plain: every stage
+#: returns a small result object (or a toolchain artifact directly) so
+#: downstream consumers stay decoupled from how the stage computed it.
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One named pipeline stage and its upstream dependencies."""
+
+    name: str
+    requires: tuple[str, ...] = ()
+
+
+#: The Sec. IV pipeline as an explicit DAG.
+STAGES: dict[str, StageSpec] = {
+    "load": StageSpec("load"),
+    "validate": StageSpec("validate", ("load",)),
+    "inherit": StageSpec("inherit", ("load",)),
+    "compose": StageSpec("compose", ("load",)),
+    "analyze": StageSpec("analyze", ("compose",)),
+    "emit_ir": StageSpec("emit_ir", ("analyze",)),
+    "bootstrap": StageSpec("bootstrap", ("compose",)),
+}
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of the ``validate`` stage for one descriptor."""
+
+    identifier: str
+    errors: int
+    warnings: int
+    placeholders: int
+
+    def ok(self) -> bool:
+        return self.errors == 0
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of the ``analyze`` stage: the analyzed composition."""
+
+    composed: ComposedModel
+    cores: int
+    placeholders: int
+    links_checked: int
+
+
+@dataclass
+class EmitResult:
+    """Outcome of the ``emit_ir`` stage."""
+
+    ir: IRModel
+    composed: ComposedModel
+    dropped_attrs: int = 0
+    dropped_elements: int = 0
+
+
+@dataclass
+class BootstrapResult:
+    """Outcome of the ``bootstrap`` stage: one report per machine."""
+
+    reports: list[tuple[str, Any]] = field(default_factory=list)
+
+    @property
+    def total_runs(self) -> int:
+        return sum(len(report.runs) for _name, report in self.reports)
+
+
+@dataclass
+class _CacheEntry:
+    value: Any
+    sources: tuple[str, ...]
+    fingerprint: str
+
+
+def _freeze(value: Any) -> Any:
+    """Deterministic hashable form of a stage option value."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(_freeze(v) for v in value))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return repr(value)
+
+
+class ToolchainSession:
+    """Owns the repository, diagnostics sink and stage cache for one run.
+
+    Commands and library callers request artifacts through the typed
+    wrappers (:meth:`compose`, :meth:`emit_ir`, ...); within one session
+    each real computation happens at most once per distinct source
+    fingerprint, however many downstream consumers ask for it.
+    """
+
+    def __init__(
+        self,
+        repository: ModelRepository | None = None,
+        *,
+        include: tuple[str, ...] | list[str] = (),
+        sink: DiagnosticSink | None = None,
+        observer: Observer | None = None,
+        validate: bool = True,
+    ) -> None:
+        if repository is None:
+            from ..modellib import standard_repository
+
+            repository = standard_repository(*include, validate=validate)
+        self.repository = repository
+        self.sink = sink if sink is not None else DiagnosticSink()
+        self.observer = observer if observer is not None else get_observer()
+        self._cache: dict[tuple, _CacheEntry] = {}
+        # Plain counters so cache_stats() works even with a null observer.
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+
+    # -- the generic stage protocol -----------------------------------------
+    def request(self, stage: str, identifier: str, **options: Any) -> Any:
+        """Return the artifact of ``stage`` for ``identifier``.
+
+        Memoized by (stage, identifier, options, source fingerprint);
+        dependencies run first per :data:`STAGES`.
+        """
+        if stage not in STAGES:
+            raise KeyError(f"unknown toolchain stage {stage!r}")
+        obs = self.observer
+        options_key = _freeze(options)
+        key = (stage, identifier, options_key)
+        entry = self._cache.get(key)
+        if entry is not None:
+            if self._fingerprint(entry.sources, options_key) == entry.fingerprint:
+                self._hits += 1
+                obs.count("toolchain.cache.hits")
+                obs.count(f"toolchain.cache.hits.{stage}")
+                return entry.value
+            self._invalidations += 1
+            obs.count("toolchain.cache.invalidations")
+            obs.mark(
+                "toolchain.cache.invalidate", stage=stage, identifier=identifier
+            )
+            del self._cache[key]
+            self.repository.invalidate(entry.sources)
+        self._misses += 1
+        obs.count("toolchain.cache.misses")
+        obs.count(f"toolchain.cache.misses.{stage}")
+        runner = getattr(self, f"_run_{stage}")
+        with use_observer(obs), obs.stage(
+            f"toolchain.{stage}", identifier=identifier
+        ), self.sink.stage(stage):
+            value, sources = runner(identifier, **options)
+        sources = tuple(sources)
+        self._cache[key] = _CacheEntry(
+            value, sources, self._fingerprint(sources, options_key)
+        )
+        return value
+
+    def _fingerprint(self, sources: tuple[str, ...], options_key: Any) -> str:
+        """SHA-256 over the current texts of ``sources`` plus the options."""
+        h = hashlib.sha256()
+        h.update(repr(options_key).encode("utf-8"))
+        for ident in sources:
+            text = self.repository.source_text(ident)
+            h.update(b"\0")
+            h.update(ident.encode("utf-8"))
+            h.update(b"\0")
+            h.update(b"<missing>" if text is None else text.encode("utf-8"))
+        return h.hexdigest()
+
+    def invalidate(self) -> None:
+        """Drop every cached stage result and the repository's caches."""
+        self._cache.clear()
+        self.repository.invalidate()
+
+    # -- typed wrappers -------------------------------------------------------
+    def load(self, identifier: str) -> LoadedModel:
+        return self.request("load", identifier)
+
+    def validate(self, identifier: str) -> ValidationResult:
+        return self.request("validate", identifier)
+
+    def inherit(self, identifier: str) -> ModelElement:
+        return self.request("inherit", identifier)
+
+    def compose(self, identifier: str, **options: Any) -> ComposedModel:
+        return self.request("compose", identifier, **options)
+
+    def analyze(self, identifier: str, **options: Any) -> AnalysisResult:
+        return self.request("analyze", identifier, **options)
+
+    def emit_ir(
+        self, identifier: str, *, keep_all: bool = False, **options: Any
+    ) -> EmitResult:
+        return self.request("emit_ir", identifier, keep_all=keep_all, **options)
+
+    def bootstrap(
+        self,
+        identifier: str,
+        *,
+        seed: int = 0,
+        noise: float = 0.05,
+        repetitions: int = 5,
+        force: bool = False,
+    ) -> BootstrapResult:
+        return self.request(
+            "bootstrap",
+            identifier,
+            seed=seed,
+            noise=noise,
+            repetitions=repetitions,
+            force=force,
+        )
+
+    # -- stage runners --------------------------------------------------------
+    def _run_load(self, identifier: str) -> tuple[LoadedModel, tuple[str, ...]]:
+        lm = self.repository.load(identifier, self.sink)
+        return lm, (identifier,)
+
+    def _run_validate(
+        self, identifier: str
+    ) -> tuple[ValidationResult, tuple[str, ...]]:
+        before_errors = self.sink.error_count
+        before_warnings = self.sink.warning_count
+        lm = self.request("load", identifier)
+        # Schema validation already ran at load time when the repository
+        # validates on parse; avoid emitting every diagnostic twice.
+        if not self.repository.validate:
+            from ..schema import SchemaValidator
+
+            SchemaValidator().validate(lm.model, self.sink)
+        lint_model(lm.model, self.sink)
+        result = ValidationResult(
+            identifier=identifier,
+            errors=self.sink.error_count - before_errors,
+            warnings=self.sink.warning_count - before_warnings,
+            placeholders=count_placeholders(lm.model),
+        )
+        return result, (identifier,)
+
+    def _run_inherit(
+        self, identifier: str
+    ) -> tuple[ModelElement, tuple[str, ...]]:
+        self.request("load", identifier)
+        resolved = InheritanceEngine(self.repository).resolve(
+            identifier, self.sink
+        )
+        closure = self.repository.load_closure(identifier, self.sink)
+        return resolved, tuple(sorted(closure) or (identifier,))
+
+    def _run_compose(
+        self,
+        identifier: str,
+        *,
+        bindings: Mapping | None = None,
+        expand: bool = True,
+        substitute: bool = True,
+    ) -> tuple[ComposedModel, tuple[str, ...]]:
+        self.request("load", identifier)
+        composer = Composer(
+            self.repository, expand=expand, substitute=substitute
+        )
+        composed = composer.compose(identifier, self.sink, bindings=bindings)
+        return composed, composed.referenced or (identifier,)
+
+    def _run_analyze(
+        self, identifier: str, **compose_options: Any
+    ) -> tuple[AnalysisResult, tuple[str, ...]]:
+        composed = self.request("compose", identifier, **compose_options)
+        links = downgrade_bandwidths(composed.root, self.sink)
+        lint = lint_model(composed.root, self.sink)
+        cores = count_cores(composed.root)
+        self.observer.count("analysis.cores", cores)
+        result = AnalysisResult(
+            composed=composed,
+            cores=cores,
+            placeholders=lint.placeholders,
+            links_checked=len(links),
+        )
+        return result, composed.referenced or (identifier,)
+
+    def _run_emit_ir(
+        self,
+        identifier: str,
+        *,
+        keep_all: bool = False,
+        **compose_options: Any,
+    ) -> tuple[EmitResult, tuple[str, ...]]:
+        analysis = self.request("analyze", identifier, **compose_options)
+        composed = analysis.composed
+        root = composed.root
+        dropped_attrs = dropped_elements = 0
+        if not keep_all:
+            root, dropped_attrs, dropped_elements = filter_model(
+                root, runtime_default_filter()
+            )
+        ir = IRModel.from_model(
+            root,
+            {
+                "system": identifier,
+                "tool": "xpdl compose",
+                "schema": f"{CORE_SCHEMA.name} {CORE_SCHEMA.version}",
+            },
+        )
+        result = EmitResult(
+            ir=ir,
+            composed=composed,
+            dropped_attrs=dropped_attrs,
+            dropped_elements=dropped_elements,
+        )
+        return result, composed.referenced or (identifier,)
+
+    def _run_bootstrap(
+        self,
+        identifier: str,
+        *,
+        seed: int = 0,
+        noise: float = 0.05,
+        repetitions: int = 5,
+        force: bool = False,
+    ) -> tuple[BootstrapResult, tuple[str, ...]]:
+        from ..microbench import bootstrap_instruction_model
+        from ..model import Instructions, Microbenchmarks
+        from ..simhw import PowerMeter, testbed_from_model
+
+        composed = self.request("compose", identifier)
+        bed = testbed_from_model(composed.root)
+        meter = PowerMeter(seed=seed, noise_std_w=noise)
+        result = BootstrapResult()
+        for machine in bed.machines.values():
+            isa = machine.truth.isa_name
+            instrs = next(
+                (
+                    i
+                    for i in composed.root.find_all(Instructions)
+                    if (i.name or i.ident) == isa
+                ),
+                None,
+            )
+            if instrs is None:
+                continue
+            suite = next(
+                iter(composed.root.find_all(Microbenchmarks)), None
+            )
+            _model, report = bootstrap_instruction_model(
+                instrs,
+                machine,
+                suite=suite,
+                meter=meter,
+                repetitions=repetitions,
+                force=force,
+                sink=self.sink,
+            )
+            result.reports.append((machine.name, report))
+        return result, composed.referenced or (identifier,)
+
+    # -- reporting ------------------------------------------------------------
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss/invalidation totals for this session's stage cache."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "invalidations": self._invalidations,
+            "entries": len(self._cache),
+        }
+
+    def render_diagnostics(self) -> str:
+        """Render every collected diagnostic (with stage provenance) once."""
+        return self.sink.render()

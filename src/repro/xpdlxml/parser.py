@@ -17,6 +17,7 @@ from ..diagnostics import (
     SourceSpan,
     SourceText,
 )
+from ..obs import get_observer
 from .dom import (
     XmlAttribute,
     XmlCData,
@@ -61,6 +62,7 @@ class XmlParser:
         self.sink = sink if sink is not None else DiagnosticSink()
         self.sink.add_source(source)
         self.strict = strict
+        self.elements_parsed = 0
 
     # -- error helpers -------------------------------------------------------
     def _span(self, start: int, end: int | None = None) -> SourceSpan:
@@ -355,6 +357,7 @@ class XmlParser:
             self.pos = self.n if nxt == -1 else nxt + 1
             return None
         elem = XmlElement(self._span(start), tag=tag)
+        self.elements_parsed += 1
         self._parse_attributes(elem)
         self._skip_ws()
         if self._startswith("/>"):
@@ -435,6 +438,11 @@ def parse_xml(
     src = SourceText(source_name, text)
     parser = XmlParser(src, sink, strict=strict)
     doc = parser.parse_document()
+    obs = get_observer()
+    if obs.enabled:
+        obs.count("parse.documents")
+        obs.count("parse.elements", parser.elements_parsed)
+        obs.count("parse.bytes", len(text))
     if strict:
         parser.sink.raise_if_errors(ParseError)
     return doc

@@ -1,0 +1,205 @@
+"""Observability: events, counters, --trace JSON-lines, xpdl stats."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.modellib import PAPER_LISTINGS
+from repro.obs import (
+    NULL_OBSERVER,
+    NullObserver,
+    Observer,
+    get_observer,
+    use_observer,
+)
+from repro.toolchain import ToolchainSession
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, str, str]:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestObserverCore:
+    def test_default_is_null(self):
+        assert get_observer() is NULL_OBSERVER
+        assert not get_observer().enabled
+
+    def test_use_observer_scopes(self):
+        obs = Observer()
+        with use_observer(obs):
+            assert get_observer() is obs
+            get_observer().count("x", 2)
+        assert get_observer() is NULL_OBSERVER
+        assert obs.counters["x"] == 2
+
+    def test_null_observer_is_inert(self):
+        null = NullObserver()
+        null.count("x")
+        null.mark("y")
+        with null.stage("z"):
+            pass
+        assert null.counters == {} and null.events == []
+
+    def test_stage_nesting_records_parent(self):
+        obs = Observer()
+        with obs.stage("outer"):
+            with obs.stage("inner"):
+                pass
+        by_name = {e.name: e for e in obs.events}
+        assert by_name["inner"].fields["parent"] == "outer"
+        assert "parent" not in by_name["outer"].fields
+        assert obs.stages["outer"].runs == 1
+
+    def test_jsonl_roundtrips(self):
+        obs = Observer()
+        with obs.stage("s"):
+            obs.count("c", 3)
+        obs.mark("m", detail="x")
+        lines = [json.loads(l) for l in obs.to_jsonl().splitlines()]
+        assert {l["event"] for l in lines} == {"stage", "counter", "mark"}
+
+
+class TestCounterTotalsMatchModel:
+    def test_compose_counters_match_composed_tree(self, repo):
+        obs = Observer()
+        session = ToolchainSession(repo, observer=obs)
+        composed = session.compose("liu_gpu_server")
+        root = composed.root
+        assert obs.counters["compose.elements"] == sum(
+            1 for _ in root.walk()
+        )
+        expanded = [
+            e for e in root.walk() if e.attrs.get("expanded") == "true"
+        ]
+        assert obs.counters["compose.groups.expanded"] == len(expanded)
+        assert obs.counters["compose.groups.members"] == sum(
+            int(g.attrs.get("member_count", 0)) for g in expanded
+        )
+        assert obs.counters["compose.descriptors"] == len(composed.referenced)
+
+    def test_expanded_core_count_matches_analysis(self, repo):
+        obs = Observer()
+        session = ToolchainSession(repo, observer=obs)
+        analysis = session.analyze("liu_gpu_server")
+        # 4 E5 cores + 2496 K20c CUDA cores
+        assert analysis.cores == 2500
+        assert obs.counters["analysis.cores"] == 2500
+
+    def test_ir_counters_match_emitted_ir(self, repo):
+        obs = Observer()
+        session = ToolchainSession(repo, observer=obs)
+        result = session.emit_ir("myriad_server")
+        assert obs.counters["ir.nodes"] == len(result.ir)
+        with use_observer(obs):
+            blob = result.ir.to_bytes()
+        assert obs.counters["ir.bytes"] == len(blob)
+
+    def test_parse_counters_accumulate(self, repo):
+        obs = Observer()
+        with use_observer(obs):
+            from repro.xpdlxml import parse_xml
+
+            parse_xml("<a><b/><c/></a>")
+        assert obs.counters["parse.documents"] == 1
+        assert obs.counters["parse.elements"] == 3
+
+
+class TestTraceFlag:
+    def test_trace_out_writes_wellformed_jsonl(self, capsys, tmp_path):
+        trace = tmp_path / "events.jsonl"
+        out_file = str(tmp_path / "m.xir")
+        code, _out, _err = run_cli(
+            capsys,
+            "--trace-out",
+            str(trace),
+            "compose",
+            "myriad_server",
+            "-o",
+            out_file,
+        )
+        assert code == 0
+        lines = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+            if line.strip()
+        ]
+        assert lines, "trace file must not be empty"
+        stages = [l for l in lines if l["event"] == "stage"]
+        assert stages, "at least one stage event expected"
+        for ev in stages:
+            assert ev["duration_s"] >= 0
+            assert ev["at_s"] >= 0
+        names = {l["name"] for l in stages}
+        assert "toolchain.compose" in names
+        assert "toolchain.emit_ir" in names
+        counters = {
+            l["name"]: l["total"] for l in lines if l["event"] == "counter"
+        }
+        assert counters.get("compose.runs") == 1
+        assert counters.get("parse.documents", 0) > 0
+
+    def test_trace_to_stderr(self, capsys, tmp_path):
+        out_file = str(tmp_path / "m.xir")
+        code, _out, err = run_cli(
+            capsys, "--trace", "compose", "ShaveL2", "-o", out_file
+        )
+        assert code == 0
+        events = [
+            json.loads(line)
+            for line in err.splitlines()
+            if line.startswith("{")
+        ]
+        assert any(e["event"] == "stage" for e in events)
+
+    def test_no_trace_no_overhead_observer(self, capsys, tmp_path):
+        out_file = str(tmp_path / "m.xir")
+        code, _out, err = run_cli(capsys, "compose", "ShaveL2", "-o", out_file)
+        assert code == 0
+        assert not any(line.startswith("{") for line in err.splitlines())
+
+
+class TestStatsCommand:
+    def test_stats_default_systems(self, capsys):
+        code, out, _err = run_cli(capsys, "stats")
+        assert code == 0
+        assert "toolchain.compose" in out
+        assert "cache: hits=" in out
+
+    def test_stats_second_round_hits(self, capsys):
+        code, out, _err = run_cli(capsys, "stats", "myriad_server", "--repeat", "2")
+        assert code == 0
+        cache_line = next(l for l in out.splitlines() if l.startswith("cache:"))
+        hits = int(cache_line.split("hits=")[1].split()[0])
+        assert hits >= 1, cache_line
+        # exactly one real composition despite two rounds
+        assert "compose.runs" in out
+        counters = {
+            parts[0]: parts[1]
+            for parts in (
+                l.split() for l in out.splitlines() if l.startswith("  ")
+            )
+            if len(parts) == 2
+        }
+        assert counters["compose.runs"] == "1"
+
+    def test_stats_listing_corpus_exits_zero(self, capsys):
+        """`xpdl stats` over the Listing 1-11 corpus succeeds."""
+        corpus = sorted(
+            {
+                ident
+                for listing, idents in PAPER_LISTINGS.items()
+                if int(listing.removeprefix("listing")) <= 11
+                for ident in idents
+            }
+        )
+        code, out, _err = run_cli(capsys, "stats", *corpus)
+        assert code == 0
+        assert "cache: hits=" in out
+
+    def test_stats_unknown_identifier(self, capsys):
+        code, _out, err = run_cli(capsys, "stats", "no_such_system")
+        assert code == 2
+        assert "no_such_system" in err

@@ -1,0 +1,226 @@
+"""ToolchainSession: stage DAG, cache correctness, invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagnostics import DiagnosticSink
+from repro.modellib import PAPER_SYSTEMS, standard_repository
+from repro.obs import Observer
+from repro.repository import LocalDirStore, MemoryStore, ModelRepository
+from repro.toolchain import STAGES, ToolchainSession
+
+CPU_V1 = (
+    "<cpu name='SynthCpu'>"
+    "<group prefix='core' quantity='4'>"
+    "<core frequency='2' frequency_unit='GHz'/>"
+    "</group>"
+    "</cpu>"
+)
+CPU_V2 = CPU_V1.replace("quantity='4'", "quantity='8'")
+SYSTEM = (
+    "<system id='SynthSys'><node>"
+    "<cpu id='PE0' type='SynthCpu'/>"
+    "</node></system>"
+)
+
+
+def make_session(files: dict[str, str]) -> tuple[ToolchainSession, MemoryStore, Observer]:
+    store = MemoryStore(dict(files))
+    obs = Observer()
+    session = ToolchainSession(
+        ModelRepository([store]), observer=obs
+    )
+    return session, store, obs
+
+
+class TestStageDag:
+    def test_stage_names(self):
+        assert set(STAGES) == {
+            "load",
+            "validate",
+            "inherit",
+            "compose",
+            "analyze",
+            "emit_ir",
+            "bootstrap",
+        }
+
+    def test_dependencies_acyclic_and_known(self):
+        for spec in STAGES.values():
+            for dep in spec.requires:
+                assert dep in STAGES
+        # every chain terminates at 'load'
+        def roots(name, seen=()):
+            spec = STAGES[name]
+            if not spec.requires:
+                return {name}
+            assert name not in seen
+            out = set()
+            for dep in spec.requires:
+                out |= roots(dep, seen + (name,))
+            return out
+
+        for name, spec in STAGES.items():
+            expected = {"load"} if spec.requires else {name}
+            assert roots(name) == expected
+
+    def test_unknown_stage_rejected(self):
+        session, _, _ = make_session({"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM})
+        with pytest.raises(KeyError):
+            session.request("optimize", "SynthSys")
+
+
+class TestCacheCorrectness:
+    def test_same_inputs_hit_same_artifact(self):
+        session, _, obs = make_session({"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM})
+        c1 = session.compose("SynthSys")
+        c2 = session.compose("SynthSys")
+        assert c1 is c2
+        assert obs.counters["compose.runs"] == 1
+        assert obs.counters["toolchain.cache.hits.compose"] == 1
+
+    def test_emit_ir_reuses_composition(self):
+        """compose + emit_ir (the `compose`/`to-json` pair) = ONE composition."""
+        session, _, obs = make_session({"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM})
+        composed = session.compose("SynthSys")
+        emitted = session.emit_ir("SynthSys")
+        assert emitted.composed is composed
+        assert obs.counters["compose.runs"] == 1
+        assert obs.counters["toolchain.cache.hits.compose"] >= 1
+
+    def test_repeated_emit_ir_identical_bytes(self):
+        session, _, obs = make_session({"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM})
+        b1 = session.emit_ir("SynthSys").ir.to_bytes()
+        b2 = session.emit_ir("SynthSys").ir.to_bytes()
+        assert b1 == b2
+        assert obs.counters["toolchain.cache.hits.emit_ir"] == 1
+        assert obs.counters["compose.runs"] == 1
+
+    def test_touching_referenced_source_recomposes(self):
+        """Editing a transitively-referenced descriptor misses the cache."""
+        session, store, obs = make_session(
+            {"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM}
+        )
+        c1 = session.compose("SynthSys")
+        n1 = sum(1 for _ in c1.root.walk())
+        store.put("cpu.xpdl", CPU_V2)
+        c2 = session.compose("SynthSys")
+        n2 = sum(1 for _ in c2.root.walk())
+        assert c2 is not c1
+        assert n2 > n1  # 8 cores now, not 4
+        assert obs.counters["compose.runs"] == 2
+        assert obs.counters["toolchain.cache.invalidations"] >= 1
+
+    def test_touching_file_on_disk_recomposes(self, tmp_path):
+        """Same, through a LocalDirStore: a real file edit is noticed."""
+        (tmp_path / "cpu.xpdl").write_text(CPU_V1)
+        (tmp_path / "sys.xpdl").write_text(SYSTEM)
+        obs = Observer()
+        session = ToolchainSession(
+            ModelRepository([LocalDirStore(str(tmp_path))]), observer=obs
+        )
+        c1 = session.compose("SynthSys")
+        assert session.compose("SynthSys") is c1
+        (tmp_path / "cpu.xpdl").write_text(CPU_V2)
+        c2 = session.compose("SynthSys")
+        assert c2 is not c1
+        assert obs.counters["compose.runs"] == 2
+
+    def test_changing_option_is_a_distinct_entry(self):
+        session, _, obs = make_session({"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM})
+        session.emit_ir("SynthSys", keep_all=False)
+        session.emit_ir("SynthSys", keep_all=True)
+        # two distinct emit_ir computations, but still one composition
+        assert obs.counters["toolchain.cache.misses.emit_ir"] == 2
+        assert obs.counters["compose.runs"] == 1
+
+    def test_composer_bindings_change_key(self):
+        session, _, obs = make_session({"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM})
+        session.compose("SynthSys")
+        session.compose("SynthSys", bindings={})
+        session.compose("SynthSys", bindings={})
+        assert obs.counters["toolchain.cache.misses.compose"] == 2
+        assert obs.counters["compose.runs"] == 2
+
+    def test_session_invalidate_clears_everything(self):
+        session, _, obs = make_session({"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM})
+        session.compose("SynthSys")
+        session.invalidate()
+        session.compose("SynthSys")
+        assert obs.counters["compose.runs"] == 2
+
+
+class TestCorpusProperty:
+    """Property-style check over the E2 corpus (the paper's systems)."""
+
+    @pytest.mark.parametrize("system", PAPER_SYSTEMS)
+    def test_recompose_is_hit_with_identical_ir(self, system):
+        obs = Observer()
+        session = ToolchainSession(standard_repository(), observer=obs)
+        first = session.emit_ir(system)
+        bytes1 = first.ir.to_bytes()
+        hits_before = obs.counters.get("toolchain.cache.hits", 0)
+        second = session.emit_ir(system)
+        assert second is first
+        assert second.ir.to_bytes() == bytes1
+        assert obs.counters["toolchain.cache.hits"] > hits_before
+        assert obs.counters["compose.runs"] == 1
+
+
+class TestDiagnosticsPlumbing:
+    def test_shared_sink_with_stage_provenance(self):
+        # pcie3-style placeholder notes, lint warnings etc. all land in the
+        # ONE session sink with the emitting stage recorded.
+        session, _, _ = make_session(
+            {
+                "cpu.xpdl": CPU_V1,
+                "sys.xpdl": SYSTEM.replace(
+                    "<node>", "<node><memory type='DDR3' size='4' unit='GB'/>"
+                ),
+            }
+        )
+        session.emit_ir("SynthSys")
+        stages = {d.stage for d in session.sink}
+        assert stages  # something was emitted
+        assert stages <= set(STAGES)  # every diagnostic has stage provenance
+
+    def test_validation_result_counts(self):
+        session, _, _ = make_session({"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM})
+        result = session.validate("SynthCpu")
+        assert result.ok()
+        assert result.placeholders == 0
+
+    def test_diagnostics_not_duplicated_on_hit(self):
+        session, _, _ = make_session(
+            {
+                "cpu.xpdl": CPU_V1,
+                "sys.xpdl": SYSTEM.replace(
+                    "<node>", "<node><memory type='DDR3' size='4' unit='GB'/>"
+                ),
+            }
+        )
+        session.compose("SynthSys")
+        n = len(session.sink)
+        session.compose("SynthSys")
+        assert len(session.sink) == n
+
+
+class TestBootstrapStage:
+    def test_bootstrap_reuses_composition(self):
+        obs = Observer()
+        session = ToolchainSession(standard_repository(), observer=obs)
+        session.compose("liu_gpu_server")
+        result = session.bootstrap("liu_gpu_server", seed=1, repetitions=2)
+        assert result.total_runs > 0
+        assert obs.counters["compose.runs"] == 1
+        assert obs.counters["bench.runs"] == result.total_runs
+
+
+class TestSharedSinkOption:
+    def test_external_sink_is_used(self):
+        sink = DiagnosticSink()
+        session, _, _ = make_session({"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM})
+        session2 = ToolchainSession(session.repository, sink=sink)
+        session2.compose("SynthSys")
+        assert session2.sink is sink
