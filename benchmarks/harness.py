@@ -1,0 +1,224 @@
+"""The benchmark harness behind ``python -m benchmarks`` (run from repo root).
+
+Converts the ad-hoc experiment scripts' role of "how fast is the
+toolchain" into a repeatable, CI-gateable measurement.  ``run`` builds
+the modellib corpus three ways through :func:`repro.toolchain.run_batch`
+and emits one ``BENCH_<rev>.json``:
+
+* **cold** — fresh persistent cache, sequential: the worst case;
+* **warm** — same cache directory again: everything should come from the
+  persistent stage cache (hit rate >= 0.9 is an acceptance criterion);
+* **parallel** — fresh cache, ``--jobs N`` fan-out: the scaling case.
+
+Wall-clock numbers are machine-dependent, so each report also carries a
+``calibration_s`` — the time of a fixed pure-Python spin measured on the
+same host — and every phase's ``norm_wall`` (wall / calibration).
+``compare`` gates on the *normalized* warm build time against a
+committed baseline JSON, which keeps the CI regression check meaningful
+across runner generations, plus the warm hit-rate floor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Any, Sequence
+
+BENCH_SCHEMA = 1
+
+#: Warm-cache hit-rate floor (acceptance criterion: >= 90 %).
+MIN_WARM_HIT_RATE = 0.9
+
+#: Default allowed normalized-wall regression for the CI gate.
+MAX_REGRESS = 0.25
+
+#: Absolute slack (in calibration units) added to the gate so sub-100ms
+#: phases are not flagged by scheduler noise alone.
+NORM_SLACK = 0.25
+
+_CALIBRATION_LOOPS = 2_000_000
+
+
+def calibrate(loops: int = _CALIBRATION_LOOPS) -> float:
+    """Seconds for a fixed pure-Python spin; the host-speed yardstick."""
+    t0 = time.perf_counter()
+    acc = 0
+    for i in range(loops):
+        acc += i * i
+    if acc < 0:  # pragma: no cover - keeps the loop from being elided
+        raise AssertionError
+    return time.perf_counter() - t0
+
+
+def git_rev() -> str:
+    """Short git revision of the working tree, or ``local``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return "local"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "local"
+
+
+def _phase_dict(report: Any) -> dict[str, Any]:
+    return {
+        "ok": report.ok,
+        "builds": len(report.builds),
+        "wall_s": round(report.wall_s, 6),
+        "models_per_s": round(report.models_per_s, 3),
+        "hit_rate": round(report.hit_rate, 4),
+        "cache": dict(report.cache),
+        "jobs": report.jobs,
+        "shards": len(report.shards),
+    }
+
+
+def run_bench(
+    *,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    identifiers: Sequence[str] | None = None,
+    include: Sequence[str] = (),
+) -> dict[str, Any]:
+    """Measure cold/warm/parallel corpus builds; return the report dict.
+
+    ``cache_dir=None`` uses a throwaway directory so benchmarking never
+    touches (or benefits from) a developer's real ``.xpdl-cache``.
+    """
+    from repro.modellib import standard_repository
+    from repro.toolchain import run_batch
+
+    jobs = jobs or os.cpu_count() or 1
+    calibration_s = calibrate()
+
+    with tempfile.TemporaryDirectory(prefix="xpdl-bench-") as scratch:
+        base = cache_dir or os.path.join(scratch, "cache")
+        repo = standard_repository(*include)
+        corpus = list(identifiers) if identifiers else repo.systems()
+
+        cold = run_batch(
+            standard_repository(*include), corpus, jobs=1,
+            cache_dir=os.path.join(base, "seq"),
+        )
+        warm = run_batch(
+            standard_repository(*include), corpus, jobs=1,
+            cache_dir=os.path.join(base, "seq"),
+        )
+        par = run_batch(
+            standard_repository(*include), corpus, jobs=jobs,
+            cache_dir=os.path.join(base, "par"),
+        )
+
+    phases = {
+        "cold": _phase_dict(cold),
+        "warm": _phase_dict(warm),
+        "parallel": _phase_dict(par),
+    }
+    for phase in phases.values():
+        phase["norm_wall"] = round(phase["wall_s"] / calibration_s, 4)
+    ir_match = [b.ir_sha256 for b in cold.builds] == [
+        b.ir_sha256 for b in par.builds
+    ]
+    return {
+        "bench_schema": BENCH_SCHEMA,
+        "rev": git_rev(),
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "calibration_s": round(calibration_s, 6),
+        "corpus": sorted(corpus),
+        "ir_deterministic": ir_match,
+        "phases": phases,
+    }
+
+
+def write_report(data: dict[str, Any], out_dir: str = ".") -> str:
+    """Persist the report as ``BENCH_<rev>.json``; returns the path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{data['rev']}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_report(path: str) -> dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if data.get("bench_schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported bench schema {data.get('bench_schema')!r}"
+        )
+    return data
+
+
+def compare(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    *,
+    max_regress: float = MAX_REGRESS,
+) -> list[str]:
+    """CI gate: problems list, empty when ``current`` is acceptable.
+
+    Checks, in order of severity: every phase built successfully and
+    deterministically; the warm phase's persistent-cache hit rate is at
+    least :data:`MIN_WARM_HIT_RATE`; and the *normalized* warm-build wall
+    time has not regressed more than ``max_regress`` (plus a small
+    absolute slack) against the baseline.
+    """
+    problems: list[str] = []
+    for name, phase in current["phases"].items():
+        if not phase.get("ok", False):
+            problems.append(f"phase {name}: build failed")
+    if not current.get("ir_deterministic", False):
+        problems.append("parallel build is not byte-identical to sequential")
+
+    warm = current["phases"]["warm"]
+    if warm["hit_rate"] < MIN_WARM_HIT_RATE:
+        problems.append(
+            f"warm hit rate {warm['hit_rate']:.0%} below the "
+            f"{MIN_WARM_HIT_RATE:.0%} floor"
+        )
+
+    base_warm = baseline["phases"]["warm"]
+    allowed = base_warm["norm_wall"] * (1.0 + max_regress) + NORM_SLACK
+    if warm["norm_wall"] > allowed:
+        problems.append(
+            f"warm build regressed: norm_wall {warm['norm_wall']:.3f} "
+            f"exceeds allowed {allowed:.3f} "
+            f"(baseline {base_warm['norm_wall']:.3f} "
+            f"+{max_regress:.0%} +{NORM_SLACK} slack)"
+        )
+    return problems
+
+
+def summarize(data: dict[str, Any]) -> str:
+    """One human-readable block per report, for terminals and CI logs."""
+    lines = [
+        f"bench {data['rev']} (python {data['python']}, "
+        f"calibration {data['calibration_s'] * 1e3:.0f} ms, "
+        f"{len(data['corpus'])} systems)"
+    ]
+    for name in ("cold", "warm", "parallel"):
+        p = data["phases"][name]
+        lines.append(
+            f"  {name:9s} wall {p['wall_s'] * 1e3:8.1f} ms  "
+            f"norm {p['norm_wall']:7.3f}  "
+            f"{p['models_per_s']:7.1f} models/s  "
+            f"hit rate {p['hit_rate']:.0%}  jobs={p['jobs']}"
+        )
+    lines.append(
+        "  IR deterministic across jobs: "
+        + ("yes" if data.get("ir_deterministic") else "NO")
+    )
+    return "\n".join(lines)

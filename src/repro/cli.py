@@ -5,6 +5,8 @@ Subcommands cover the whole processing pipeline::
     xpdl list                          # descriptors in the repository
     xpdl validate <ident>              # schema validation + lint
     xpdl compose <ident> [-o out.xir]  # compose + analyses + runtime IR
+    xpdl build [ident ...]             # parallel batch build of all systems
+    xpdl cache stats|clear|verify      # manage the persistent stage cache
     xpdl query <file.xir> <path>       # path queries over a runtime model
     xpdl info <file.xir>               # analysis functions (cores, power...)
     xpdl benchgen <suite> -d DIR       # generate microbenchmark drivers
@@ -47,8 +49,12 @@ def _session(args) -> ToolchainSession:
 
 
 def _print_diagnostics(session: ToolchainSession) -> None:
-    """Render the session's diagnostics exactly once, to stderr."""
-    text = session.render_diagnostics()
+    """Render the session's diagnostics exactly once, to stderr.
+
+    Deduplicated: a diagnostic re-emitted by several systems or repeat
+    rounds (shared unresolved refs, e.g.) prints once per invocation.
+    """
+    text = session.sink.render(dedupe=True)
     if text:
         print(text, file=sys.stderr)
 
@@ -91,6 +97,92 @@ def cmd_compose(args) -> int:
         f"{len(result.composed.referenced)} descriptors -> {out}"
     )
     return 1 if session.sink.has_errors() else 0
+
+
+def cmd_build(args) -> int:
+    """Batch-compile systems in parallel against the persistent cache."""
+    import json
+
+    from .diagnostics import DiagnosticSink
+    from .toolchain import run_batch
+
+    observer = get_observer()
+    if not observer.enabled:
+        observer = Observer()  # build always reports merged counters
+    sink = DiagnosticSink()
+    cache_dir = None if args.no_cache else args.cache_dir
+    report = run_batch(
+        identifiers=tuple(args.identifiers or ()),
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        out_dir=args.out_dir,
+        keep_all=args.keep_all,
+        include=tuple(args.include or []),
+        observer=observer,
+        sink=sink,
+    )
+    text = sink.render(dedupe=True)
+    if text:
+        print(text, file=sys.stderr)
+    for b in report.builds:
+        if b.ok:
+            sha = (b.ir_sha256 or "")[:12]
+            where = f" -> {b.out_path}" if b.out_path else ""
+            print(
+                f"{b.identifier:24s} ok    {b.elements:5d} elements  "
+                f"{b.referenced:3d} descriptors  {b.duration_s * 1e3:8.1f} ms  "
+                f"[{sha}]{where}"
+            )
+        else:
+            print(f"{b.identifier:24s} FAIL  {b.error}")
+    built = sum(1 for b in report.builds if b.ok)
+    cache = report.cache
+    print(
+        f"built {built}/{len(report.builds)} systems in {report.wall_s:.2f}s "
+        f"({report.models_per_s:.1f} models/s, jobs={report.jobs}, "
+        f"shards={len(report.shards)})"
+    )
+    print(
+        f"stage cache: {cache.get('hits', 0)} memory + "
+        f"{cache.get('disk_hits', 0)} disk hits, "
+        f"{cache.get('misses', 0)} misses "
+        f"(hit rate {report.hit_rate:.0%})"
+        + (f"; persistent cache at {report.cache_dir}" if report.cache_dir else "")
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=1, sort_keys=True)
+        print(f"wrote report {args.json}")
+    return 0 if report.ok and not sink.has_errors() else 1
+
+
+def cmd_cache(args) -> int:
+    """Inspect or maintain the persistent stage cache."""
+    from .toolchain import PersistentStageCache
+
+    cache = PersistentStageCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache:    {stats['path']}")
+        print(f"version:  {stats['version']}")
+        print(f"entries:  {stats['entries']}")
+        print(f"bytes:    {stats['bytes']}")
+        for stage, n in stats["stages"].items():
+            print(f"  {stage:12s} {n}")
+        return 0
+    if args.action == "clear":
+        n = cache.clear()
+        print(f"cleared {n} entr{'y' if n == 1 else 'ies'} from {cache.root}")
+        return 0
+    # verify
+    checked, problems = cache.verify()
+    for problem in problems:
+        print(f"xpdl cache: {problem}", file=sys.stderr)
+    print(
+        f"verified {checked} entr{'y' if checked == 1 else 'ies'}: "
+        f"{len(problems)} problem(s)"
+    )
+    return 1 if problems else 0
 
 
 def cmd_query(args) -> int:
@@ -383,6 +475,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the uninteresting-value filter",
     )
     p.set_defaults(fn=cmd_compose)
+
+    p = sub.add_parser(
+        "build",
+        help="batch-compile every system (or the given ones) in parallel",
+    )
+    p.add_argument(
+        "identifiers",
+        nargs="*",
+        help="systems to build (default: every <system> in the repository)",
+    )
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel worker processes (default: os.cpu_count())",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=".xpdl-cache",
+        metavar="DIR",
+        help="persistent stage cache directory (default: .xpdl-cache)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent stage cache for this build",
+    )
+    p.add_argument(
+        "-o",
+        "--out-dir",
+        default=None,
+        metavar="DIR",
+        help="write one <ident>.xir runtime model per system into DIR",
+    )
+    p.add_argument(
+        "--keep-all",
+        action="store_true",
+        help="skip the uninteresting-value filter",
+    )
+    p.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also write the merged build report as JSON to FILE",
+    )
+    p.set_defaults(fn=cmd_build)
+
+    p = sub.add_parser(
+        "cache", help="persistent stage cache maintenance"
+    )
+    p.add_argument("action", choices=("stats", "clear", "verify"))
+    p.add_argument(
+        "--cache-dir",
+        default=".xpdl-cache",
+        metavar="DIR",
+        help="persistent stage cache directory (default: .xpdl-cache)",
+    )
+    p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser("query", help="path query over a runtime model file")
     p.add_argument("file")

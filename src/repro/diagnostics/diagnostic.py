@@ -197,9 +197,11 @@ class DiagnosticSink:
             n = self.error_count
             raise exc_type(f"{n} error{'s' if n != 1 else ''} reported", self._diags)
 
-    def render(self, *, with_snippets: bool = True) -> str:
+    def render(self, *, with_snippets: bool = True, dedupe: bool = False) -> str:
         return render_diagnostics(
-            self._diags, sources=self.sources if with_snippets else None
+            self._diags,
+            sources=self.sources if with_snippets else None,
+            dedupe=dedupe,
         )
 
 
@@ -219,11 +221,27 @@ def render_diagnostics(
     diags: Iterable[Diagnostic],
     *,
     sources: dict[str, SourceText] | None = None,
+    dedupe: bool = False,
 ) -> str:
-    """Render many diagnostics, sorted by file then position."""
+    """Render many diagnostics, sorted by file then position.
+
+    With ``dedupe`` an identical diagnostic (same severity, code, message,
+    span and stage) is rendered once per call, however many pipeline passes
+    re-emitted it — a shared ``.xpdl`` descriptor referenced by several
+    systems produces its notes once per CLI invocation, not once per
+    system or repeat round.
+    """
     ordered = sorted(
         diags, key=lambda d: (d.span.source, d.span.start.offset, -int(d.severity))
     )
+    if dedupe:
+        unique: list[Diagnostic] = []
+        seen: set[Diagnostic] = set()
+        for d in ordered:
+            if d not in seen:
+                seen.add(d)
+                unique.append(d)
+        ordered = unique
     blocks = []
     for d in ordered:
         src = sources.get(d.span.source) if sources else None

@@ -121,6 +121,35 @@ class Observer:
     def current_stage(self) -> str | None:
         return self._stack[-1] if self._stack else None
 
+    # -- cross-process aggregation -----------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-data view of the aggregates, safe to pickle across a
+        process boundary (``xpdl build`` workers report through this)."""
+        return {
+            "counters": dict(self.counters),
+            "stages": {
+                name: {"runs": st.runs, "total_s": st.total_s}
+                for name, st in self.stages.items()
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another observer's :meth:`snapshot` into this one.
+
+        Counters add up; stage stats accumulate runs and total time (the
+        mean follows).  Event streams are deliberately not merged — they
+        carry per-process monotonic offsets that do not compose; workers
+        wanting event-level detail trace to their own files.
+        """
+        for name, total in (snapshot.get("counters") or {}).items():
+            self.count(name, int(total))
+        for name, st in (snapshot.get("stages") or {}).items():
+            stats = self.stages.get(name)
+            if stats is None:
+                stats = self.stages[name] = StageStats()
+            stats.runs += int(st.get("runs", 0))
+            stats.total_s += float(st.get("total_s", 0.0))
+
     # -- export ------------------------------------------------------------
     def iter_jsonl(self) -> Iterator[str]:
         """All events, then one ``counter`` line per counter total."""
@@ -156,6 +185,9 @@ class NullObserver(Observer):
 
     def mark(self, name: str, **fields) -> None:
         pass
+
+    def merge(self, snapshot: dict) -> None:
+        pass  # the shared NULL_OBSERVER must stay empty
 
     @contextmanager
     def stage(self, name: str, **fields) -> Iterator[None]:

@@ -139,6 +139,15 @@ class ModelRepository:
     def identifiers(self) -> list[str]:
         return sorted(self.index())
 
+    def systems(self) -> list[str]:
+        """Identifiers of the concrete ``<system>`` descriptors — the
+        compilation units of a batch build (``xpdl build``)."""
+        return [
+            ident
+            for ident, entry in sorted(self.index().items())
+            if entry.root_tag == "system"
+        ]
+
     def __contains__(self, identifier: str) -> bool:
         return identifier in self.index()
 

@@ -4,9 +4,30 @@ One :class:`ToolchainSession` owns the repository, the shared diagnostics
 sink and the stage cache; requesting any stage (``load``, ``validate``,
 ``inherit``, ``compose``, ``analyze``, ``emit_ir``, ``bootstrap``) runs
 its DAG dependencies at most once per content fingerprint.
+
+On top of the session sit the batch compiler (:func:`run_batch` — the
+``xpdl build`` command: discovery, fingerprint sharding, process-pool
+fan-out, merged reporting) and the persistent stage cache
+(:class:`PersistentStageCache` — artifacts that survive between
+invocations under ``.xpdl-cache/``).
 """
 
+from .batch import (
+    BatchReport,
+    ShardPlan,
+    SystemBuild,
+    discover_systems,
+    plan_shards,
+    run_batch,
+)
+from .diskcache import (
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_CACHE_DIR,
+    DiskEntry,
+    PersistentStageCache,
+)
 from .session import (
+    PERSISTED_STAGES,
     STAGES,
     AnalysisResult,
     BootstrapResult,
@@ -17,11 +38,22 @@ from .session import (
 )
 
 __all__ = [
+    "BatchReport",
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "DiskEntry",
+    "PERSISTED_STAGES",
+    "PersistentStageCache",
     "STAGES",
+    "ShardPlan",
+    "SystemBuild",
     "AnalysisResult",
     "BootstrapResult",
     "EmitResult",
     "StageSpec",
     "ToolchainSession",
     "ValidationResult",
+    "discover_systems",
+    "plan_shards",
+    "run_batch",
 ]

@@ -28,6 +28,14 @@ repeated request with unchanged sources is a cache hit (counted as
 descriptor — or changing a composer option — changes the fingerprint,
 drops the stale entry, invalidates the repository's parsed-model cache
 for the affected identifiers and recomputes (incremental recomposition).
+
+A session may additionally be backed by a
+:class:`~repro.toolchain.diskcache.PersistentStageCache`: on an
+in-memory miss the disk index is consulted (guarded by the same source
+fingerprint, so stale entries never resurface), and freshly computed
+artifacts of the stages in :data:`PERSISTED_STAGES` are written back.
+This is what makes repeated ``xpdl build`` invocations — and the workers
+of one parallel build — share work across process boundaries.
 """
 
 from __future__ import annotations
@@ -52,6 +60,7 @@ from ..model import ModelElement
 from ..obs import Observer, get_observer, use_observer
 from ..repository import LoadedModel, ModelRepository
 from ..schema import CORE_SCHEMA
+from .diskcache import PersistentStageCache
 
 #: Value types flowing through stages are deliberately plain: every stage
 #: returns a small result object (or a toolchain artifact directly) so
@@ -76,6 +85,17 @@ STAGES: dict[str, StageSpec] = {
     "emit_ir": StageSpec("emit_ir", ("analyze",)),
     "bootstrap": StageSpec("bootstrap", ("compose",)),
 }
+
+#: Stages whose artifacts are worth persisting across invocations.
+#: ``load`` is cheap (one parse) and ``bootstrap`` models simulated
+#: measurement runs, so neither goes to disk.
+PERSISTED_STAGES: tuple[str, ...] = (
+    "validate",
+    "inherit",
+    "compose",
+    "analyze",
+    "emit_ir",
+)
 
 
 @dataclass
@@ -129,6 +149,10 @@ class _CacheEntry:
     fingerprint: str
 
 
+#: Sentinel distinguishing "no persisted artifact" from a None value.
+_DISK_MISS = object()
+
+
 def _freeze(value: Any) -> Any:
     """Deterministic hashable form of a stage option value."""
     if isinstance(value, Mapping):
@@ -157,6 +181,7 @@ class ToolchainSession:
         sink: DiagnosticSink | None = None,
         observer: Observer | None = None,
         validate: bool = True,
+        disk_cache: PersistentStageCache | None = None,
     ) -> None:
         if repository is None:
             from ..modellib import standard_repository
@@ -165,11 +190,14 @@ class ToolchainSession:
         self.repository = repository
         self.sink = sink if sink is not None else DiagnosticSink()
         self.observer = observer if observer is not None else get_observer()
+        self.disk_cache = disk_cache
         self._cache: dict[tuple, _CacheEntry] = {}
         # Plain counters so cache_stats() works even with a null observer.
         self._hits = 0
         self._misses = 0
         self._invalidations = 0
+        self._disk_hits = 0
+        self._disk_stores = 0
 
     # -- the generic stage protocol -----------------------------------------
     def request(self, stage: str, identifier: str, **options: Any) -> Any:
@@ -197,6 +225,13 @@ class ToolchainSession:
             )
             del self._cache[key]
             self.repository.invalidate(entry.sources)
+        persistable = (
+            self.disk_cache is not None and stage in PERSISTED_STAGES
+        )
+        if persistable:
+            value = self._disk_lookup(stage, identifier, options_key)
+            if value is not _DISK_MISS:
+                return value
         self._misses += 1
         obs.count("toolchain.cache.misses")
         obs.count(f"toolchain.cache.misses.{stage}")
@@ -206,8 +241,43 @@ class ToolchainSession:
         ), self.sink.stage(stage):
             value, sources = runner(identifier, **options)
         sources = tuple(sources)
-        self._cache[key] = _CacheEntry(
-            value, sources, self._fingerprint(sources, options_key)
+        fingerprint = self._fingerprint(sources, options_key)
+        self._cache[key] = _CacheEntry(value, sources, fingerprint)
+        if persistable:
+            assert self.disk_cache is not None
+            stored = self.disk_cache.store(
+                stage, identifier, repr(options_key), fingerprint, sources, value
+            )
+            if stored:
+                self._disk_stores += 1
+                obs.count("toolchain.diskcache.stores")
+        return value
+
+    def _disk_lookup(self, stage: str, identifier: str, options_key: Any) -> Any:
+        """Serve a stage from the persistent cache, or :data:`_DISK_MISS`.
+
+        A disk entry is honoured only when its recorded source
+        fingerprint matches the *live* repository texts — the same
+        freshness rule the in-memory cache applies — so an edited
+        descriptor invalidates its persisted dependents implicitly.
+        """
+        assert self.disk_cache is not None
+        obs = self.observer
+        entry = self.disk_cache.lookup(stage, identifier, repr(options_key))
+        if entry is None:
+            return _DISK_MISS
+        if self._fingerprint(entry.sources, options_key) != entry.fingerprint:
+            obs.count("toolchain.diskcache.stale")
+            return _DISK_MISS
+        ok, value = self.disk_cache.load(entry)
+        if not ok:
+            obs.count("toolchain.diskcache.corrupt")
+            return _DISK_MISS
+        self._disk_hits += 1
+        obs.count("toolchain.diskcache.hits")
+        obs.count(f"toolchain.diskcache.hits.{stage}")
+        self._cache[(stage, identifier, options_key)] = _CacheEntry(
+            value, entry.sources, entry.fingerprint
         )
         return value
 
@@ -417,6 +487,8 @@ class ToolchainSession:
             "misses": self._misses,
             "invalidations": self._invalidations,
             "entries": len(self._cache),
+            "disk_hits": self._disk_hits,
+            "disk_stores": self._disk_stores,
         }
 
     def render_diagnostics(self) -> str:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.cli import main
 from repro.modellib import PAPER_LISTINGS
 from repro.obs import (
@@ -60,6 +62,48 @@ class TestObserverCore:
         obs.mark("m", detail="x")
         lines = [json.loads(l) for l in obs.to_jsonl().splitlines()]
         assert {l["event"] for l in lines} == {"stage", "counter", "mark"}
+
+
+class TestSnapshotMerge:
+    """Cross-process aggregation used by the batch-build workers."""
+
+    def _loaded_observer(self) -> Observer:
+        obs = Observer()
+        obs.count("c", 3)
+        obs.count("d")
+        with obs.stage("s"):
+            pass
+        return obs
+
+    def test_snapshot_is_plain_data(self):
+        snap = self._loaded_observer().snapshot()
+        assert snap["counters"] == {"c": 3, "d": 1}
+        assert snap["stages"]["s"]["runs"] == 1
+        assert snap["stages"]["s"]["total_s"] >= 0
+        json.dumps(snap)  # picklable AND json-able across processes
+
+    def test_merge_accumulates(self):
+        snap = self._loaded_observer().snapshot()
+        merged = Observer()
+        merged.merge(snap)
+        merged.merge(snap)
+        assert merged.counters == {"c": 6, "d": 2}
+        assert merged.stages["s"].runs == 2
+        assert merged.stages["s"].total_s >= 2 * snap["stages"]["s"]["total_s"]
+        assert merged.stages["s"].mean_s() == pytest.approx(
+            snap["stages"]["s"]["total_s"]
+        )
+
+    def test_merge_empty_snapshot_is_noop(self):
+        obs = self._loaded_observer()
+        before = obs.snapshot()
+        obs.merge({})
+        assert obs.snapshot() == before
+
+    def test_null_observer_merge_stays_empty(self):
+        null = NullObserver()
+        null.merge(self._loaded_observer().snapshot())
+        assert null.counters == {} and null.stages == {}
 
 
 class TestCounterTotalsMatchModel:
@@ -198,6 +242,16 @@ class TestStatsCommand:
         code, out, _err = run_cli(capsys, "stats", *corpus)
         assert code == 0
         assert "cache: hits=" in out
+
+    def test_repeat_renders_each_diagnostic_once(self, capsys):
+        """Regression: --repeat used to re-render diagnostics per round."""
+        code, _out, err = run_cli(
+            capsys, "stats", "liu_gpu_server", "--repeat", "3"
+        )
+        assert code == 0
+        notes = [l for l in err.splitlines() if "[XPDL0211]" in l]
+        assert notes, "expected unresolved-reference notes from liu_gpu_server"
+        assert len(notes) == len(set(notes))
 
     def test_stats_unknown_identifier(self, capsys):
         code, _out, err = run_cli(capsys, "stats", "no_such_system")

@@ -2,13 +2,24 @@
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+import textwrap
+
 import pytest
 
+import repro
 from repro.diagnostics import DiagnosticSink
 from repro.modellib import PAPER_SYSTEMS, standard_repository
 from repro.obs import Observer
 from repro.repository import LocalDirStore, MemoryStore, ModelRepository
-from repro.toolchain import STAGES, ToolchainSession
+from repro.toolchain import (
+    CACHE_SCHEMA_VERSION,
+    STAGES,
+    PersistentStageCache,
+    ToolchainSession,
+)
 
 CPU_V1 = (
     "<cpu name='SynthCpu'>"
@@ -224,3 +235,135 @@ class TestSharedSinkOption:
         session2 = ToolchainSession(session.repository, sink=sink)
         session2.compose("SynthSys")
         assert session2.sink is sink
+
+
+CPU_B = CPU_V1.replace("SynthCpu", "OtherCpu")
+SYSTEM_B = SYSTEM.replace("SynthSys", "OtherSys").replace("SynthCpu", "OtherCpu")
+
+
+class TestPersistentCache:
+    """The on-disk stage cache: cross-invocation reuse and invalidation."""
+
+    def _session(self, store, cache_dir) -> tuple[ToolchainSession, Observer]:
+        obs = Observer()
+        session = ToolchainSession(
+            ModelRepository([store]),
+            observer=obs,
+            disk_cache=PersistentStageCache(str(cache_dir)),
+        )
+        return session, obs
+
+    def test_new_session_served_from_disk(self, tmp_path):
+        """A fresh session (new process, in spirit) never recomposes."""
+        store = MemoryStore({"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM})
+        s1, o1 = self._session(store, tmp_path)
+        first = s1.emit_ir("SynthSys")
+        assert o1.counters["compose.runs"] == 1
+        assert s1.cache_stats()["disk_stores"] >= 3  # compose, analyze, emit_ir
+
+        s2, o2 = self._session(store, tmp_path)
+        second = s2.emit_ir("SynthSys")
+        assert o2.counters.get("compose.runs", 0) == 0
+        assert o2.counters["toolchain.diskcache.hits.emit_ir"] == 1
+        assert second.ir.to_bytes() == first.ir.to_bytes()
+        assert s2.cache_stats()["disk_hits"] == 1
+
+    def test_touched_source_invalidates_exactly_its_dependents(self, tmp_path):
+        """Editing one system's cpu leaves the *other* system's entries warm."""
+        store = MemoryStore(
+            {
+                "cpu_a.xpdl": CPU_V1,
+                "sys_a.xpdl": SYSTEM,
+                "cpu_b.xpdl": CPU_B,
+                "sys_b.xpdl": SYSTEM_B,
+            }
+        )
+        s1, _ = self._session(store, tmp_path)
+        s1.emit_ir("SynthSys")
+        s1.emit_ir("OtherSys")
+
+        store.put("cpu_a.xpdl", CPU_V2)  # only SynthSys depends on this
+        s2, o2 = self._session(store, tmp_path)
+        s2.emit_ir("OtherSys")  # untouched closure: still a disk hit
+        assert o2.counters.get("compose.runs", 0) == 0
+        assert o2.counters["toolchain.diskcache.hits.emit_ir"] == 1
+        s2.emit_ir("SynthSys")  # touched closure: stale, recomputed
+        assert o2.counters["compose.runs"] == 1
+        assert o2.counters["toolchain.diskcache.stale"] >= 1
+
+    def test_version_mismatch_reads_as_empty(self, tmp_path):
+        store = MemoryStore({"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM})
+        s1, _ = self._session(store, tmp_path)
+        s1.emit_ir("SynthSys")
+        PersistentStageCache(str(tmp_path)).stamp_version(
+            CACHE_SCHEMA_VERSION + 1
+        )
+        s2, o2 = self._session(store, tmp_path)
+        s2.emit_ir("SynthSys")
+        assert o2.counters["compose.runs"] == 1
+        assert s2.cache_stats()["disk_hits"] == 0
+
+    def test_corrupt_blob_is_a_miss_and_verify_reports_it(self, tmp_path):
+        store = MemoryStore({"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM})
+        s1, _ = self._session(store, tmp_path)
+        s1.emit_ir("SynthSys")
+        cache = PersistentStageCache(str(tmp_path))
+        blobs = [
+            os.path.join(root, name)
+            for root, _dirs, names in os.walk(cache.objects_root)
+            for name in names
+        ]
+        assert blobs
+        for path in blobs:
+            with open(path, "wb") as fh:
+                fh.write(b"not a pickle")
+
+        checked, problems = cache.verify()
+        assert checked >= 3 and problems
+
+        s2, o2 = self._session(store, tmp_path)
+        result = s2.emit_ir("SynthSys")  # miss + recompute, never a crash
+        assert result.ir is not None
+        assert o2.counters["toolchain.diskcache.corrupt"] >= 1
+        assert o2.counters["compose.runs"] == 1
+
+    def test_concurrent_processes_share_one_cache(self, tmp_path):
+        """Two processes building into one cache dir: no index corruption."""
+        models = tmp_path / "models"
+        models.mkdir()
+        (models / "cpu.xpdl").write_text(CPU_V1)
+        (models / "sys.xpdl").write_text(SYSTEM)
+        cache_dir = tmp_path / "cache"
+        script = textwrap.dedent(
+            f"""
+            from repro.repository import LocalDirStore, ModelRepository
+            from repro.toolchain import PersistentStageCache, ToolchainSession
+
+            session = ToolchainSession(
+                ModelRepository([LocalDirStore({str(models)!r})]),
+                disk_cache=PersistentStageCache({str(cache_dir)!r}),
+            )
+            session.emit_ir("SynthSys")
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+        procs = [
+            subprocess.Popen([sys.executable, "-c", script], env=env)
+            for _ in range(2)
+        ]
+        assert [p.wait(timeout=120) for p in procs] == [0, 0]
+
+        cache = PersistentStageCache(str(cache_dir))
+        checked, problems = cache.verify()
+        assert problems == []
+        assert checked == 3  # compose, analyze, emit_ir — once, not twice
+
+        obs = Observer()
+        session = ToolchainSession(
+            ModelRepository([LocalDirStore(str(models))]),
+            observer=obs,
+            disk_cache=cache,
+        )
+        session.emit_ir("SynthSys")
+        assert obs.counters.get("compose.runs", 0) == 0
