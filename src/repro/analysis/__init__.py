@@ -24,6 +24,18 @@ from .lint import (
     lint_model,
     placeholder_sites,
 )
+from .doctor import (
+    REPOSITORY_SCOPE,
+    RULE_CATALOG,
+    DoctorReport,
+    DoctorRule,
+    Finding,
+    RuleContext,
+    check_repository,
+    check_system,
+    rule,
+    rule_catalog,
+)
 from .control import (
     ControlNode,
     ControlRelation,
@@ -51,6 +63,16 @@ __all__ = [
     "downgrade_bandwidths",
     "path_bandwidth",
     "topology_graph",
+    "REPOSITORY_SCOPE",
+    "RULE_CATALOG",
+    "DoctorReport",
+    "DoctorRule",
+    "Finding",
+    "RuleContext",
+    "check_repository",
+    "check_system",
+    "rule",
+    "rule_catalog",
     "LintReport",
     "count_placeholders",
     "lint_model",

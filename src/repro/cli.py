@@ -6,6 +6,7 @@ Subcommands cover the whole processing pipeline::
     xpdl validate <ident>              # schema validation + lint
     xpdl compose <ident> [-o out.xir]  # compose + analyses + runtime IR
     xpdl build [ident ...]             # parallel batch build of all systems
+    xpdl doctor [ident ...]            # cross-descriptor static analysis
     xpdl cache stats|clear|verify      # manage the persistent stage cache
     xpdl query <file.xir> <path>       # path queries over a runtime model
     xpdl info <file.xir>               # analysis functions (cores, power...)
@@ -183,6 +184,76 @@ def cmd_cache(args) -> int:
         f"{len(problems)} problem(s)"
     )
     return 1 if problems else 0
+
+
+def cmd_doctor(args) -> int:
+    """Cross-descriptor static analysis: the model doctor (Sec. V)."""
+    import json
+
+    from .analysis import DoctorReport, REPOSITORY_SCOPE, rule_catalog
+
+    if args.list_rules:
+        for row in rule_catalog():
+            print(
+                f"{row['rule']}  {row['severity']:8s} {row['scope']:11s} "
+                f"{row['name']}: {row['summary']}"
+            )
+        return 0
+
+    session = _session(args)
+    suppress = tuple(args.suppress or ())
+    index = session.repository.index()
+    identifiers = list(args.identifiers or session.repository.systems())
+    for ident in identifiers:
+        if ident not in index:
+            raise XpdlError(f"unknown identifier {ident!r}")
+    # Merge into a fresh report: the per-stage reports are cached session
+    # artifacts and must not be mutated.
+    merged = DoctorReport()
+    merged.merge(session.doctor(REPOSITORY_SCOPE, suppress=suppress))
+    for ident in identifiers:
+        if index[ident].root_tag != "system":
+            continue  # plain descriptors are covered by the repository pass
+        merged.merge(session.doctor(ident, suppress=suppress))
+
+    # Diagnostics of upstream stages (compose errors, ...) render as usual;
+    # doctor findings are rendered from the report so warm cache runs —
+    # which re-emit nothing through the sink — print identically.
+    other = [d for d in session.sink if d.stage != "doctor"]
+    if other:
+        from .diagnostics import render_diagnostics
+
+        text = render_diagnostics(other, sources=session.sink.sources, dedupe=True)
+        if text:
+            print(text, file=sys.stderr)
+
+    if args.format == "json":
+        payload = json.dumps(merged.to_dict(), indent=1, sort_keys=True)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"wrote {args.output}")
+        else:
+            print(payload)
+    else:
+        for f in sorted(
+            merged.findings,
+            key=lambda f: (f.rule, f.subject, f.location, f.message),
+        ):
+            print(f"{f.location}: {f.severity}: {f.message} [{f.rule}]")
+        n = len(merged.findings)
+        print(
+            f"doctor: {merged.errors} error(s), {merged.warnings} warning(s), "
+            f"{merged.notes} note(s) — {n} finding(s) over "
+            f"{len(merged.checked)} subject(s), "
+            f"{len(merged.rules_run)} rule(s)"
+            + (
+                f", suppressed: {', '.join(merged.suppressed)}"
+                if merged.suppressed
+                else ""
+            )
+        )
+    return 1 if (not merged.ok() or session.sink.has_errors()) else 0
 
 
 def cmd_query(args) -> int:
@@ -534,6 +605,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent stage cache directory (default: .xpdl-cache)",
     )
     p.set_defaults(fn=cmd_cache)
+
+    p = sub.add_parser(
+        "doctor",
+        help="cross-descriptor static analysis over the repository",
+    )
+    p.add_argument(
+        "identifiers",
+        nargs="*",
+        help="systems to check (default: every <system>; the repository-wide "
+        "pass always runs)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="write the JSON report to FILE (with --format json)",
+    )
+    p.add_argument(
+        "--suppress",
+        action="append",
+        metavar="RULE",
+        help="suppress a rule by id (XPDL0703) or name "
+        "(unused-descriptor); repeatable",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    p.set_defaults(fn=cmd_doctor)
 
     p = sub.add_parser("query", help="path query over a runtime model file")
     p.add_argument("file")

@@ -150,6 +150,17 @@ class DiagnosticSink:
                 f"too many errors (> {self.max_errors}); aborting", self._diags
             )
 
+    def emit_severity(
+        self,
+        severity: Severity,
+        code: str,
+        message: str,
+        span: SourceSpan,
+        *hints: str,
+    ) -> None:
+        """Emit with a runtime-chosen severity (doctor rules, lint knobs)."""
+        self.emit(Diagnostic(severity, code, message, span, tuple(hints)))
+
     def note(self, code: str, message: str, span: SourceSpan, *hints: str) -> None:
         self.emit(Diagnostic(Severity.NOTE, code, message, span, hints))
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
-from ..diagnostics import CompositionError, DiagnosticSink
+from ..diagnostics import CompositionError, ConstraintError, DiagnosticSink
 from ..model import ELEMENT_REGISTRY, Group, ModelElement
 from ..params import Evaluator, Value
 
@@ -44,7 +44,7 @@ def _resolve_quantity(
     except ValueError:
         try:
             n = Evaluator(dict(env)).eval_int(raw)
-        except Exception as exc:
+        except ConstraintError as exc:
             sink.error(
                 "XPDL0400",
                 f"cannot resolve group quantity {raw!r}: {exc}",

@@ -14,7 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
-from ..diagnostics import ConstraintError
+from ..diagnostics import ConstraintError, UnitError
 from ..model import Const, Constraint, Constraints, ModelElement, Param
 from ..units import DEFAULT_REGISTRY, Quantity, UnitRegistry
 from .eval import Evaluator, Value
@@ -40,7 +40,7 @@ def declared_value(
         unit = elem.attrs.get("unit")
         try:
             return Quantity.parse(raw, registry, default_unit=unit)
-        except Exception:
+        except UnitError:
             return None  # non-numeric value (string param); no quantity
     for metric in _VALUE_METRICS:
         if metric in elem.attrs:
@@ -107,8 +107,8 @@ class ParamSpace:
                         candidates.append(
                             Quantity.parse(c, registry, default_unit=unit)
                         )
-                    except Exception:
-                        pass
+                    except UnitError:
+                        pass  # range entry referencing another param
                 space.params[elem.name] = ParamDecl(
                     name=elem.name,
                     element=elem,

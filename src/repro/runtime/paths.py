@@ -53,33 +53,53 @@ def _split(path: str) -> list[str]:
     return segments
 
 
+def _parse_predicates(preds: str, segment: str) -> list[tuple]:
+    """Parse the predicate chain; unparseable brackets raise QueryError."""
+    parsed: list[tuple] = []
+    pos = 0
+    for pm in _PRED_RE.finditer(preds):
+        if pm.start() != pos:
+            break
+        if pm.group("index") is not None:
+            parsed.append(("index", int(pm.group("index"))))
+        else:
+            parsed.append(("attr", pm.group("attr"), pm.group("value")))
+        pos = pm.end()
+    if pos != len(preds):
+        raise QueryError(
+            f"malformed predicate {preds[pos:]!r} in segment {segment!r}"
+        )
+    return parsed
+
+
 def _apply(handles: list[ModelHandle], segment: str) -> list[ModelHandle]:
     m = _SEGMENT_RE.match(segment)
     if m is None:
         raise QueryError(f"malformed query segment {segment!r}")
     tag = m.group("tag")
     descend = m.group("axis") == "//"
+    preds = _parse_predicates(m.group("preds") or "", segment)
     matched: list[ModelHandle] = []
     seen: set[int] = set()
     for h in handles:
         candidates = h.descendants() if descend else h.children()
-        for c in candidates:
-            if tag != "*" and c.kind != tag:
-                continue
+        # Predicates filter per context handle (XPath semantics), so an
+        # index predicate picks one match under each handle, not globally.
+        local = [c for c in candidates if tag == "*" or c.kind == tag]
+        for pred in preds:
+            if pred[0] == "index":
+                idx = pred[1]
+                local = [local[idx]] if idx < len(local) else []
+            else:
+                _kind, attr, value = pred
+                if value is None:
+                    local = [c for c in local if c.attr(attr) is not None]
+                else:
+                    local = [c for c in local if c.attr(attr) == value]
+        for c in local:
             if c.index not in seen:
                 seen.add(c.index)
                 matched.append(c)
-    for pm in _PRED_RE.finditer(m.group("preds") or ""):
-        if pm.group("index") is not None:
-            idx = int(pm.group("index"))
-            matched = [matched[idx]] if idx < len(matched) else []
-        else:
-            attr = pm.group("attr")
-            value = pm.group("value")
-            if value is None:
-                matched = [h for h in matched if h.attr(attr) is not None]
-            else:
-                matched = [h for h in matched if h.attr(attr) == value]
     return matched
 
 

@@ -17,6 +17,7 @@ Stages form an explicit DAG (:data:`STAGES`)::
     load -> inherit
     load -> compose -> analyze -> emit_ir
                    \\-> bootstrap
+                   \\-> doctor   (repository scope "*" skips compose)
 
 Requesting a stage (:meth:`ToolchainSession.request`, or the typed
 convenience wrappers) first requests its dependencies, so ``emit_ir``
@@ -45,6 +46,10 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from ..analysis import (
+    REPOSITORY_SCOPE,
+    DoctorReport,
+    check_repository,
+    check_system,
     count_cores,
     count_placeholders,
     downgrade_bandwidths,
@@ -84,6 +89,7 @@ STAGES: dict[str, StageSpec] = {
     "analyze": StageSpec("analyze", ("compose",)),
     "emit_ir": StageSpec("emit_ir", ("analyze",)),
     "bootstrap": StageSpec("bootstrap", ("compose",)),
+    "doctor": StageSpec("doctor", ("compose",)),
 }
 
 #: Stages whose artifacts are worth persisting across invocations.
@@ -95,6 +101,7 @@ PERSISTED_STAGES: tuple[str, ...] = (
     "compose",
     "analyze",
     "emit_ir",
+    "doctor",
 )
 
 
@@ -319,6 +326,17 @@ class ToolchainSession:
     ) -> EmitResult:
         return self.request("emit_ir", identifier, keep_all=keep_all, **options)
 
+    def doctor(
+        self,
+        identifier: str = REPOSITORY_SCOPE,
+        *,
+        suppress: tuple[str, ...] | list[str] = (),
+    ) -> DoctorReport:
+        """Doctor findings for one system, or — with the default
+        :data:`~repro.analysis.REPOSITORY_SCOPE` sentinel — for the whole
+        repository (cross-descriptor rules)."""
+        return self.request("doctor", identifier, suppress=tuple(suppress))
+
     def bootstrap(
         self,
         identifier: str,
@@ -434,6 +452,30 @@ class ToolchainSession:
             dropped_elements=dropped_elements,
         )
         return result, composed.referenced or (identifier,)
+
+    def _run_doctor(
+        self,
+        identifier: str,
+        *,
+        suppress: tuple[str, ...] = (),
+    ) -> tuple[DoctorReport, tuple[str, ...]]:
+        if identifier == REPOSITORY_SCOPE:
+            report = check_repository(
+                self.repository, self.sink, suppress=suppress
+            )
+            # The repository pass reads every descriptor, so the artifact
+            # is keyed over the whole index: touching any file recomputes.
+            sources = tuple(sorted(self.repository.index()))
+            return report, sources or (identifier,)
+        composed = self.request("compose", identifier)
+        report = check_system(
+            identifier,
+            composed.root,
+            self.repository,
+            self.sink,
+            suppress=suppress,
+        )
+        return report, composed.referenced or (identifier,)
 
     def _run_bootstrap(
         self,

@@ -10,6 +10,13 @@ Supports the subset needed by the toolchain and tests:
 * path segments separated by ``/``
 
 Queries return lists of elements; they never raise on "no match".
+Malformed paths — including bracketed predicates the grammar cannot
+parse — raise :class:`~repro.diagnostics.QueryError` instead of being
+silently ignored.
+
+Predicates follow XPath semantics: they filter the matches of **each
+context node separately**, so ``a/b[0]`` returns the first ``<b>`` of
+every ``<a>``, not the globally first ``<b>``.
 """
 
 from __future__ import annotations
@@ -40,8 +47,6 @@ def _split_segments(path: str) -> list[str]:
     n = len(path)
     while i < n:
         if path.startswith("//", i):
-            j = path.find("/", i + 2)
-            # find next single slash not starting a new '//'
             seg_end = n
             k = i + 2
             while k < n:
@@ -62,12 +67,56 @@ def _split_segments(path: str) -> list[str]:
     return segments
 
 
+#: One parsed predicate: ``("index", n)`` or ``("attr", name, value_or_None)``.
+Predicate = tuple
+
+
+def _parse_predicates(preds: str, segment: str) -> list[Predicate]:
+    """Parse the bracketed predicate chain of one segment.
+
+    Every ``[...]`` group must match the predicate grammar; anything the
+    grammar cannot parse raises :class:`QueryError` rather than being
+    silently dropped (``a[@x='it''s']`` must not match a bare ``<a/>``).
+    """
+    parsed: list[Predicate] = []
+    pos = 0
+    for pm in _PRED_RE.finditer(preds):
+        if pm.start() != pos:
+            break
+        if pm.group("index") is not None:
+            parsed.append(("index", int(pm.group("index"))))
+        else:
+            parsed.append(("attr", pm.group("attr"), pm.group("value")))
+        pos = pm.end()
+    if pos != len(preds):
+        raise QueryError(
+            f"malformed predicate {preds[pos:]!r} in segment {segment!r}"
+        )
+    return parsed
+
+
+def _filter(matched: list[XmlElement], preds: list[Predicate]) -> list[XmlElement]:
+    """Apply the predicate chain to one context node's matches."""
+    for pred in preds:
+        if pred[0] == "index":
+            idx = pred[1]
+            matched = [matched[idx]] if idx < len(matched) else []
+        else:
+            _kind, attr, value = pred
+            if value is None:
+                matched = [e for e in matched if attr in e]
+            else:
+                matched = [e for e in matched if e.get(attr) == value]
+    return matched
+
+
 def _apply_segment(nodes: list[XmlElement], segment: str) -> list[XmlElement]:
     m = _SEGMENT_RE.match(segment)
     if m is None:
         raise QueryError(f"malformed path segment {segment!r}")
     tag = m.group("tag")
     descend = m.group("axis") == "//"
+    preds = _parse_predicates(m.group("preds") or "", segment)
     matched: list[XmlElement] = []
     seen: set[int] = set()
     for node in nodes:
@@ -79,24 +128,13 @@ def _apply_segment(nodes: list[XmlElement], segment: str) -> list[XmlElement]:
             ]
         else:
             candidates = node.elements()
-        for c in candidates:
-            if tag != "*" and c.tag != tag:
-                continue
+        # XPath semantics: predicates filter per context node, so an index
+        # predicate selects one match under *each* node, not globally.
+        local = [c for c in candidates if tag == "*" or c.tag == tag]
+        for c in _filter(local, preds):
             if id(c) not in seen:
                 seen.add(id(c))
                 matched.append(c)
-    preds = m.group("preds") or ""
-    for pm in _PRED_RE.finditer(preds):
-        if pm.group("index") is not None:
-            idx = int(pm.group("index"))
-            matched = [matched[idx]] if idx < len(matched) else []
-        else:
-            attr = pm.group("attr")
-            value = pm.group("value")
-            if value is None:
-                matched = [e for e in matched if attr in e]
-            else:
-                matched = [e for e in matched if e.get(attr) == value]
     return matched
 
 

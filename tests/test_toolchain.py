@@ -55,6 +55,7 @@ class TestStageDag:
             "analyze",
             "emit_ir",
             "bootstrap",
+            "doctor",
         }
 
     def test_dependencies_acyclic_and_known(self):
@@ -367,3 +368,51 @@ class TestPersistentCache:
         )
         session.emit_ir("SynthSys")
         assert obs.counters.get("compose.runs", 0) == 0
+
+
+class TestDoctorStage:
+    """The doctor stage: caching, invalidation, disk persistence."""
+
+    def test_warm_request_is_a_hit(self):
+        session, _, obs = make_session({"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM})
+        r1 = session.doctor()
+        assert session.doctor() is r1
+        assert obs.counters["toolchain.cache.hits.doctor"] == 1
+
+    def test_system_scope_reuses_cached_compose(self):
+        session, _, obs = make_session({"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM})
+        session.compose("SynthSys")
+        session.doctor("SynthSys")
+        assert obs.counters["compose.runs"] == 1
+
+    def test_repo_scope_invalidated_by_any_descriptor_edit(self):
+        """The repository pass is fingerprinted over the whole index."""
+        session, store, obs = make_session(
+            {"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM}
+        )
+        r1 = session.doctor()
+        store.put("cpu.xpdl", CPU_V2)
+        r2 = session.doctor()
+        assert r2 is not r1
+        assert obs.counters["toolchain.cache.misses.doctor"] == 2
+
+    def test_suppress_is_part_of_the_cache_key(self):
+        session, _, obs = make_session({"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM})
+        session.doctor()
+        session.doctor(suppress=("XPDL0703",))
+        assert obs.counters["toolchain.cache.misses.doctor"] == 2
+
+    def test_fresh_session_served_from_disk(self, tmp_path):
+        store = MemoryStore({"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM})
+        cache = PersistentStageCache(str(tmp_path))
+        s1 = ToolchainSession(ModelRepository([store]), disk_cache=cache)
+        r1 = s1.doctor()
+
+        obs = Observer()
+        s2 = ToolchainSession(
+            ModelRepository([store]), observer=obs, disk_cache=cache
+        )
+        r2 = s2.doctor()
+        assert obs.counters["toolchain.diskcache.hits.doctor"] == 1
+        assert r2.findings == r1.findings
+        assert r2.rules_run == r1.rules_run
