@@ -8,6 +8,7 @@ Subcommands cover the whole processing pipeline::
     xpdl build [ident ...]             # parallel batch build of all systems
     xpdl doctor [ident ...]            # cross-descriptor static analysis
     xpdl cache stats|clear|verify      # manage the persistent stage cache
+    xpdl repo stats|mirror|check       # repository resilience & offline mirror
     xpdl query <file.xir> <path>       # path queries over a runtime model
     xpdl info <file.xir>               # analysis functions (cores, power...)
     xpdl benchgen <suite> -d DIR       # generate microbenchmark drivers
@@ -29,7 +30,10 @@ downstream presentations consume it.
 Extra search-path directories are added with ``-I DIR`` (repeatable).
 ``--trace`` (before the subcommand) streams the observability events of
 the run as JSON-lines to stderr; ``--trace-out FILE`` writes them to a
-file instead.
+file instead.  ``--simulate-remote`` serves the whole search path through
+a simulated manufacturer download site wrapped in the resilience stack
+(retries with backoff, circuit breaker, offline mirror); ``--fault SPEC``
+injects a deterministic failure schedule into it.
 """
 
 from __future__ import annotations
@@ -45,8 +49,47 @@ from .schema import CORE_SCHEMA, schema_to_xml
 from .toolchain import ToolchainSession
 
 
+def _repository(args):
+    """The model repository for this invocation.
+
+    Plain search-path stores by default; with ``--simulate-remote`` (or
+    ``--fault``) each store is served through a simulated manufacturer
+    download site wrapped in the full resilience stack — seeded-backoff
+    retries, circuit breaker, offline mirror, fetch cache — so the
+    toolchain's behaviour under network failure is reproducible from the
+    command line.
+    """
+    from .modellib import standard_repository
+    from .repository import (
+        FaultPlan,
+        ModelRepository,
+        RemoteSimStore,
+        resilient_stack,
+    )
+
+    repo = standard_repository(*(args.include or []))
+    if not (args.simulate_remote or args.fault):
+        return repo
+    mirror_root = None if args.no_mirror else args.mirror_dir
+    stores = []
+    for i, store in enumerate(repo.stores):
+        plan = FaultPlan.parse(args.fault) if args.fault else None
+        remote = RemoteSimStore(
+            store, host=f"models{i}.xpdl.example", faults=plan
+        )
+        mirror_dir = (
+            os.path.join(mirror_root, f"store{i}") if mirror_root else None
+        )
+        stores.append(
+            resilient_stack(
+                remote, attempts=args.retry_attempts, mirror_dir=mirror_dir
+            )
+        )
+    return ModelRepository(stores)
+
+
 def _session(args) -> ToolchainSession:
-    return ToolchainSession(include=tuple(args.include or []))
+    return ToolchainSession(_repository(args))
 
 
 def _print_diagnostics(session: ToolchainSession) -> None:
@@ -113,12 +156,12 @@ def cmd_build(args) -> int:
     sink = DiagnosticSink()
     cache_dir = None if args.no_cache else args.cache_dir
     report = run_batch(
+        repository=_repository(args),
         identifiers=tuple(args.identifiers or ()),
         jobs=args.jobs,
         cache_dir=cache_dir,
         out_dir=args.out_dir,
         keep_all=args.keep_all,
-        include=tuple(args.include or []),
         observer=observer,
         sink=sink,
     )
@@ -184,6 +227,104 @@ def cmd_cache(args) -> int:
         f"{len(problems)} problem(s)"
     )
     return 1 if problems else 0
+
+
+def cmd_repo(args) -> int:
+    """Distributed-repository resilience tools (``xpdl repo ...``).
+
+    ``stats``  — index summary, per-store health (fetches, retries,
+    breaker state, mirror contents) and the ``repo.*`` counters.
+    ``mirror`` — warm the offline mirror: fetch every descriptor through
+    the resilience stack so a later run with a dead remote degrades to
+    last-known-good copies (implies ``--simulate-remote``).
+    ``check``  — fetch every indexed descriptor once and report typed
+    failures; exits 1 when any descriptor is unreachable.
+    """
+    from .diagnostics import ResolutionError, TransientFetchError
+
+    if args.action == "mirror" and not (args.simulate_remote or args.fault):
+        args.simulate_remote = True  # mirroring needs the resilience stack
+    observer = get_observer()
+    if not observer.enabled:
+        observer = Observer()
+    with use_observer(observer):
+        session = _session(args)
+        repo = session.repository
+        index = repo.index(session.sink)
+
+        if args.action == "stats":
+            stats = repo.stats()
+            print(f"stores:      {stats['stores']}")
+            print(f"descriptors: {stats['descriptors']}")
+            print(f"loaded:      {stats['loaded']}")
+            for row in repo.store_stats():
+                url = row.pop("url")
+                detail = "  ".join(f"{k}={v}" for k, v in sorted(row.items()))
+                print(f"  {url}")
+                if detail:
+                    print(f"      {detail}")
+            counters = observer.counters_with_prefix("repo.")
+            if counters:
+                print("counters:")
+                for name, total in counters.items():
+                    print(f"  {name:34s} {total}")
+            _print_diagnostics(session)
+            return 0
+
+        if args.action == "mirror":
+            # Indexing fetched every descriptor through the stack, which
+            # write-through-populated the mirror; report what it holds.
+            from .repository import OfflineMirrorStore, iter_store_chain
+
+            entries = total_bytes = stored = 0
+            roots = []
+            for store in repo.stores:
+                for layer in iter_store_chain(store):
+                    if isinstance(layer, OfflineMirrorStore):
+                        s = layer.stats()
+                        entries += s["entries"]
+                        total_bytes += s["bytes"]
+                        stored += s["mirror_stores"]
+                        roots.append(s["path"])
+            _print_diagnostics(session)
+            if not roots:
+                print(
+                    "xpdl repo mirror: no offline mirror in the store stack "
+                    "(use --mirror-dir)",
+                    file=sys.stderr,
+                )
+                return 2
+            print(
+                f"mirror: {entries} descriptor(s), {total_bytes} bytes "
+                f"({stored} newly stored) under "
+                + ", ".join(sorted(set(os.path.dirname(r) or r for r in roots)))
+            )
+            return 1 if session.sink.has_errors() else 0
+
+        # check: one real fetch per indexed descriptor, typed accounting.
+        ok = transient = permanent = 0
+        for ident in sorted(index):
+            entry = index[ident]
+            try:
+                entry.store.fetch(entry.path)
+                ok += 1
+            except TransientFetchError as exc:
+                transient += 1
+                print(f"{ident}: transient: {exc}", file=sys.stderr)
+            except ResolutionError as exc:
+                permanent += 1
+                print(f"{ident}: not found: {exc}", file=sys.stderr)
+        _print_diagnostics(session)
+        print(
+            f"checked {len(index)} descriptor(s): {ok} ok, "
+            f"{transient} transient failure(s), {permanent} missing"
+        )
+        if not index and repo.stores:
+            # Stores are configured but nothing indexed: every one of them
+            # was unreachable (diagnosed above as XPDL0202).
+            print("xpdl repo check: nothing indexed", file=sys.stderr)
+            return 1
+        return 1 if (transient or permanent or session.sink.has_errors()) else 0
 
 
 def cmd_doctor(args) -> int:
@@ -469,7 +610,7 @@ def cmd_stats(args) -> int:
     if not observer.enabled:
         observer = Observer()  # stats always observes, --trace or not
     with use_observer(observer):
-        session = ToolchainSession(include=tuple(args.include or []))
+        session = _session(args)
         identifiers = args.identifiers or list(PAPER_SYSTEMS)
         index = session.repository.index()
         for ident in identifiers:
@@ -521,6 +662,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         metavar="FILE",
         help="write the JSON-lines event stream to FILE (implies --trace)",
+    )
+    resil = parser.add_argument_group(
+        "distributed-repository resilience",
+        "serve the model search path through a simulated remote store with "
+        "retries, a circuit breaker and an offline mirror",
+    )
+    resil.add_argument(
+        "--simulate-remote",
+        action="store_true",
+        help="wrap every store in a simulated manufacturer download site "
+        "plus the resilience stack",
+    )
+    resil.add_argument(
+        "--fault",
+        metavar="SPEC",
+        help="deterministic fault plan for the simulated remote "
+        "(none | dead | fail:K | every:K | slow-fail:N[:FACTOR]; "
+        "per-path rules as PATTERN=SPEC;...); implies --simulate-remote",
+    )
+    resil.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="fetch attempts per descriptor before giving up (default 3)",
+    )
+    resil.add_argument(
+        "--mirror-dir",
+        default=os.path.join(".xpdl-cache", "mirror"),
+        metavar="DIR",
+        help="offline mirror root (default .xpdl-cache/mirror)",
+    )
+    resil.add_argument(
+        "--no-mirror",
+        action="store_true",
+        help="disable the offline mirror layer",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -605,6 +782,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent stage cache directory (default: .xpdl-cache)",
     )
     p.set_defaults(fn=cmd_cache)
+
+    p = sub.add_parser(
+        "repo",
+        help="distributed-repository resilience: stats, offline mirror, "
+        "fetch health check",
+    )
+    p.add_argument("action", choices=("stats", "mirror", "check"))
+    p.set_defaults(fn=cmd_repo)
 
     p = sub.add_parser(
         "doctor",

@@ -16,6 +16,7 @@ from .diagnostic import (
     ParseError,
     SchemaError,
     ResolutionError,
+    TransientFetchError,
     CompositionError,
     ConstraintError,
     UnitError,
@@ -35,6 +36,7 @@ __all__ = [
     "ParseError",
     "SchemaError",
     "ResolutionError",
+    "TransientFetchError",
     "CompositionError",
     "ConstraintError",
     "UnitError",

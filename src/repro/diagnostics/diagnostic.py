@@ -77,7 +77,24 @@ class SchemaError(XpdlError):
 
 
 class ResolutionError(XpdlError):
-    """A referenced model name/id could not be resolved in the repository."""
+    """A referenced model name/id could not be resolved in the repository.
+
+    Permanent by definition: the repository was reachable and answered
+    "no such descriptor".  Retrying cannot help; contrast
+    :class:`TransientFetchError`.
+    """
+
+
+class TransientFetchError(XpdlError):
+    """A descriptor fetch failed for a retryable, non-semantic reason.
+
+    Models the network half of the paper's distributed repository: a
+    manufacturer download site timing out or refusing a connection says
+    nothing about whether the descriptor exists.  Resilient stores
+    (:class:`~repro.repository.RetryingStore` and friends) retry or degrade
+    on this type only; a :class:`ResolutionError` (permanent not-found)
+    propagates immediately.
+    """
 
 
 class CompositionError(XpdlError):

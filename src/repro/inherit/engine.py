@@ -19,7 +19,13 @@ tree:
 
 from __future__ import annotations
 
-from ..diagnostics import CompositionError, DiagnosticSink, ResolutionError, SourceSpan
+from ..diagnostics import (
+    CompositionError,
+    DiagnosticSink,
+    ResolutionError,
+    SourceSpan,
+    TransientFetchError,
+)
 from ..model import ModelElement
 from ..repository import ModelRepository
 
@@ -138,6 +144,18 @@ class InheritanceEngine:
                 continue
             try:
                 model = self.repository.load_model(cur, sink)
+            except TransientFetchError as exc:
+                # The descriptor exists but could not be fetched right now:
+                # degrade like an opaque root, but say why — this is a
+                # network problem, not a category tag.
+                parents[cur] = ()
+                sink.warning(
+                    "XPDL0301",
+                    f"supertype {cur!r} could not be fetched (transient "
+                    f"failure): {exc}; treated as opaque",
+                    SourceSpan.unknown(cur),
+                )
+                continue
             except ResolutionError:
                 # Unresolvable supertype: treat as a root with a warning;
                 # e.g. 'Nvidia_GPU' may be a category without a descriptor.
@@ -168,8 +186,8 @@ class InheritanceEngine:
         for type_name in reversed(order):
             try:
                 model = self.repository.load_model(type_name, sink)
-            except ResolutionError:
-                continue  # opaque supertype, already warned
+            except (ResolutionError, TransientFetchError):
+                continue  # opaque/unreachable supertype, already warned
             if merged is None:
                 merged = model.clone()
             else:

@@ -90,6 +90,15 @@ class Observer:
     def counter(self, name: str) -> int:
         return self.counters.get(name, 0)
 
+    def counters_with_prefix(self, prefix: str) -> dict[str, int]:
+        """Counter totals under one namespace (e.g. ``repo.`` for the
+        distributed-repository fetch/retry/breaker/mirror activity)."""
+        return {
+            name: total
+            for name, total in sorted(self.counters.items())
+            if name.startswith(prefix)
+        }
+
     # -- marks -------------------------------------------------------------
     def mark(self, name: str, **fields) -> None:
         self.events.append(Event("mark", name, self.now(), fields))

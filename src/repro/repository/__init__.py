@@ -1,14 +1,43 @@
-"""Distributed XPDL model repository: stores, index, recursive loading."""
+"""Distributed XPDL model repository: stores, index, recursive loading.
 
+Fetch failures are typed — :class:`~repro.diagnostics.TransientFetchError`
+(retryable) vs :class:`~repro.diagnostics.ResolutionError` (permanent) —
+and the resilience wrappers (:class:`RetryingStore`,
+:class:`CircuitBreakerStore`, :class:`OfflineMirrorStore`,
+:class:`CachingStore`; composed by :func:`resilient_stack`) make the
+paper's "download from manufacturer web sites" scenario production-shaped:
+bounded backoff retries, fail-fast on dead remotes, graceful degradation
+to a persisted last-known-good mirror.  Deterministic fault scripting
+lives in :mod:`repro.repository.faultsim`.
+"""
+
+from .faultsim import (
+    AlwaysFail,
+    FailEvery,
+    FailKTimes,
+    FaultOutcome,
+    FaultPlan,
+    FaultSchedule,
+    LISTING_PATH,
+    NoFaults,
+    SlowThenFail,
+)
 from .store import (
     CachingStore,
+    CircuitBreakerStore,
+    DEFAULT_MIRROR_DIR,
     DescriptorStore,
     FetchLog,
     LocalDirStore,
     MemoryStore,
+    MirrorIndex,
+    OfflineMirrorStore,
     RemoteSimStore,
     RetryingStore,
+    StoreNotice,
     XPDL_SUFFIX,
+    iter_store_chain,
+    resilient_stack,
     store_from_paths,
 )
 from .repository import (
@@ -19,14 +48,30 @@ from .repository import (
 )
 
 __all__ = [
+    "AlwaysFail",
     "CachingStore",
+    "CircuitBreakerStore",
+    "DEFAULT_MIRROR_DIR",
     "DescriptorStore",
+    "FailEvery",
+    "FailKTimes",
+    "FaultOutcome",
+    "FaultPlan",
+    "FaultSchedule",
     "FetchLog",
+    "LISTING_PATH",
     "LocalDirStore",
     "MemoryStore",
+    "MirrorIndex",
+    "NoFaults",
+    "OfflineMirrorStore",
     "RemoteSimStore",
     "RetryingStore",
+    "SlowThenFail",
+    "StoreNotice",
     "XPDL_SUFFIX",
+    "iter_store_chain",
+    "resilient_stack",
     "store_from_paths",
     "IndexEntry",
     "LoadedModel",

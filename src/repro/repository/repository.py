@@ -23,12 +23,13 @@ from ..diagnostics import (
     DiagnosticSink,
     ResolutionError,
     SourceSpan,
+    TransientFetchError,
 )
 from ..model import ModelElement, from_document
 from ..obs import get_observer
 from ..schema import SchemaValidator
 from ..xpdlxml import parse_xml
-from .store import DescriptorStore, MemoryStore
+from .store import DescriptorStore, MemoryStore, iter_store_chain
 
 #: Attributes whose value references another descriptor by identifier.
 REFERENCE_ATTRS = ("type", "mb", "instruction_set", "power_domain")
@@ -43,12 +44,19 @@ STRUCTURAL_REFERENCE_ATTRS = ("type",)
 
 @dataclass(slots=True)
 class IndexEntry:
-    """Where one descriptor lives and what it defines."""
+    """Where one descriptor lives and what it defines.
+
+    ``text`` keeps the descriptor body the indexer already downloaded, so
+    :meth:`ModelRepository.load` never pays a second (possibly remote,
+    possibly failing) fetch for it; :meth:`ModelRepository.invalidate`
+    drops the index and therefore the kept texts.
+    """
 
     identifier: str
     path: str
     store: DescriptorStore
     root_tag: str
+    text: str | None = field(default=None, repr=False)
 
 
 @dataclass
@@ -105,11 +113,42 @@ class ModelRepository:
         sink = sink if sink is not None else DiagnosticSink()
         index: dict[str, IndexEntry] = {}
         for store in self.stores:
-            for path in store.list_paths():
+            try:
+                paths = store.list_paths()
+            except TransientFetchError as exc:
+                obs.count("repo.index.unreachable_stores")
+                sink.warning(
+                    "XPDL0202",
+                    f"store {store.url} unreachable while indexing: {exc}",
+                    SourceSpan.unknown(store.url),
+                    "its descriptors are missing from this index; retry, or "
+                    "warm an offline mirror while the store is reachable",
+                )
+                continue
+            for path in paths:
                 try:
                     text = store.fetch(path)
-                except ResolutionError:
-                    continue  # transient failure during indexing: skip
+                except TransientFetchError as exc:
+                    obs.count("repo.index.fetch_failures")
+                    sink.warning(
+                        "XPDL0203",
+                        f"could not fetch descriptor {path} from "
+                        f"{store.url}: {exc}",
+                        SourceSpan.unknown(path),
+                        "the descriptor is omitted from this index; "
+                        "references to it will not resolve",
+                    )
+                    continue
+                except ResolutionError as exc:
+                    # Listed but gone: permanent, but still worth surfacing —
+                    # a vanished descriptor is never silently dropped.
+                    sink.warning(
+                        "XPDL0203",
+                        f"descriptor {path} listed by {store.url} but not "
+                        f"fetchable: {exc}",
+                        SourceSpan.unknown(path),
+                    )
+                    continue
                 ident, tag = self._root_identifier(text, path)
                 if ident is None:
                     sink.warning(
@@ -129,8 +168,9 @@ class ModelRepository:
                         SourceSpan.unknown(path),
                     )
                     continue
-                index[ident] = IndexEntry(ident, path, store, tag)
+                index[ident] = IndexEntry(ident, path, store, tag, text)
         self._index = index
+        self._drain_store_notices(sink)
         if obs.enabled:
             obs.count("repo.index.builds")
             obs.count("repo.index.descriptors", len(index))
@@ -163,7 +203,10 @@ class ModelRepository:
             obs.count("repo.load.cached")
             return self._models[identifier]
         sink = sink if sink is not None else DiagnosticSink()
-        entry = self.index().get(identifier)
+        # Pass the sink through: if this load triggers the lazy first index
+        # build, its diagnostics (unreachable stores, mirror degradation)
+        # must land here, not in a throwaway sink.
+        entry = self.index(sink).get(identifier)
         if entry is None:
             close = [i for i in self.index() if i.lower() == identifier.lower()]
             hint = f"; did you mean {close[0]!r}?" if close else ""
@@ -171,7 +214,16 @@ class ModelRepository:
                 f"no descriptor defines {identifier!r} in the repository{hint}",
                 sink.diagnostics,
             )
-        text = entry.store.fetch(entry.path)
+        if entry.text is not None:
+            # The indexer already downloaded this descriptor; loading it
+            # again must not pay (or risk) a second remote fetch.
+            text = entry.text
+            obs.count("repo.load.from_index")
+        else:
+            try:
+                text = entry.store.fetch(entry.path)
+            finally:
+                self._drain_store_notices(sink)
         obs.count("repo.load.parsed")
         doc = parse_xml(text, source_name=f"{entry.store.url}{entry.path}", sink=sink)
         model = from_document(doc)
@@ -250,6 +302,19 @@ class ModelRepository:
                 return
             try:
                 lm = self.load(ident, sink)
+            except TransientFetchError as exc:
+                # A flaky fetch is NOT a category tag: surface it loudly so
+                # the degraded composition is never mistaken for a clean one.
+                obs.count("repo.refs.transient")
+                sink.warning(
+                    "XPDL0212",
+                    f"reference {ident!r} could not be fetched "
+                    f"(transient failure): {exc}",
+                    SourceSpan.unknown(ident),
+                    "the composition may be incomplete; retry, or warm the "
+                    "offline mirror while the store is reachable",
+                )
+                return
             except ResolutionError:
                 obs.count("repo.refs.unresolved")
                 sink.note(
@@ -284,19 +349,44 @@ class ModelRepository:
                 self._models.pop(ident, None)
         self._index = None
 
-    def source_text(self, identifier: str) -> str | None:
+    def source_text(
+        self, identifier: str, *, sink: DiagnosticSink | None = None
+    ) -> str | None:
         """Current on-store text of the descriptor defining ``identifier``.
 
         Bypasses the parsed-model cache — this is what cache fingerprinting
-        uses to notice edits underneath a warm repository.
+        uses to notice edits underneath a warm repository.  A *transient*
+        fetch failure falls back to the text the indexer downloaded (the
+        last-known-good copy), so an unreachable remote — or a mirror
+        serving identical bytes — never poisons stage-cache fingerprints;
+        only a permanent not-found reads as missing.  With ``sink`` given,
+        store notices (mirror degradation etc.) are surfaced on it.
         """
-        entry = self.index().get(identifier)
+        entry = self.index(sink).get(identifier)
         if entry is None:
             return None
         try:
             return entry.store.fetch(entry.path)
+        except TransientFetchError:
+            get_observer().count("repo.source_text.degraded")
+            return entry.text
         except ResolutionError:
             return None
+        finally:
+            if sink is not None:
+                self._drain_store_notices(sink)
+
+    # -- store notices ---------------------------------------------------------
+    def _drain_store_notices(self, sink: DiagnosticSink) -> None:
+        """Surface out-of-band store conditions (mirror serves, breaker
+        trips) as diagnostics on ``sink``."""
+        for store in self.stores:
+            for notice in store.drain_notices():
+                span = SourceSpan.unknown(notice.path or store.url)
+                if notice.warning:
+                    sink.warning("XPDL0204", notice.message, span)
+                else:
+                    sink.note("XPDL0204", notice.message, span)
 
     # -- statistics -----------------------------------------------------------------
     def stats(self) -> dict[str, int]:
@@ -306,3 +396,14 @@ class ModelRepository:
             "descriptors": len(idx),
             "loaded": len(self._models),
         }
+
+    def store_stats(self) -> list[dict]:
+        """Per-store health rows (resilience wrappers unrolled), for
+        ``xpdl repo stats``."""
+        rows: list[dict] = []
+        for store in self.stores:
+            for layer in iter_store_chain(store):
+                stats = layer.stats()
+                if stats or layer is store:
+                    rows.append({"url": layer.url, **stats})
+        return rows

@@ -289,15 +289,27 @@ class ToolchainSession:
         return value
 
     def _fingerprint(self, sources: tuple[str, ...], options_key: Any) -> str:
-        """SHA-256 over the current texts of ``sources`` plus the options."""
+        """SHA-256 over the current texts of ``sources`` plus the options.
+
+        ``source_text`` degrades to the last-known-good copy on *transient*
+        fetch failures (and an offline mirror serves identical bytes), so a
+        flaky or dead remote never poisons the fingerprint: cached stage
+        artifacts stay valid exactly when the descriptor texts they consumed
+        are unchanged.  Store notices raised along the way (mirror serves,
+        breaker trips) surface on this session's sink.
+        """
         h = hashlib.sha256()
         h.update(repr(options_key).encode("utf-8"))
-        for ident in sources:
-            text = self.repository.source_text(ident)
-            h.update(b"\0")
-            h.update(ident.encode("utf-8"))
-            h.update(b"\0")
-            h.update(b"<missing>" if text is None else text.encode("utf-8"))
+        # Fingerprinting happens on the cache-hit fast path, outside any
+        # stage scope; activate the session observer so store activity
+        # (mirror hits, degraded fetches) is still accounted.
+        with use_observer(self.observer):
+            for ident in sources:
+                text = self.repository.source_text(ident, sink=self.sink)
+                h.update(b"\0")
+                h.update(ident.encode("utf-8"))
+                h.update(b"\0")
+                h.update(b"<missing>" if text is None else text.encode("utf-8"))
         return h.hexdigest()
 
     def invalidate(self) -> None:

@@ -153,3 +153,117 @@ class TestDiscoverAndPdl:
         code, out, _ = run_cli(capsys, "-I", str(tmp_path), "list")
         assert code == 0
         assert "ExtraChip" in out
+
+
+class TestRepoResilience:
+    """xpdl repo stats|mirror|check and the --simulate-remote/--fault flags."""
+
+    def test_repo_stats_plain(self, capsys):
+        code, out, _ = run_cli(capsys, "repo", "stats")
+        assert code == 0
+        assert "descriptors:" in out
+        assert "file:" in out  # local search-path store listed
+
+    def test_repo_stats_with_faults_shows_layers_and_counters(
+        self, capsys, tmp_path
+    ):
+        code, out, _ = run_cli(
+            capsys,
+            "--fault",
+            "fail:1",
+            "--mirror-dir",
+            str(tmp_path / "mirror"),
+            "repo",
+            "stats",
+        )
+        assert code == 0
+        for layer in ("cache(", "mirror(", "breaker(", "retry("):
+            assert layer in out
+        assert "repo.fetch.transient" in out
+        assert "repo.fetch.retries" in out
+
+    def test_repo_mirror_then_dead_remote_composes(self, capsys, tmp_path):
+        """Warm the mirror, kill the remote: compose still succeeds, with a
+        WARNING — the dead-remote acceptance criterion."""
+        mirror = str(tmp_path / "mirror")
+        code, out, _ = run_cli(
+            capsys, "--simulate-remote", "--mirror-dir", mirror, "repo", "mirror"
+        )
+        assert code == 0
+        assert "descriptor(s)" in out
+
+        out_file = str(tmp_path / "liu.xir")
+        code, out, err = run_cli(
+            capsys,
+            "--fault",
+            "dead",
+            "--mirror-dir",
+            mirror,
+            "compose",
+            "liu_gpu_server",
+            "-o",
+            out_file,
+        )
+        assert code == 0, err
+        assert os.path.exists(out_file)
+        assert "XPDL0204" in err  # mirror degradation surfaced, loudly
+
+    def test_repo_mirror_without_mirror_layer_fails(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "--simulate-remote", "--no-mirror", "repo", "mirror"
+        )
+        assert code == 2
+        assert "no offline mirror" in err
+
+    def test_repo_check_clean(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys,
+            "--simulate-remote",
+            "--mirror-dir",
+            str(tmp_path / "mirror"),
+            "repo",
+            "check",
+        )
+        assert code == 0
+        assert "0 transient failure(s), 0 missing" in out
+
+    def test_repo_check_dead_cold_mirror_exits_nonzero(self, capsys, tmp_path):
+        code, out, err = run_cli(
+            capsys,
+            "--fault",
+            "dead",
+            "--mirror-dir",
+            str(tmp_path / "mirror"),
+            "repo",
+            "check",
+        )
+        assert code == 1
+        assert "XPDL0202" in err  # unreachable store named while indexing
+
+    def test_fault_injected_compose_matches_clean_output(self, capsys, tmp_path):
+        """fail-twice-then-succeed on every path: byte-identical IR."""
+        clean = str(tmp_path / "clean.xir")
+        faulty = str(tmp_path / "faulty.xir")
+        code, _, _ = run_cli(capsys, "compose", "myriad_server", "-o", clean)
+        assert code == 0
+        code, _, err = run_cli(
+            capsys,
+            "--fault",
+            "fail:2",
+            "--retry-attempts",
+            "3",
+            "--mirror-dir",
+            str(tmp_path / "mirror"),
+            "compose",
+            "myriad_server",
+            "-o",
+            faulty,
+        )
+        assert code == 0, err
+        with open(clean, "rb") as f1, open(faulty, "rb") as f2:
+            assert f1.read() == f2.read()
+
+    def test_bad_fault_spec_rejected(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "--fault", "bogus", "repo", "stats")
+        assert code == 2
+        assert "bad fault schedule" in err

@@ -165,12 +165,29 @@ class TestRetryingStore:
         assert "A" in store.fetch("a.xpdl")
         assert store.retries >= 1
 
-    def test_persistent_failure_propagates(self):
+    def test_permanent_not_found_is_not_retried(self):
+        """A MemoryStore miss is permanent: no retries, no backoff —
+        retrying a not-found ``attempts`` times was the original bug."""
         backing = MemoryStore({})
         store = RetryingStore(backing, attempts=3)
         with pytest.raises(ResolutionError):
             store.fetch("missing.xpdl")
+        assert store.retries == 0
+        assert store.backoff_s == 0.0
+
+    def test_transient_failures_consume_retries_and_backoff(self):
+        from repro.diagnostics import TransientFetchError
+        from repro.repository import AlwaysFail, FaultPlan
+
+        dead = RemoteSimStore(
+            MemoryStore({"a.xpdl": "<cpu name='A'/>"}),
+            faults=FaultPlan(default=AlwaysFail()),
+        )
+        store = RetryingStore(dead, attempts=3)
+        with pytest.raises(TransientFetchError):
+            store.fetch("a.xpdl")
         assert store.retries == 2  # attempts-1 retries consumed
+        assert store.backoff_s > 0.0  # accounted, never slept
 
     def test_attempts_validated(self):
         with pytest.raises(ValueError):

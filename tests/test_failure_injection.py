@@ -211,3 +211,152 @@ def test_energy_accountant_rejects_off_phase():
     acct = EnergyAccountant(psm, instrs, initial_state="ON")
     with pytest.raises(XpdlError):
         acct.run([Phase("dark", {"op": 10}, state="OFF")])
+
+
+# ---------------------------------------------------------------------------
+# scripted remote faults x resilience layers (tentpole acceptance matrix)
+# ---------------------------------------------------------------------------
+
+FAULT_CORPUS = {
+    "sys.xpdl": (
+        "<system id='FSys'><node><cpu id='c0' type='FCpu'/></node></system>"
+    ),
+    "cpu.xpdl": (
+        "<cpu name='FCpu' extends='FBase'><power_model type='FPower'/></cpu>"
+    ),
+    "base.xpdl": (
+        "<cpu name='FBase'><group prefix='core' quantity='2'>"
+        "<core frequency='1' frequency_unit='GHz'/></group></cpu>"
+    ),
+    "power.xpdl": "<power_model name='FPower'/>",
+}
+
+
+def _clean_closure_texts():
+    from repro.repository import MemoryStore, ModelRepository, RemoteSimStore
+
+    repo = ModelRepository([RemoteSimStore(MemoryStore(dict(FAULT_CORPUS)))])
+    return {
+        ident: lm.text for ident, lm in repo.load_closure("FSys").items()
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    k=st.integers(0, 4),
+    attempts=st.integers(1, 4),
+    layer=st.sampled_from(["retry", "breaker", "mirror"]),
+)
+def test_fault_matrix_recovers_or_diagnoses(k, attempts, layer):
+    """Every (schedule x resilience-layer) cell either recovers to the
+    byte-identical closure or surfaces WARNING diagnostics — never silent
+    corruption, never an unexplained empty repository."""
+    import tempfile
+
+    from repro.repository import (
+        CircuitBreakerStore,
+        FailKTimes,
+        FaultPlan,
+        MemoryStore,
+        ModelRepository,
+        OfflineMirrorStore,
+        RemoteSimStore,
+        RetryingStore,
+    )
+
+    with tempfile.TemporaryDirectory() as mirror_dir:
+        if layer == "mirror":
+            # Warm the mirror while the remote is healthy.
+            warm = OfflineMirrorStore(
+                RemoteSimStore(MemoryStore(dict(FAULT_CORPUS))), mirror_dir
+            )
+            for p in warm.list_paths():
+                warm.fetch(p)
+
+        remote = RemoteSimStore(
+            MemoryStore(dict(FAULT_CORPUS)),
+            faults=FaultPlan(default=FailKTimes(k)),
+        )
+        store = RetryingStore(remote, attempts=attempts)
+        if layer == "breaker":
+            store = CircuitBreakerStore(store, failure_threshold=3)
+        elif layer == "mirror":
+            store = OfflineMirrorStore(store, mirror_dir)
+
+        repo = ModelRepository([store])
+        sink = DiagnosticSink()
+        repo.index(sink)
+        closure = repo.load_closure("FSys", sink) if "FSys" in repo else {}
+
+        recovered = attempts > k or layer == "mirror"
+        if recovered:
+            texts = {ident: lm.text for ident, lm in closure.items()}
+            assert texts == _clean_closure_texts()
+            assert not sink.has_errors()
+        else:
+            # The listing itself failed: the degradation must be loud.
+            assert any(
+                d.code in ("XPDL0202", "XPDL0203", "XPDL0212") for d in sink
+            )
+        assert not sink.has_errors()  # transients are warnings, not errors
+
+
+def test_fail_twice_everywhere_ir_byte_identical(tmp_path):
+    """The headline acceptance criterion: fail-twice-then-succeed on every
+    path yields an IR byte-identical to the no-fault build."""
+    from repro.composer import Composer
+    from repro.repository import (
+        FaultPlan,
+        MemoryStore,
+        ModelRepository,
+        RemoteSimStore,
+        resilient_stack,
+    )
+
+    clean = ModelRepository([RemoteSimStore(MemoryStore(dict(FAULT_CORPUS)))])
+    ir_clean = IRModel.from_model(Composer(clean).compose("FSys").root).to_bytes()
+
+    faulty = ModelRepository(
+        [
+            resilient_stack(
+                RemoteSimStore(
+                    MemoryStore(dict(FAULT_CORPUS)),
+                    faults=FaultPlan.parse("fail:2"),
+                ),
+                attempts=3,
+                mirror_dir=str(tmp_path),
+            )
+        ]
+    )
+    composed = Composer(faulty).compose("FSys")
+    assert not composed.sink.has_errors()
+    assert IRModel.from_model(composed.root).to_bytes() == ir_clean
+
+
+def test_dead_remote_cold_mirror_is_loud_not_wrong(tmp_path):
+    """No mirror, no luck: the repository reads as empty with a WARNING
+    naming the store — never a partial/garbled index."""
+    from repro.repository import (
+        FaultPlan,
+        MemoryStore,
+        ModelRepository,
+        RemoteSimStore,
+        resilient_stack,
+    )
+
+    dead = ModelRepository(
+        [
+            resilient_stack(
+                RemoteSimStore(
+                    MemoryStore(dict(FAULT_CORPUS)),
+                    faults=FaultPlan.parse("dead"),
+                ),
+                attempts=2,
+                mirror_dir=str(tmp_path),  # cold: nothing mirrored yet
+            )
+        ]
+    )
+    sink = DiagnosticSink()
+    assert dead.index(sink) == {}
+    assert any(d.code == "XPDL0202" for d in sink)
+    assert not sink.has_errors()

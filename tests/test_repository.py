@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.diagnostics import DiagnosticSink, ResolutionError
+from repro.diagnostics import DiagnosticSink, ResolutionError, TransientFetchError
 from repro.repository import (
     CachingStore,
     LocalDirStore,
@@ -44,7 +44,9 @@ class TestStores:
         backing = MemoryStore({"a.xpdl": "<cpu name='A'/>"})
         remote = RemoteSimStore(backing, fail_every=2)
         remote.fetch("a.xpdl")
-        with pytest.raises(ResolutionError):
+        # Injected failures are *transient* (retryable), never a permanent
+        # not-found: the descriptor exists, the network hiccupped.
+        with pytest.raises(TransientFetchError):
             remote.fetch("a.xpdl")
         remote.fetch("a.xpdl")  # third call succeeds again
         assert remote.log.failures == 1
@@ -164,3 +166,68 @@ class TestClosure:
     def test_stats(self, repo):
         stats = repo.stats()
         assert stats["descriptors"] >= 40
+
+
+class TestIndexResilience:
+    """Satellites: indexing surfaces fetch failures instead of swallowing
+    them, and loading never re-fetches text the indexer downloaded."""
+
+    def test_unreachable_store_warned_with_url(self):
+        from repro.repository import AlwaysFail, FaultPlan
+
+        dead = RemoteSimStore(
+            MemoryStore({"a.xpdl": "<cpu name='A'/>"}),
+            faults=FaultPlan(default=AlwaysFail()),
+        )
+        repo = ModelRepository([dead])
+        sink = DiagnosticSink()
+        assert repo.index(sink) == {}
+        warn = [d for d in sink if d.code == "XPDL0202"]
+        assert len(warn) == 1
+        assert dead.url in warn[0].message
+
+    def test_per_path_fetch_failure_warned_not_swallowed(self):
+        from repro.repository import FaultPlan, FailKTimes
+
+        plan = FaultPlan()
+        plan.add("b.xpdl", FailKTimes(99))
+        flaky = RemoteSimStore(
+            MemoryStore(
+                {"a.xpdl": "<cpu name='A'/>", "b.xpdl": "<cpu name='B'/>"}
+            ),
+            faults=plan,
+        )
+        repo = ModelRepository([flaky])
+        sink = DiagnosticSink()
+        index = repo.index(sink)
+        assert set(index) == {"A"}  # 'b' omitted, loudly
+        warn = [d for d in sink if d.code == "XPDL0203"]
+        assert len(warn) == 1
+        assert "b.xpdl" in warn[0].message
+
+    def test_load_reuses_indexed_text(self):
+        """The indexer already fetched every descriptor; load() must not
+        pay (or risk) a second remote fetch for the same path."""
+        remote = RemoteSimStore(
+            MemoryStore(
+                {"a.xpdl": "<cpu name='A'/>", "b.xpdl": "<cpu name='B'/>"}
+            )
+        )
+        repo = ModelRepository([remote])
+        repo.index()
+        fetches_after_index = remote.log.fetches
+        repo.load("A")
+        repo.load("B")
+        assert remote.log.fetches == fetches_after_index
+
+    def test_load_after_flaky_index_needs_no_luck(self):
+        """Even a remote that now always fails serves loads, because the
+        index kept the downloaded texts."""
+        from repro.repository import AlwaysFail, FaultPlan
+
+        backing = MemoryStore({"a.xpdl": "<cpu name='A'/>"})
+        remote = RemoteSimStore(backing)
+        repo = ModelRepository([remote])
+        repo.index()
+        remote.faults = FaultPlan(default=AlwaysFail())  # remote dies
+        assert repo.load("A").model.attrs["name"] == "A"

@@ -416,3 +416,52 @@ class TestDoctorStage:
         assert obs.counters["toolchain.diskcache.hits.doctor"] == 1
         assert r2.findings == r1.findings
         assert r2.rules_run == r1.rules_run
+
+
+class TestFingerprintResilience:
+    """Transient fetch failures and mirror serves must not poison stage
+    fingerprints: identical descriptor bytes mean a cache hit, full stop."""
+
+    def _stacked_session(self, tmp_path, *, mirror: bool):
+        from repro.repository import RemoteSimStore, resilient_stack
+
+        backing = MemoryStore({"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM})
+        remote = RemoteSimStore(backing)
+        stack = resilient_stack(
+            remote,
+            attempts=2,
+            mirror_dir=str(tmp_path / "mirror") if mirror else None,
+            cache=False,  # every fetch exercises the resilience layers
+        )
+        obs = Observer()
+        session = ToolchainSession(ModelRepository([stack]), observer=obs)
+        return session, remote, obs
+
+    def test_mirror_served_text_keeps_cache_hot(self, tmp_path):
+        from repro.repository import AlwaysFail, FaultPlan
+
+        session, remote, obs = self._stacked_session(tmp_path, mirror=True)
+        session.compose("SynthSys")
+        remote.faults = FaultPlan(default=AlwaysFail())  # remote dies
+        session.compose("SynthSys")  # mirror serves identical bytes
+        assert obs.counters["toolchain.cache.hits.compose"] == 1
+        assert obs.counters["compose.runs"] == 1
+        assert obs.counters.get("repo.mirror.hits", 0) >= 1
+
+    def test_dead_remote_without_mirror_keeps_cache_hot(self, tmp_path):
+        from repro.repository import AlwaysFail, FaultPlan
+
+        session, remote, obs = self._stacked_session(tmp_path, mirror=False)
+        session.compose("SynthSys")
+        remote.faults = FaultPlan(default=AlwaysFail())
+        session.compose("SynthSys")  # falls back to the indexed texts
+        assert obs.counters["toolchain.cache.hits.compose"] == 1
+        assert obs.counters.get("repo.source_text.degraded", 0) >= 1
+
+    def test_real_edit_still_invalidates_through_the_stack(self, tmp_path):
+        session, remote, obs = self._stacked_session(tmp_path, mirror=True)
+        session.compose("SynthSys")
+        remote.backing.put("cpu.xpdl", CPU_V2)
+        session.repository.invalidate()
+        session.compose("SynthSys")
+        assert obs.counters["compose.runs"] == 2
