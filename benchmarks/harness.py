@@ -16,6 +16,14 @@ same host — and every phase's ``norm_wall`` (wall / calibration).
 ``compare`` gates on the *normalized* warm build time against a
 committed baseline JSON, which keeps the CI regression check meaningful
 across runner generations, plus the warm hit-rate floor.
+
+Each report also carries a ``queries`` section — runtime query API
+throughput (queries/s and calibration-normalized ``norm_qps``) on the
+composed liu_gpu_server model for the paper's Sec. IV categories
+(getter, browse, by_id, path, analysis), plus the *naive* uncompiled
+path/analysis evaluators for comparison.  ``compare`` gates the
+normalized throughputs against the baseline and enforces the compiled
+engine's speedup floor over the naive evaluators.
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ import tempfile
 import time
 from typing import Any, Sequence
 
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
 
 #: Warm-cache hit-rate floor (acceptance criterion: >= 90 %).
 MIN_WARM_HIT_RATE = 0.9
@@ -41,7 +49,26 @@ MAX_REGRESS = 0.25
 #: phases are not flagged by scheduler noise alone.
 NORM_SLACK = 0.25
 
+#: Extra tolerated fraction on the query-throughput gate: microbenchmark
+#: rates are noisier than whole-build walls, so the floor is
+#: ``baseline * (1 - MAX_REGRESS - QUERY_NOISE)``.  The compiled engine
+#: beats the naive evaluators by orders of magnitude, so even this loose
+#: floor trips immediately if the engine is reverted or broken.
+QUERY_NOISE = 0.25
+
+#: The compiled engine must stay at least this much faster than the
+#: naive uncompiled evaluator (acceptance criterion: >= 5x).
+MIN_QUERY_SPEEDUP = 5.0
+
+#: The path query measured for the path/path_naive categories (the E9
+#: hot pattern: descendant axis + attribute-value predicate).
+QUERY_BENCH_PATH = "//cache[@name='L3']"
+
+#: The system the query bench runs on (2694 elements once composed).
+QUERY_BENCH_SYSTEM = "liu_gpu_server"
+
 _CALIBRATION_LOOPS = 2_000_000
+_QUERY_MIN_DURATION_S = 0.2
 
 
 def calibrate(loops: int = _CALIBRATION_LOOPS) -> float:
@@ -69,6 +96,108 @@ def git_rev() -> str:
         return "local"
     rev = out.stdout.strip()
     return rev if out.returncode == 0 and rev else "local"
+
+
+def _rate(fn, min_duration_s: float = _QUERY_MIN_DURATION_S) -> float:
+    """Calls per second of ``fn`` over at least ``min_duration_s``."""
+    fn()  # warm up (index/memo builds, plan cache)
+    n = 0
+    t0 = time.perf_counter()
+    while True:
+        fn()
+        n += 1
+        dt = time.perf_counter() - t0
+        if dt >= min_duration_s:
+            return n / dt
+
+
+def run_query_bench(
+    calibration_s: float, *, system: str = QUERY_BENCH_SYSTEM
+) -> dict[str, Any]:
+    """Measure runtime query API throughput per Sec. IV category.
+
+    Returns ``{category: {"qps", "norm_qps"}}`` plus an ``elements``
+    entry.  ``path_naive``/``analysis_naive`` run the uncompiled
+    evaluators (string re-parse + tree walk) so reports document the
+    compiled engine's speedup on the same host.
+    """
+    from repro.composer import Composer
+    from repro.ir import IRModel
+    from repro.modellib import standard_repository
+    from repro.runtime import query_all, query_all_naive, xpdl_init_from_model
+    from repro.units import POWER, read_metric
+
+    composed = Composer(standard_repository()).compose(system)
+    ctx = xpdl_init_from_model(
+        IRModel.from_model(composed.root, {"system": system})
+    )
+    gpu = ctx.by_id("gpu1")
+
+    def getter():
+        gpu.get_compute_capability()
+        gpu.get_quantity("static_power")
+
+    def browse():
+        node = ctx.root
+        for _ in range(3):
+            kids = node.children()
+            if not kids:
+                break
+            node = kids[0]
+
+    def by_id():
+        ctx.by_id("gpu1")
+
+    def path():
+        query_all(ctx, QUERY_BENCH_PATH)
+
+    def path_naive():
+        query_all_naive(ctx, QUERY_BENCH_PATH)
+
+    def analysis():
+        ctx.count_cores()
+        ctx.count_cuda_devices()
+        ctx.total_static_power()
+
+    def analysis_naive():
+        # The pre-index implementation: one full physical walk per call.
+        root = ctx.ir.root
+        sum(1 for n in ctx._physical_walk(root) if n.kind == "core")
+        cuda = 0
+        for n in ctx._physical_walk(root):
+            if n.kind in ("device", "gpu") and any(
+                c.kind == "programming_model"
+                and "cuda" in c.attrs.get("type", "").lower()
+                for c in ctx.ir.children_of(n)
+            ):
+                cuda += 1
+        total = 0.0
+        for n in ctx._physical_walk(root):
+            q = read_metric(n.attrs, "static_power", expect=POWER)
+            if q is not None:
+                total += q.magnitude
+
+    categories = {
+        "getter": getter,
+        "browse": browse,
+        "by_id": by_id,
+        "path": path,
+        "path_naive": path_naive,
+        "analysis": analysis,
+        "analysis_naive": analysis_naive,
+    }
+    measured: dict[str, Any] = {}
+    for name, fn in categories.items():
+        qps = _rate(fn)
+        measured[name] = {
+            "qps": round(qps, 1),
+            "norm_qps": round(qps * calibration_s, 3),
+        }
+    return {
+        "system": system,
+        "elements": len(ctx.ir),
+        "categories": measured,
+    }
 
 
 def _phase_dict(report: Any) -> dict[str, Any]:
@@ -139,6 +268,7 @@ def run_bench(
         "corpus": sorted(corpus),
         "ir_deterministic": ir_match,
         "phases": phases,
+        "queries": run_query_bench(calibration_s),
     }
 
 
@@ -199,6 +329,31 @@ def compare(
             f"(baseline {base_warm['norm_wall']:.3f} "
             f"+{max_regress:.0%} +{NORM_SLACK} slack)"
         )
+
+    # -- runtime query API throughput ----------------------------------
+    base_queries = (baseline.get("queries") or {}).get("categories") or {}
+    cur_queries = (current.get("queries") or {}).get("categories") or {}
+    for name, base_q in base_queries.items():
+        cur_q = cur_queries.get(name)
+        if cur_q is None:
+            problems.append(f"query bench {name!r}: missing from current report")
+            continue
+        floor = base_q["norm_qps"] * (1.0 - max_regress - QUERY_NOISE)
+        if cur_q["norm_qps"] < floor:
+            problems.append(
+                f"query bench {name!r} regressed: norm_qps "
+                f"{cur_q['norm_qps']:.3f} below floor {floor:.3f} "
+                f"(baseline {base_q['norm_qps']:.3f} "
+                f"-{max_regress + QUERY_NOISE:.0%})"
+            )
+    for fast, slow in (("path", "path_naive"), ("analysis", "analysis_naive")):
+        if fast in cur_queries and slow in cur_queries:
+            speedup = cur_queries[fast]["qps"] / max(cur_queries[slow]["qps"], 1e-9)
+            if speedup < MIN_QUERY_SPEEDUP:
+                problems.append(
+                    f"compiled {fast} query engine only {speedup:.1f}x the "
+                    f"naive evaluator (floor {MIN_QUERY_SPEEDUP:.0f}x)"
+                )
     return problems
 
 
@@ -221,4 +376,33 @@ def summarize(data: dict[str, Any]) -> str:
         "  IR deterministic across jobs: "
         + ("yes" if data.get("ir_deterministic") else "NO")
     )
+    queries = data.get("queries") or {}
+    categories = queries.get("categories") or {}
+    if categories:
+        lines.append(
+            f"  queries on {queries.get('system', '?')} "
+            f"({queries.get('elements', '?')} elements):"
+        )
+        for name in (
+            "getter",
+            "browse",
+            "by_id",
+            "path",
+            "path_naive",
+            "analysis",
+            "analysis_naive",
+        ):
+            q = categories.get(name)
+            if q is None:
+                continue
+            lines.append(
+                f"    {name:15s} {q['qps']:12.0f} queries/s  "
+                f"norm {q['norm_qps']:10.3f}"
+            )
+        for fast, slow in (("path", "path_naive"), ("analysis", "analysis_naive")):
+            if fast in categories and slow in categories:
+                speedup = categories[fast]["qps"] / max(
+                    categories[slow]["qps"], 1e-9
+                )
+                lines.append(f"    {fast} speedup over naive: {speedup:.0f}x")
     return "\n".join(lines)

@@ -13,8 +13,10 @@ interchange).  Both round-trip exactly.
 
 from __future__ import annotations
 
+import array
 import json
 import struct
+import sys
 from dataclasses import dataclass, field
 
 from ..diagnostics import QueryError
@@ -23,6 +25,10 @@ from ..obs import get_observer
 
 MAGIC = b"XPDLRT01"
 _NO_PARENT = 0xFFFFFFFF
+
+#: The bulk-decode fast path reads the record region as one u32 array;
+#: only usable when the platform's array("I") is exactly 4 bytes wide.
+_U32_ARRAY_OK = array.array("I").itemsize == 4
 
 
 @dataclass(slots=True)
@@ -54,6 +60,7 @@ class IRModel:
         self.nodes = nodes
         self.meta = dict(meta or {})
         self._by_id: dict[str, int] | None = None
+        self._index = None  # lazily built IRIndex (the IR is read-only)
 
     # -- construction -------------------------------------------------------
     @staticmethod
@@ -109,14 +116,47 @@ class IRModel:
         return self.nodes[node.parent] if node.parent is not None else None
 
     def by_id(self, ident: str) -> IRNode | None:
+        idx = self._id_table().get(ident)
+        return self.nodes[idx] if idx is not None else None
+
+    def _id_table(self) -> dict[str, int]:
+        """The id → node-index table (first occurrence wins).
+
+        Duplicate ids are resolved first-wins, but *loudly*: every
+        shadowed occurrence bumps the ``ir.id_shadowed`` counter and
+        leaves a mark naming the id and both nodes, so silent aliasing in
+        composed models is visible in ``xpdl stats`` / traces.
+        """
         if self._by_id is None:
-            self._by_id = {}
+            table: dict[str, int] = {}
+            obs = get_observer()
             for n in self.nodes:
                 nid = n.attrs.get("id")
-                if nid is not None and nid not in self._by_id:
-                    self._by_id[nid] = n.index
-        idx = self._by_id.get(ident)
-        return self.nodes[idx] if idx is not None else None
+                if nid is None:
+                    continue
+                kept = table.setdefault(nid, n.index)
+                if kept != n.index:
+                    obs.count("ir.id_shadowed")
+                    if obs.enabled:
+                        obs.mark(
+                            "ir.id_shadowed",
+                            id=nid,
+                            kept_index=kept,
+                            kept_kind=self.nodes[kept].kind,
+                            shadowed_index=n.index,
+                            shadowed_kind=n.kind,
+                        )
+            self._by_id = table
+        return self._by_id
+
+    def index(self):
+        """The compiled query index (built once; the IR never mutates, so
+        it is never invalidated)."""
+        if self._index is None:
+            from ..runtime.index import IRIndex  # late: avoids an import cycle
+
+            self._index = IRIndex(self)
+        return self._index
 
     def walk(self, start: IRNode | None = None):
         """Pre-order traversal from ``start`` (default: root)."""
@@ -198,28 +238,59 @@ class IRModel:
         pool: list[str] = []
         for _ in range(read_u32()):
             pool.append(read_str(read_u32()))
+
+        # Fast path: past the string pool the file is nothing but u32
+        # words (count, then per node kind/parent/nattrs + attr pairs), so
+        # decode the whole tail with one array copy instead of a
+        # struct.unpack_from call per word — xpdl_init sits on an
+        # application's startup path.
         nodes: list[IRNode] = []
-        count = read_u32()
-        for idx in range(count):
-            kind_idx = read_u32()
-            parent = read_u32()
-            nattrs = read_u32()
-            attrs: dict[str, str] = {}
-            for _ in range(nattrs):
-                k = pool[read_u32()]
-                v = pool[read_u32()]
-                attrs[k] = v
-            nodes.append(
-                IRNode(
-                    idx,
-                    pool[kind_idx],
-                    None if parent == _NO_PARENT else parent,
-                    attrs,
+        if _U32_ARRAY_OK:
+            tail = bytes(view[off:])
+            if len(tail) % 4:
+                raise QueryError("truncated XPDL runtime model file")
+            words = array.array("I")
+            words.frombytes(tail)
+            if sys.byteorder == "big":  # file format is little-endian
+                words.byteswap()
+            w = 1
+            for idx in range(words[0]):
+                kind_idx, parent, nattrs = words[w], words[w + 1], words[w + 2]
+                w += 3
+                attrs: dict[str, str] = {}
+                for _ in range(nattrs):
+                    attrs[pool[words[w]]] = pool[words[w + 1]]
+                    w += 2
+                nodes.append(
+                    IRNode(
+                        idx,
+                        pool[kind_idx],
+                        None if parent == _NO_PARENT else parent,
+                        attrs,
+                    )
                 )
-            )
+        else:  # pragma: no cover - exotic array("I") width
+            for idx in range(read_u32()):
+                kind_idx = read_u32()
+                parent = read_u32()
+                nattrs = read_u32()
+                attrs = {}
+                for _ in range(nattrs):
+                    k = pool[read_u32()]
+                    v = pool[read_u32()]
+                    attrs[k] = v
+                nodes.append(
+                    IRNode(
+                        idx,
+                        pool[kind_idx],
+                        None if parent == _NO_PARENT else parent,
+                        attrs,
+                    )
+                )
         for node in nodes:
             if node.parent is not None:
                 nodes[node.parent].children.append(node.index)
+        get_observer().count("ir.loads")
         return IRModel(nodes, meta)
 
     # -- JSON encoding -----------------------------------------------------------------

@@ -1,0 +1,243 @@
+"""The compiled query index over the runtime IR (paper Sec. IV).
+
+Sec. IV makes the runtime query API the hot path: adaptive applications
+introspect the light-weight model *inside* their optimization loops, so
+queries must cost near nothing.  :class:`IRIndex` is built once per IR
+(the IR is read-only by design, so nothing here ever invalidates) and
+turns the naive tree walks into table lookups:
+
+* **pre-order numbering + subtree sizes** — every node gets a document
+  position; "is ``d`` a descendant of ``a``" becomes an O(1) interval
+  check and "all descendants of ``a``" a contiguous slice;
+* **kind buckets** — node indexes per element kind, in document order,
+  so ``find_all('core')`` and the ``//tag`` axis never walk the tree;
+* **attribute indexes** — node-index sets per attribute presence and per
+  ``(attribute, value)`` pair, serving the hot ``[@attr='value']``
+  predicates with set membership instead of per-node dict probing;
+* **memoized model analyses** — one lazy post-order pass per derived
+  attribute (per-kind physical counts, CUDA-device counts, aggregate
+  static power) makes every ``count_*``/``total_static_power`` call an
+  O(1) array read, for any subtree root.
+
+The index is pure structure — it holds no handles and no context, so one
+index can back any number of :class:`~repro.runtime.query.QueryContext`
+objects over the same IR (contexts intern their own handles).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import TYPE_CHECKING
+
+from ..analysis import NON_PHYSICAL_KINDS
+from ..obs import get_observer
+from ..units import POWER, Quantity, read_metric
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..ir import IRModel
+
+_EMPTY_BUCKET: tuple[list[int], list[int]] = ([], [])
+_EMPTY_SET: frozenset[int] = frozenset()
+_ZERO_POWER = Quantity(0.0, POWER)
+
+
+class IRIndex:
+    """Read-only acceleration structures for one :class:`IRModel`.
+
+    Built once (``IRModel.index()`` memoizes construction); never
+    invalidated — the runtime IR is immutable by design.
+    """
+
+    __slots__ = (
+        "ir",
+        "kinds",
+        "children",
+        "pre",
+        "size",
+        "doc",
+        "_buckets",
+        "_attr_has",
+        "_attr_eq",
+        "_kind_counts",
+        "_cuda_counts",
+        "_static_power_w",
+    )
+
+    def __init__(self, ir: "IRModel") -> None:
+        self.ir = ir
+        nodes = ir.nodes
+        n = len(nodes)
+        self.kinds: list[str] = [node.kind for node in nodes]
+        self.children: list[list[int]] = [node.children for node in nodes]
+
+        # -- pre-order numbering + subtree sizes (iterative, any depth) ----
+        pre = [-1] * n
+        size = [1] * n
+        doc: list[int] = []
+        if n:
+            stack: list[int] = [~0, 0]  # ~i marks the post-visit of i
+            while stack:
+                i = stack.pop()
+                if i < 0:
+                    i = ~i
+                    parent = nodes[i].parent
+                    if parent is not None:
+                        size[parent] += size[i]
+                    continue
+                pre[i] = len(doc)
+                doc.append(i)
+                for c in reversed(nodes[i].children):
+                    stack.append(~c)
+                    stack.append(c)
+        self.pre = pre
+        self.size = size
+        self.doc = doc
+
+        # -- kind buckets + attribute indexes, in document order -----------
+        buckets: dict[str, tuple[list[int], list[int]]] = {}
+        attr_has: dict[str, set[int]] = {}
+        attr_eq: dict[tuple[str, str], set[int]] = {}
+        kinds = self.kinds
+        for pos, i in enumerate(doc):
+            bucket = buckets.get(kinds[i])
+            if bucket is None:
+                bucket = buckets[kinds[i]] = ([], [])
+            bucket[0].append(pos)
+            bucket[1].append(i)
+            for name, value in nodes[i].attrs.items():
+                has = attr_has.get(name)
+                if has is None:
+                    has = attr_has[name] = set()
+                has.add(i)
+                eq = attr_eq.get((name, value))
+                if eq is None:
+                    eq = attr_eq[(name, value)] = set()
+                eq.add(i)
+        self._buckets = buckets
+        self._attr_has = attr_has
+        self._attr_eq = attr_eq
+
+        # -- derived-analysis memos (built lazily, per analysis) -----------
+        self._kind_counts: dict[str, list[int]] = {}
+        self._cuda_counts: list[int] | None = None
+        self._static_power_w: list[float] | None = None
+
+        obs = get_observer()
+        if obs.enabled:
+            obs.count("runtime.index_builds")
+            obs.count("runtime.index_nodes", n)
+
+    # -- structure queries -------------------------------------------------
+    def interval(self, i: int) -> tuple[int, int]:
+        """Document-position interval of the *strict* descendants of ``i``."""
+        p = self.pre[i]
+        if p < 0:  # unreachable from the root
+            return (0, 0)
+        return (p + 1, p + self.size[i])
+
+    def bucket(self, kind: str) -> tuple[list[int], list[int]]:
+        """``(doc_positions, node_indexes)`` of every ``kind`` node."""
+        return self._buckets.get(kind, _EMPTY_BUCKET)
+
+    def descendants_of_kind(self, i: int, kind: str) -> list[int]:
+        """Strict descendants of ``i`` with ``kind``, in document order."""
+        lo, hi = self.interval(i)
+        if lo >= hi:
+            return []
+        positions, indexes = self.bucket(kind)
+        return indexes[bisect_left(positions, lo) : bisect_left(positions, hi)]
+
+    def descendant_slice(self, i: int) -> list[int]:
+        """All strict descendants of ``i``, in document order."""
+        lo, hi = self.interval(i)
+        return self.doc[lo:hi]
+
+    def is_descendant(self, d: int, a: int) -> bool:
+        """O(1) strict-descendant check via the interval numbering."""
+        lo, hi = self.interval(a)
+        p = self.pre[d]
+        return lo <= p < hi
+
+    def attr_has(self, name: str) -> frozenset[int] | set[int]:
+        return self._attr_has.get(name, _EMPTY_SET)
+
+    def attr_eq(self, name: str, value: str) -> frozenset[int] | set[int]:
+        return self._attr_eq.get((name, value), _EMPTY_SET)
+
+    # -- memoized model analyses -------------------------------------------
+    def _physical_postorder(self, per_node, out: list) -> None:
+        """Fill ``out[i]`` with ``per_node(i) + sum(out[children])`` over the
+        physical containment tree (non-physical kinds contribute nothing and
+        prune their subtree, matching ``physical_walk``).  Reverse document
+        order visits every child before its parent without recursion."""
+        kinds = self.kinds
+        children = self.children
+        for pos in range(len(self.doc) - 1, -1, -1):
+            i = self.doc[pos]
+            if kinds[i] in NON_PHYSICAL_KINDS:
+                continue  # out[i] stays the zero it was initialized to
+            acc = per_node(i)
+            for c in children[i]:
+                acc += out[c]
+            out[i] = acc
+
+    def kind_counts(self, kind: str) -> list[int]:
+        """Per-node physical-subtree counts of ``kind`` (lazy, memoized)."""
+        counts = self._kind_counts.get(kind)
+        if counts is None:
+            counts = [0] * len(self.kinds)
+            if kind in self._buckets:  # absent kinds stay all-zero for free
+                kinds = self.kinds
+                self._physical_postorder(
+                    lambda i: 1 if kinds[i] == kind else 0, counts
+                )
+            self._kind_counts[kind] = counts
+            get_observer().count("runtime.analysis_memo_builds")
+        return counts
+
+    def cuda_counts(self) -> list[int]:
+        """Per-node physical-subtree CUDA-programmable device counts."""
+        counts = self._cuda_counts
+        if counts is None:
+            nodes = self.ir.nodes
+            kinds = self.kinds
+
+            def is_cuda_device(i: int) -> int:
+                if kinds[i] not in ("device", "gpu"):
+                    return 0
+                for c in self.children[i]:
+                    if kinds[c] == "programming_model" and "cuda" in (
+                        nodes[c].attrs.get("type", "").lower()
+                    ):
+                        return 1
+                return 0
+
+            counts = [0] * len(kinds)
+            self._physical_postorder(is_cuda_device, counts)
+            self._cuda_counts = counts
+            get_observer().count("runtime.analysis_memo_builds")
+        return counts
+
+    def static_power_w(self) -> list[float]:
+        """Per-node physical-subtree static power in watts.
+
+        Built lazily so malformed ``static_power`` attributes raise on the
+        first *call* (as the naive walk did), not at index construction.
+        """
+        sums = self._static_power_w
+        if sums is None:
+            nodes = self.ir.nodes
+
+            def power_of(i: int) -> float:
+                q = read_metric(nodes[i].attrs, "static_power", expect=POWER)
+                if q is None:
+                    return 0.0
+                # Reproduce the sequential accumulation's dimension check
+                # (a unitless static_power must still be rejected loudly).
+                return (_ZERO_POWER + q).magnitude
+
+            sums = [0.0] * len(self.kinds)
+            self._physical_postorder(power_of, sums)
+            self._static_power_w = sums
+            get_observer().count("runtime.analysis_memo_builds")
+        return sums

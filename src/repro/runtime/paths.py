@@ -1,4 +1,4 @@
-"""A small path query mini-language over runtime handles.
+"""A small path query mini-language over runtime handles, compiled.
 
 Complements the browsing functions with string queries like::
 
@@ -7,12 +7,27 @@ Complements the browsing functions with string queries like::
     //cache[@name='L3']
 
 Reuses the grammar of :mod:`repro.xpdlxml.path` (same syntax in descriptors
-and at runtime), evaluated over IR handles.
+and at runtime).  Each query string is parsed **once** into a
+:class:`PathPlan` — a tuple of segment operations over the
+:class:`~repro.runtime.index.IRIndex` — and cached in an LRU keyed by the
+path text (``runtime.plan_hits``/``runtime.plan_misses`` count the cache
+traffic).  Plan evaluation works on integer node indexes: the ``//tag``
+axis is a bisect into the kind bucket's document-order interval instead of
+a subtree walk, and ``[@attr='value']`` predicates are set-membership
+probes into the attribute indexes.  Handles only materialize (interned)
+for the final result set.
+
+The original handle-walking evaluator is kept as
+:func:`query_all_naive` — the reference oracle the property tests hold
+the compiled engine to, result-for-result and in order.
 """
 
 from __future__ import annotations
 
 import re
+from bisect import bisect_left
+from collections import OrderedDict
+from dataclasses import dataclass
 
 from ..diagnostics import QueryError
 from ..obs import get_observer
@@ -53,7 +68,7 @@ def _split(path: str) -> list[str]:
     return segments
 
 
-def _parse_predicates(preds: str, segment: str) -> list[tuple]:
+def _parse_predicates(preds: str, segment: str) -> tuple[tuple, ...]:
     """Parse the predicate chain; unparseable brackets raise QueryError."""
     parsed: list[tuple] = []
     pos = 0
@@ -69,22 +84,172 @@ def _parse_predicates(preds: str, segment: str) -> list[tuple]:
         raise QueryError(
             f"malformed predicate {preds[pos:]!r} in segment {segment!r}"
         )
-    return parsed
+    return tuple(parsed)
 
 
-def _apply(handles: list[ModelHandle], segment: str) -> list[ModelHandle]:
+# ---------------------------------------------------------------------------
+# plan compiler
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class PathStep:
+    """One compiled segment: axis + tag + parsed predicate chain."""
+
+    descend: bool
+    tag: str  # element kind, or "*"
+    preds: tuple[tuple, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class PathPlan:
+    """A parsed query, reusable across contexts (pure syntax)."""
+
+    path: str
+    steps: tuple[PathStep, ...]
+
+
+def compile_path(path: str) -> PathPlan:
+    """Parse ``path`` into a plan; raises :class:`QueryError` when malformed."""
+    steps: list[PathStep] = []
+    for segment in _split(path):
+        m = _SEGMENT_RE.match(segment)
+        if m is None:
+            raise QueryError(f"malformed query segment {segment!r}")
+        steps.append(
+            PathStep(
+                descend=m.group("axis") == "//",
+                tag=m.group("tag"),
+                preds=_parse_predicates(m.group("preds") or "", segment),
+            )
+        )
+    return PathPlan(path, tuple(steps))
+
+
+#: LRU of compiled plans, keyed by path text.  Plans carry no context, so
+#: one cache serves every QueryContext in the process.
+_PLAN_CACHE: OrderedDict[str, PathPlan] = OrderedDict()
+_PLAN_CACHE_MAX = 256
+
+
+def _plan_for(path: str) -> PathPlan:
+    plan = _PLAN_CACHE.get(path)
+    if plan is not None:
+        _PLAN_CACHE.move_to_end(path)
+        get_observer().count("runtime.plan_hits")
+        return plan
+    plan = compile_path(path)  # raises before the miss is recorded
+    get_observer().count("runtime.plan_misses")
+    _PLAN_CACHE[path] = plan
+    if len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+        _PLAN_CACHE.popitem(last=False)
+    return plan
+
+
+def plan_cache_stats() -> dict[str, int]:
+    """Current plan-cache occupancy (counters live on the observer)."""
+    return {"entries": len(_PLAN_CACHE), "max_entries": _PLAN_CACHE_MAX}
+
+
+def clear_plan_cache() -> None:
+    """Drop all compiled plans (tests; never needed in production — plans
+    depend only on the query text)."""
+    _PLAN_CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# compiled evaluation
+# ---------------------------------------------------------------------------
+
+
+def _eval_step(ctx: QueryContext, contexts: list[int], step: PathStep) -> list[int]:
+    """Apply one step to a list of context node indexes.
+
+    Faithful to XPath-per-context semantics: candidates are produced per
+    context node in document order, predicates filter each context's
+    matches separately, and results deduplicate globally in first-seen
+    order — exactly what :func:`query_all_naive` computes by walking.
+    """
+    index = ctx.index
+    kinds = index.kinds
+    matched: list[int] = []
+    seen: set[int] = set()
+    for i in contexts:
+        if step.descend:
+            if step.tag == "*":
+                local = index.descendant_slice(i)
+            else:
+                lo, hi = index.interval(i)
+                positions, indexes = index.bucket(step.tag)
+                local = indexes[
+                    bisect_left(positions, lo) : bisect_left(positions, hi)
+                ]
+        else:
+            children = index.children[i]
+            if step.tag == "*":
+                local = list(children)
+            else:
+                local = [c for c in children if kinds[c] == step.tag]
+        for pred in step.preds:
+            if pred[0] == "index":
+                k = pred[1]
+                local = [local[k]] if k < len(local) else []
+            else:
+                _t, attr, value = pred
+                members = (
+                    index.attr_has(attr)
+                    if value is None
+                    else index.attr_eq(attr, value)
+                )
+                local = [c for c in local if c in members] if members else []
+        for c in local:
+            if c not in seen:
+                seen.add(c)
+                matched.append(c)
+    return matched
+
+
+def query_all(ctx: QueryContext, path: str) -> list[ModelHandle]:
+    """Evaluate a path query from the model root (compiled engine)."""
+    get_observer().count("runtime.queries")
+    plan = _plan_for(path)
+    contexts = [ctx.ir.root.index]
+    for step in plan.steps:
+        contexts = _eval_step(ctx, contexts, step)
+        if not contexts:
+            return []
+    return [ctx.handle(i) for i in contexts]
+
+
+def query_first(ctx: QueryContext, path: str) -> ModelHandle | None:
+    matches = query_all(ctx, path)
+    return matches[0] if matches else None
+
+
+# ---------------------------------------------------------------------------
+# reference oracle (the original walking evaluator)
+# ---------------------------------------------------------------------------
+
+
+def _apply_naive(
+    ctx: QueryContext, nodes: list, segment: str
+) -> list:
     m = _SEGMENT_RE.match(segment)
     if m is None:
         raise QueryError(f"malformed query segment {segment!r}")
     tag = m.group("tag")
     descend = m.group("axis") == "//"
     preds = _parse_predicates(m.group("preds") or "", segment)
-    matched: list[ModelHandle] = []
+    ir = ctx.ir
+    matched: list = []
     seen: set[int] = set()
-    for h in handles:
-        candidates = h.descendants() if descend else h.children()
-        # Predicates filter per context handle (XPath semantics), so an
-        # index predicate picks one match under each handle, not globally.
+    for node in nodes:
+        if descend:
+            candidates = [n for n in ir.walk(node) if n is not node]
+        else:
+            candidates = ir.children_of(node)
+        # Predicates filter per context node (XPath semantics), so an
+        # index predicate picks one match under each node, not globally.
         local = [c for c in candidates if tag == "*" or c.kind == tag]
         for pred in preds:
             if pred[0] == "index":
@@ -93,9 +258,9 @@ def _apply(handles: list[ModelHandle], segment: str) -> list[ModelHandle]:
             else:
                 _kind, attr, value = pred
                 if value is None:
-                    local = [c for c in local if c.attr(attr) is not None]
+                    local = [c for c in local if attr in c.attrs]
                 else:
-                    local = [c for c in local if c.attr(attr) == value]
+                    local = [c for c in local if c.attrs.get(attr) == value]
         for c in local:
             if c.index not in seen:
                 seen.add(c.index)
@@ -103,17 +268,24 @@ def _apply(handles: list[ModelHandle], segment: str) -> list[ModelHandle]:
     return matched
 
 
-def query_all(ctx: QueryContext, path: str) -> list[ModelHandle]:
-    """Evaluate a path query from the model root."""
-    get_observer().count("runtime.queries")
-    handles = [ctx.root]
-    for segment in _split(path):
-        handles = _apply(handles, segment)
-        if not handles:
+def query_all_naive(ctx: QueryContext, path: str) -> list[ModelHandle]:
+    """The uncompiled evaluator: re-parses the path and walks the tree.
+
+    Kept as the reference oracle for the compiled engine (property tests
+    assert result-for-result, in-order equality) and as the comparison
+    subject in the E9 benchmarks.  Like the compiled engine, the whole
+    path is validated up front: a malformed trailing segment raises even
+    when an earlier segment already matched nothing.
+    """
+    segments = _split(path)
+    for segment in segments:  # validate the full path before evaluating
+        m = _SEGMENT_RE.match(segment)
+        if m is None:
+            raise QueryError(f"malformed query segment {segment!r}")
+        _parse_predicates(m.group("preds") or "", segment)
+    nodes = [ctx.ir.root]
+    for segment in segments:
+        nodes = _apply_naive(ctx, nodes, segment)
+        if not nodes:
             return []
-    return handles
-
-
-def query_first(ctx: QueryContext, path: str) -> ModelHandle | None:
-    matches = query_all(ctx, path)
-    return matches[0] if matches else None
+    return [ModelHandle(ctx, n) for n in nodes]

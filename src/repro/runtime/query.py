@@ -12,12 +12,18 @@ function categories over the light-weight runtime IR file:
 4. **Model analysis functions** — derived attributes such as core counts,
    CUDA device counts and subtree static power.
 
-Handles are thin wrappers over IR nodes; everything is read-only, matching
-the introspection use of conditional composition [3].
+Handles are thin wrappers over IR nodes, and everything is read-only,
+matching the introspection use of conditional composition [3].  Because
+the queries run *inside* applications' optimization loops, the context is
+backed by a compiled :class:`~repro.runtime.index.IRIndex` (built once at
+:func:`xpdl_init`): browsing serves interned handles out of kind buckets
+and document-order intervals instead of re-walking the tree, and the
+analysis functions are O(1) reads of memoized post-order aggregates.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterator
 
 from ..analysis import NON_PHYSICAL_KINDS
@@ -33,12 +39,32 @@ from ..units import (
 )
 
 
+@lru_cache(maxsize=None)
+def _generated_getter(name: str):
+    """One shared getter function per ``get_<attr>`` name.
+
+    Installed on :class:`ModelHandle` at first use, so every later
+    ``h.get_frequency`` is an ordinary class-attribute lookup — no closure
+    is built per call.
+    """
+    attr_name = name[4:]
+
+    def getter(self) -> str | None:
+        return self._node.attrs.get(attr_name)
+
+    getter.__name__ = name
+    getter.__qualname__ = f"ModelHandle.{name}"
+    return getter
+
+
 class ModelHandle:
     """A read-only handle to one model element at runtime.
 
-    Attribute getters are generated on the fly: ``h.get_id()``,
+    Attribute getters are generated on demand: ``h.get_id()``,
     ``h.get_frequency()`` etc. mirror the C++ API's generated getters;
     ``h.get_quantity("static_power")`` gives the unit-aware view.
+    Handles are interned per context — browsing the same element twice
+    returns the same object.
     """
 
     __slots__ = ("_ctx", "_node")
@@ -74,34 +100,38 @@ class ModelHandle:
 
     # -- category 2: browsing ---------------------------------------------------
     def parent(self) -> "ModelHandle | None":
-        p = self._ctx.ir.parent_of(self._node)
-        return ModelHandle(self._ctx, p) if p is not None else None
+        p = self._node.parent
+        return self._ctx.handle(p) if p is not None else None
 
     def children(self, kind: str | None = None) -> list["ModelHandle"]:
-        out = [
-            ModelHandle(self._ctx, c)
-            for c in self._ctx.ir.children_of(self._node)
+        ctx = self._ctx
+        kinds = ctx.index.kinds
+        return [
+            ctx.handle(c)
+            for c in self._node.children
+            if kind is None or kinds[c] == kind
         ]
-        if kind is not None:
-            out = [h for h in out if h.kind == kind]
-        return out
 
     def first(self, kind: str) -> "ModelHandle | None":
-        for c in self._ctx.ir.children_of(self._node):
-            if c.kind == kind:
-                return ModelHandle(self._ctx, c)
+        kinds = self._ctx.index.kinds
+        for c in self._node.children:
+            if kinds[c] == kind:
+                return self._ctx.handle(c)
         return None
 
     def descendants(self, kind: str | None = None) -> list["ModelHandle"]:
-        out = []
-        for n in self._ctx.ir.walk(self._node):
-            if n is not self._node and (kind is None or n.kind == kind):
-                out.append(ModelHandle(self._ctx, n))
-        return out
+        ctx = self._ctx
+        if kind is None:
+            indexes = ctx.index.descendant_slice(self._node.index)
+        else:
+            indexes = ctx.index.descendants_of_kind(self._node.index, kind)
+        return [ctx.handle(i) for i in indexes]
 
     def walk(self) -> Iterator["ModelHandle"]:
-        for n in self._ctx.ir.walk(self._node):
-            yield ModelHandle(self._ctx, n)
+        ctx = self._ctx
+        yield ctx.handle(self._node.index)
+        for i in ctx.index.descendant_slice(self._node.index):
+            yield ctx.handle(i)
 
     # -- category 3: attribute getters ----------------------------------------------
     def attr(self, name: str, default: str | None = None) -> str | None:
@@ -125,52 +155,69 @@ class ModelHandle:
         return int(raw) if raw is not None else None
 
     def __getattr__(self, name: str):
-        # Generated-getter emulation: get_<attr>() -> str | None.
+        # Generated-getter emulation: get_<attr>() -> str | None.  The
+        # getter is memoized on the class, so this only runs once per name.
         if name.startswith("get_"):
-            attr_name = name[4:]
-
-            def getter() -> str | None:
-                return self._node.attrs.get(attr_name)
-
-            getter.__name__ = name
-            return getter
+            getter = _generated_getter(name)
+            setattr(ModelHandle, name, getter)
+            return getter.__get__(self, ModelHandle)
         raise AttributeError(name)
 
 
 class QueryContext:
-    """Category 1: the initialized runtime query environment."""
+    """Category 1: the initialized runtime query environment.
+
+    Holds the (shared, read-only) :class:`IRIndex` plus this context's
+    handle intern table — one :class:`ModelHandle` per visited node,
+    reused across all browsing calls.
+    """
 
     def __init__(self, ir: IRModel) -> None:
         self.ir = ir
+        self.index = ir.index()
+        self._handles: list[ModelHandle | None] = [None] * len(ir.nodes)
+
+    def handle(self, index: int) -> ModelHandle:
+        """The interned handle for node ``index``."""
+        h = self._handles[index]
+        if h is None:
+            h = self._handles[index] = ModelHandle(self, self.ir.nodes[index])
+        return h
 
     # -- entry points --------------------------------------------------------
     @property
     def root(self) -> ModelHandle:
-        return ModelHandle(self, self.ir.root)
+        return self.handle(self.ir.root.index)
 
     def by_id(self, ident: str) -> ModelHandle | None:
         node = self.ir.by_id(ident)
-        return ModelHandle(self, node) if node is not None else None
+        return self.handle(node.index) if node is not None else None
 
     def find_all(self, kind: str) -> list[ModelHandle]:
-        return [
-            ModelHandle(self, n) for n in self.ir.walk() if n.kind == kind
-        ]
+        _, indexes = self.index.bucket(kind)
+        return [self.handle(i) for i in indexes]
 
     def meta(self, key: str, default: str | None = None) -> str | None:
         return self.ir.meta.get(key, default)
 
     # -- category 4: model analysis functions --------------------------------------
     def _physical_walk(self, start: IRNode) -> Iterator[IRNode]:
+        """Pre-order walk of the physical containment tree (iterative, so
+        deep generated models cannot hit the recursion limit)."""
         if start.kind in NON_PHYSICAL_KINDS:
             return
-        yield start
-        for c in self.ir.children_of(start):
-            yield from self._physical_walk(c)
+        nodes = self.ir.nodes
+        stack = [start.index]
+        while stack:
+            node = nodes[stack.pop()]
+            yield node
+            for c in reversed(node.children):
+                if nodes[c].kind not in NON_PHYSICAL_KINDS:
+                    stack.append(c)
 
     def count_kind(self, kind: str, *, under: ModelHandle | None = None) -> int:
         start = under._node if under is not None else self.ir.root
-        return sum(1 for n in self._physical_walk(start) if n.kind == kind)
+        return self.index.kind_counts(kind)[start.index]
 
     def count_cores(self, *, under: ModelHandle | None = None) -> int:
         """Number of processing cores in the (sub)tree."""
@@ -179,27 +226,12 @@ class QueryContext:
     def count_cuda_devices(self, *, under: ModelHandle | None = None) -> int:
         """Number of devices programmable with CUDA in the (sub)tree."""
         start = under._node if under is not None else self.ir.root
-        n = 0
-        for node in self._physical_walk(start):
-            if node.kind not in ("device", "gpu"):
-                continue
-            for c in self.ir.children_of(node):
-                if c.kind == "programming_model" and "cuda" in (
-                    c.attrs.get("type", "").lower()
-                ):
-                    n += 1
-                    break
-        return n
+        return self.index.cuda_counts()[start.index]
 
     def total_static_power(self, *, under: ModelHandle | None = None) -> Quantity:
         """Aggregate static power over the physical (sub)tree."""
         start = under._node if under is not None else self.ir.root
-        total = Quantity(0.0, POWER)
-        for node in self._physical_walk(start):
-            q = read_metric(node.attrs, "static_power", expect=POWER)
-            if q is not None:
-                total = total + q
-        return total
+        return Quantity(self.index.static_power_w()[start.index], POWER)
 
     def installed_software(self) -> list[ModelHandle]:
         """All installed software entries of the platform."""
@@ -240,7 +272,8 @@ def xpdl_init(filename: str) -> QueryContext:
 
     The Python spelling of the paper's ``int xpdl_init(char *filename)``;
     raises :class:`QueryError` on unreadable or malformed files instead of
-    returning an error code.
+    returning an error code.  Loading builds the query index once — every
+    later browse/path/analysis call runs against the compiled structures.
     """
     try:
         ir = IRModel.load(filename)
