@@ -24,6 +24,14 @@ composed liu_gpu_server model for the paper's Sec. IV categories
 path/analysis evaluators for comparison.  ``compare`` gates the
 normalized throughputs against the baseline and enforces the compiled
 engine's speedup floor over the naive evaluators.
+
+The ``serve`` section measures the ``xpdl serve`` hot path in-process:
+:class:`repro.service.ModelHost` dispatch throughput once the model's
+``IRIndex`` is hosted (single requests, 32-request batches, and a
+4-thread hammer).  ``compare`` enforces the acceptance criterion that a
+hot service query stays within :data:`MAX_SERVE_DISPATCH_SLOWDOWN` of
+raw compiled path-query throughput and that the bench never rebuilt the
+hosted index (``index_builds == 1`` — no recompile per request).
 """
 
 from __future__ import annotations
@@ -37,7 +45,7 @@ import tempfile
 import time
 from typing import Any, Sequence
 
-BENCH_SCHEMA = 2
+BENCH_SCHEMA = 3
 
 #: Warm-cache hit-rate floor (acceptance criterion: >= 90 %).
 MIN_WARM_HIT_RATE = 0.9
@@ -59,6 +67,13 @@ QUERY_NOISE = 0.25
 #: The compiled engine must stay at least this much faster than the
 #: naive uncompiled evaluator (acceptance criterion: >= 5x).
 MIN_QUERY_SPEEDUP = 5.0
+
+#: Hot model-service dispatch (request object in, payload out, index
+#: already hosted) must stay within this factor of raw in-process
+#: compiled path-query throughput (acceptance criterion: <= 5x away).
+#: This is a *self-consistent* gate — both sides are measured on the
+#: same host in the same run — so it needs no calibration.
+MAX_SERVE_DISPATCH_SLOWDOWN = 5.0
 
 #: The path query measured for the path/path_naive categories (the E9
 #: hot pattern: descendant axis + attribute-value predicate).
@@ -98,17 +113,30 @@ def git_rev() -> str:
     return rev if out.returncode == 0 and rev else "local"
 
 
-def _rate(fn, min_duration_s: float = _QUERY_MIN_DURATION_S) -> float:
-    """Calls per second of ``fn`` over at least ``min_duration_s``."""
+def _rate(
+    fn,
+    min_duration_s: float = _QUERY_MIN_DURATION_S,
+    windows: int = 3,
+) -> float:
+    """Calls per second of ``fn``: best of ``windows`` timed windows.
+
+    Taking the fastest window (timeit's advice: the minimum time is the
+    measurement, everything above it is interference) keeps a transient
+    load spike on the host from reading as a throughput regression.
+    """
     fn()  # warm up (index/memo builds, plan cache)
-    n = 0
-    t0 = time.perf_counter()
-    while True:
-        fn()
-        n += 1
-        dt = time.perf_counter() - t0
-        if dt >= min_duration_s:
-            return n / dt
+    best = 0.0
+    for _ in range(windows):
+        n = 0
+        t0 = time.perf_counter()
+        while True:
+            fn()
+            n += 1
+            dt = time.perf_counter() - t0
+            if dt >= min_duration_s:
+                break
+        best = max(best, n / dt)
+    return best
 
 
 def run_query_bench(
@@ -200,6 +228,89 @@ def run_query_bench(
     }
 
 
+def run_serve_bench(
+    calibration_s: float,
+    *,
+    system: str = QUERY_BENCH_SYSTEM,
+    raw_path_qps: float | None = None,
+) -> dict[str, Any]:
+    """Measure model-service dispatch throughput (the ``xpdl serve`` path).
+
+    Builds one :class:`repro.service.ModelHost` over the standard
+    repository, pays the cold first-request compile once, then measures
+    hot dispatch rates with the index hosted: ``hot`` (single query
+    request), ``batch32`` (32 queries per batch request, counted as
+    sub-requests/s), ``info`` (composition summary), and ``threads4``
+    (aggregate of 4 threads hammering the query op through the
+    lock/lease protocol).  ``index_builds`` documents that the hosted
+    index was compiled exactly once across all of it.
+    """
+    import threading
+
+    from repro.modellib import standard_repository
+    from repro.service import ModelHost
+
+    host = ModelHost(standard_repository(), reload_ttl_s=60.0)
+    query_req = {"op": "query", "model": system, "path": QUERY_BENCH_PATH}
+
+    t0 = time.perf_counter()
+    status, body = host.handle(dict(query_req))
+    cold_s = time.perf_counter() - t0
+    if status != 200:  # pragma: no cover - corpus always has the system
+        raise RuntimeError(f"serve bench: cold query returned {status}")
+    result_count = body["count"]
+
+    batch_req = {
+        "op": "batch",
+        "requests": [dict(query_req) for _ in range(32)],
+    }
+
+    measured: dict[str, Any] = {}
+    rates = {
+        "hot": _rate(lambda: host.dispatch(dict(query_req))),
+        "batch32": _rate(lambda: host.dispatch(dict(batch_req))) * 32,
+        "info": _rate(lambda: host.dispatch({"op": "info", "model": system})),
+    }
+
+    threads = 4
+    counts = [0] * threads
+    stop_at = time.perf_counter() + _QUERY_MIN_DURATION_S
+
+    def work(slot: int) -> None:
+        while time.perf_counter() < stop_at:
+            host.dispatch(dict(query_req))
+            counts[slot] += 1
+
+    workers = [
+        threading.Thread(target=work, args=(i,)) for i in range(threads)
+    ]
+    t0 = time.perf_counter()
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    rates["threads4"] = sum(counts) / (time.perf_counter() - t0)
+
+    for name, rps in rates.items():
+        measured[name] = {
+            "rps": round(rps, 1),
+            "norm_rps": round(rps * calibration_s, 3),
+        }
+    counters = host.stats()["observer"]["counters"]
+    out: dict[str, Any] = {
+        "system": system,
+        "result_count": result_count,
+        "cold_ms": round(cold_s * 1e3, 3),
+        "index_builds": counters.get("service.model.builds", 0),
+        "categories": measured,
+    }
+    if raw_path_qps:
+        out["hot_fraction_of_raw_path"] = round(
+            rates["hot"] / raw_path_qps, 4
+        )
+    return out
+
+
 def _phase_dict(report: Any) -> dict[str, Any]:
     return {
         "ok": report.ok,
@@ -259,6 +370,11 @@ def run_bench(
     ir_match = [b.ir_sha256 for b in cold.builds] == [
         b.ir_sha256 for b in par.builds
     ]
+    queries = run_query_bench(calibration_s)
+    serve = run_serve_bench(
+        calibration_s,
+        raw_path_qps=queries["categories"]["path"]["qps"],
+    )
     return {
         "bench_schema": BENCH_SCHEMA,
         "rev": git_rev(),
@@ -268,7 +384,8 @@ def run_bench(
         "corpus": sorted(corpus),
         "ir_deterministic": ir_match,
         "phases": phases,
-        "queries": run_query_bench(calibration_s),
+        "queries": queries,
+        "serve": serve,
     }
 
 
@@ -354,6 +471,40 @@ def compare(
                     f"compiled {fast} query engine only {speedup:.1f}x the "
                     f"naive evaluator (floor {MIN_QUERY_SPEEDUP:.0f}x)"
                 )
+
+    # -- model service (xpdl serve) dispatch ---------------------------
+    cur_serve = current.get("serve") or {}
+    serve_cats = cur_serve.get("categories") or {}
+    raw_path = cur_queries.get("path")
+    if raw_path and "hot" in serve_cats:
+        slowdown = raw_path["qps"] / max(serve_cats["hot"]["rps"], 1e-9)
+        if slowdown > MAX_SERVE_DISPATCH_SLOWDOWN:
+            problems.append(
+                f"hot serve dispatch is {slowdown:.1f}x slower than raw "
+                f"compiled path queries "
+                f"(ceiling {MAX_SERVE_DISPATCH_SLOWDOWN:.0f}x)"
+            )
+    if cur_serve and cur_serve.get("index_builds") != 1:
+        problems.append(
+            f"serve bench built the hosted index "
+            f"{cur_serve.get('index_builds')!r} times (expected exactly 1: "
+            f"hot requests must reuse the cached IRIndex)"
+        )
+    for name, base_c in (
+        (baseline.get("serve") or {}).get("categories") or {}
+    ).items():
+        cur_c = serve_cats.get(name)
+        if cur_c is None:
+            problems.append(f"serve bench {name!r}: missing from current report")
+            continue
+        floor = base_c["norm_rps"] * (1.0 - max_regress - QUERY_NOISE)
+        if cur_c["norm_rps"] < floor:
+            problems.append(
+                f"serve bench {name!r} regressed: norm_rps "
+                f"{cur_c['norm_rps']:.3f} below floor {floor:.3f} "
+                f"(baseline {base_c['norm_rps']:.3f} "
+                f"-{max_regress + QUERY_NOISE:.0%})"
+            )
     return problems
 
 
@@ -405,4 +556,25 @@ def summarize(data: dict[str, Any]) -> str:
                     categories[slow]["qps"], 1e-9
                 )
                 lines.append(f"    {fast} speedup over naive: {speedup:.0f}x")
+    serve = data.get("serve") or {}
+    serve_cats = serve.get("categories") or {}
+    if serve_cats:
+        lines.append(
+            f"  serve dispatch on {serve.get('system', '?')} "
+            f"(cold {serve.get('cold_ms', 0):.0f} ms, "
+            f"{serve.get('index_builds', '?')} index build):"
+        )
+        for name in ("hot", "batch32", "info", "threads4"):
+            c = serve_cats.get(name)
+            if c is None:
+                continue
+            lines.append(
+                f"    {name:15s} {c['rps']:12.0f} requests/s  "
+                f"norm {c['norm_rps']:10.3f}"
+            )
+        frac = serve.get("hot_fraction_of_raw_path")
+        if frac:
+            lines.append(
+                f"    hot dispatch at {frac:.0%} of raw path-query rate"
+            )
     return "\n".join(lines)

@@ -20,6 +20,7 @@ Subcommands cover the whole processing pipeline::
     xpdl discover [-d DIR]             # probe this host, emit descriptors
     xpdl to-pdl <ident>                # flatten to PEPPHER PDL (comparison)
     xpdl stats [ident ...]             # pipeline timings, counters, cache
+    xpdl serve                         # long-lived model service (HTTP/JSON)
 
 Every command that touches the repository obtains its artifacts through a
 :class:`~repro.toolchain.ToolchainSession`: one repository, one shared
@@ -46,46 +47,23 @@ from .diagnostics import XpdlError
 from .modellib import PAPER_SYSTEMS
 from .obs import NULL_OBSERVER, Observer, get_observer, use_observer
 from .schema import CORE_SCHEMA, schema_to_xml
+from .service.options import (
+    RepositoryOptions,
+    ServiceOptions,
+    build_repository,
+    repository_parent_parser,
+)
 from .toolchain import ToolchainSession
 
 
 def _repository(args):
-    """The model repository for this invocation.
+    """The model repository for this invocation (one shared factory).
 
-    Plain search-path stores by default; with ``--simulate-remote`` (or
-    ``--fault``) each store is served through a simulated manufacturer
-    download site wrapped in the full resilience stack — seeded-backoff
-    retries, circuit breaker, offline mirror, fetch cache — so the
-    toolchain's behaviour under network failure is reproducible from the
-    command line.
+    The flags live in :func:`repro.service.options.repository_parent_parser`
+    and the assembly in :func:`repro.service.options.build_repository`, so
+    the CLI and the ``xpdl serve`` daemon wire stores identically.
     """
-    from .modellib import standard_repository
-    from .repository import (
-        FaultPlan,
-        ModelRepository,
-        RemoteSimStore,
-        resilient_stack,
-    )
-
-    repo = standard_repository(*(args.include or []))
-    if not (args.simulate_remote or args.fault):
-        return repo
-    mirror_root = None if args.no_mirror else args.mirror_dir
-    stores = []
-    for i, store in enumerate(repo.stores):
-        plan = FaultPlan.parse(args.fault) if args.fault else None
-        remote = RemoteSimStore(
-            store, host=f"models{i}.xpdl.example", faults=plan
-        )
-        mirror_dir = (
-            os.path.join(mirror_root, f"store{i}") if mirror_root else None
-        )
-        stores.append(
-            resilient_stack(
-                remote, attempts=args.retry_attempts, mirror_dir=mirror_dir
-            )
-        )
-    return ModelRepository(stores)
+    return build_repository(RepositoryOptions.from_args(args))
 
 
 def _session(args) -> ToolchainSession:
@@ -331,7 +309,8 @@ def cmd_doctor(args) -> int:
     """Cross-descriptor static analysis: the model doctor (Sec. V)."""
     import json
 
-    from .analysis import DoctorReport, REPOSITORY_SCOPE, rule_catalog
+    from .analysis import rule_catalog
+    from .service.core import merged_doctor_report
 
     if args.list_rules:
         for row in rule_catalog():
@@ -343,19 +322,11 @@ def cmd_doctor(args) -> int:
 
     session = _session(args)
     suppress = tuple(args.suppress or ())
-    index = session.repository.index()
-    identifiers = list(args.identifiers or session.repository.systems())
-    for ident in identifiers:
-        if ident not in index:
-            raise XpdlError(f"unknown identifier {ident!r}")
-    # Merge into a fresh report: the per-stage reports are cached session
-    # artifacts and must not be mutated.
-    merged = DoctorReport()
-    merged.merge(session.doctor(REPOSITORY_SCOPE, suppress=suppress))
-    for ident in identifiers:
-        if index[ident].root_tag != "system":
-            continue  # plain descriptors are covered by the repository pass
-        merged.merge(session.doctor(ident, suppress=suppress))
+    # The merge lives in the service core so `xpdl doctor` and the
+    # daemon's doctor op produce byte-identical JSON reports.
+    merged = merged_doctor_report(
+        session, list(args.identifiers or ()) or None, suppress=suppress
+    )
 
     # Diagnostics of upstream stages (compose errors, ...) render as usual;
     # doctor findings are rendered from the report so warm cache runs —
@@ -399,27 +370,24 @@ def cmd_doctor(args) -> int:
 
 def cmd_query(args) -> int:
     from .runtime import query_all, xpdl_init
+    from .service.core import format_query_results, handle_payload
 
     ctx = xpdl_init(args.file)
-    for handle in query_all(ctx, args.path):
-        attrs = " ".join(f'{k}="{v}"' for k, v in handle.attrs().items())
-        print(f"<{handle.kind} {attrs}>")
+    # Render through the shared service helpers: the daemon's query op
+    # and this command must print byte-identical results.
+    results = [handle_payload(h) for h in query_all(ctx, args.path)]
+    text = format_query_results(results)
+    if text:
+        print(text)
     return 0
 
 
 def cmd_info(args) -> int:
     from .runtime import xpdl_init
+    from .service.core import format_info, info_payload
 
     ctx = xpdl_init(args.file)
-    print(f"system:          {ctx.meta('system', '?')}")
-    print(f"elements:        {len(ctx.ir)}")
-    print(f"cores:           {ctx.count_cores()}")
-    print(f"cpus:            {ctx.count_kind('cpu')}")
-    print(f"devices:         {ctx.count_kind('device')}")
-    print(f"cuda devices:    {ctx.count_cuda_devices()}")
-    print(f"static power:    {ctx.total_static_power()}")
-    installed = [h.label() for h in ctx.installed_software()]
-    print(f"installed:       {', '.join(installed) if installed else '-'}")
+    print(format_info(info_payload(ctx)))
     return 0
 
 
@@ -642,16 +610,64 @@ def cmd_stats(args) -> int:
     return 1 if session.sink.has_errors() else 0
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="xpdl", description="XPDL platform-description toolchain"
+def cmd_serve(args) -> int:
+    """Run the long-lived model service (``xpdl serve``).
+
+    Loads the repository once, keeps compiled query indexes hot across
+    requests and serves query/info/analysis/compose/doctor over
+    HTTP/JSON until SIGINT/SIGTERM, then shuts down cleanly.
+    """
+    import asyncio
+    import signal
+
+    from .service import ModelHost, run_server
+
+    observer = get_observer()
+    if not observer.enabled:
+        observer = Observer()  # /stats always carries data, --trace or not
+    host = ModelHost(
+        observer=observer,
+        repo_options=RepositoryOptions.from_args(args),
+        max_model_bytes=args.max_model_bytes,
+        reload_ttl_s=args.reload_ttl,
     )
-    parser.add_argument(
-        "-I",
-        "--include",
-        action="append",
-        metavar="DIR",
-        help="extra model search-path directory (repeatable)",
+
+    async def _main() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loop
+                pass
+
+        def announce(address: str, port: int) -> None:
+            print(
+                f"xpdl serve: listening on http://{address}:{port}",
+                flush=True,
+            )
+
+        await run_server(
+            host,
+            address=args.address,
+            port=args.port,
+            workers=args.workers,
+            stop=stop,
+            announce=announce,
+        )
+
+    asyncio.run(_main())
+    print("xpdl serve: shutdown complete", flush=True)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    # Repository wiring flags (-I, --simulate-remote, --fault, ...) are
+    # declared exactly once, in the shared parent parser.
+    parser = argparse.ArgumentParser(
+        prog="xpdl",
+        description="XPDL platform-description toolchain",
+        parents=[repository_parent_parser()],
     )
     parser.add_argument(
         "--trace",
@@ -662,42 +678,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         metavar="FILE",
         help="write the JSON-lines event stream to FILE (implies --trace)",
-    )
-    resil = parser.add_argument_group(
-        "distributed-repository resilience",
-        "serve the model search path through a simulated remote store with "
-        "retries, a circuit breaker and an offline mirror",
-    )
-    resil.add_argument(
-        "--simulate-remote",
-        action="store_true",
-        help="wrap every store in a simulated manufacturer download site "
-        "plus the resilience stack",
-    )
-    resil.add_argument(
-        "--fault",
-        metavar="SPEC",
-        help="deterministic fault plan for the simulated remote "
-        "(none | dead | fail:K | every:K | slow-fail:N[:FACTOR]; "
-        "per-path rules as PATTERN=SPEC;...); implies --simulate-remote",
-    )
-    resil.add_argument(
-        "--retry-attempts",
-        type=int,
-        default=3,
-        metavar="N",
-        help="fetch attempts per descriptor before giving up (default 3)",
-    )
-    resil.add_argument(
-        "--mirror-dir",
-        default=os.path.join(".xpdl-cache", "mirror"),
-        metavar="DIR",
-        help="offline mirror root (default .xpdl-cache/mirror)",
-    )
-    resil.add_argument(
-        "--no-mirror",
-        action="store_true",
-        help="disable the offline mirror layer",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -917,6 +897,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="pipeline rounds; round 2+ should be all cache hits (default 2)",
     )
     p.set_defaults(fn=cmd_stats)
+
+    serve_defaults = ServiceOptions()
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived model service (HTTP/JSON daemon)",
+    )
+    p.add_argument(
+        "--address",
+        default=serve_defaults.address,
+        help=f"bind address (default {serve_defaults.address})",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=serve_defaults.port,
+        help=f"listen port, 0 for ephemeral (default {serve_defaults.port})",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=serve_defaults.workers,
+        metavar="N",
+        help=f"request worker threads (default {serve_defaults.workers})",
+    )
+    p.add_argument(
+        "--max-model-bytes",
+        type=int,
+        default=serve_defaults.max_model_bytes,
+        metavar="BYTES",
+        help="hosted-model LRU byte budget "
+        f"(default {serve_defaults.max_model_bytes})",
+    )
+    p.add_argument(
+        "--reload-ttl",
+        type=float,
+        default=serve_defaults.reload_ttl_s,
+        metavar="SECONDS",
+        help="seconds a hosted model stays trusted before its source "
+        f"fingerprints are re-checked (default {serve_defaults.reload_ttl_s})",
+    )
+    p.set_defaults(fn=cmd_serve)
 
     return parser
 

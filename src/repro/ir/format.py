@@ -158,6 +158,27 @@ class IRModel:
             self._index = IRIndex(self)
         return self._index
 
+    def approx_size_bytes(self) -> int:
+        """Rough resident footprint of this IR plus its compiled index.
+
+        Used by the model service's LRU byte accounting: exactness does
+        not matter (eviction compares models against each other and a
+        budget), but the estimate must be monotone in model size and
+        cheap — one pass over nodes and attribute strings, no sys.getsizeof
+        recursion.  The constants approximate CPython object headers for
+        an :class:`IRNode` (+ its interned handle and index rows): ~200
+        bytes of fixed overhead per node plus ~100 per attribute pair
+        plus the string payloads themselves.
+        """
+        total = 4096  # model object + tables overhead
+        for node in self.nodes:
+            total += 200 + 8 * len(node.children) + len(node.kind)
+            for k, v in node.attrs.items():
+                total += 100 + len(k) + len(v)
+        for k, v in self.meta.items():
+            total += 100 + len(k) + len(v)
+        return total
+
     def walk(self, start: IRNode | None = None):
         """Pre-order traversal from ``start`` (default: root)."""
         stack = [start.index if start else 0]

@@ -8,8 +8,10 @@ flag on every CLI command.
 """
 
 from .core import (
+    HISTOGRAM_BOUNDS,
     NULL_OBSERVER,
     Event,
+    Histogram,
     NullObserver,
     Observer,
     StageStats,
@@ -18,8 +20,10 @@ from .core import (
 )
 
 __all__ = [
+    "HISTOGRAM_BOUNDS",
     "NULL_OBSERVER",
     "Event",
+    "Histogram",
     "NullObserver",
     "Observer",
     "StageStats",

@@ -1,6 +1,6 @@
 """The observability core: events, counters, stage timers.
 
-An :class:`Observer` collects three kinds of signal while the toolchain
+An :class:`Observer` collects five kinds of signal while the toolchain
 runs:
 
 * **stage events** — monotonic wall-clock spans around named pipeline
@@ -9,6 +9,11 @@ runs:
 * **counters** — monotonically increasing totals (elements parsed, refs
   resolved, groups expanded, cache hits/misses), aggregated rather than
   logged per increment so hot loops stay cheap;
+* **histograms** — fixed log-bucketed value distributions
+  (:class:`Histogram`; per-request service latencies), cheap enough to
+  record on every request and mergeable across processes;
+* **gauges** — last-written level samples (in-flight requests, hosted
+  bytes) that sum across workers on merge;
 * **marks** — one-off structured events (a cache invalidation, a trace
   annotation).
 
@@ -54,6 +59,87 @@ class Event:
         return json.dumps(payload, sort_keys=True)
 
 
+#: Histogram bucket upper bounds in seconds: 1 µs .. ~65 s, doubling.
+#: Fixed for every histogram so snapshots merge bucket-for-bucket.
+HISTOGRAM_BOUNDS: tuple[float, ...] = tuple(
+    1e-6 * 2**i for i in range(27)
+)
+
+
+class Histogram:
+    """A fixed log-bucketed distribution of non-negative samples.
+
+    Buckets are shared process-wide (:data:`HISTOGRAM_BOUNDS`), so two
+    histograms — from two service workers, say — merge by adding bucket
+    counts.  Quantiles are read back from the bucket upper bounds, which
+    bounds the error at one doubling.
+    """
+
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(HISTOGRAM_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def record(self, value: float) -> None:
+        lo, hi = 0, len(HISTOGRAM_BOUNDS)
+        while lo < hi:  # inlined bisect: value -> first bound >= value
+            mid = (lo + hi) // 2
+            if HISTOGRAM_BOUNDS[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.counts[lo] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile sample."""
+        if not self.count:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.5))
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank:
+                if i < len(HISTOGRAM_BOUNDS):
+                    return min(HISTOGRAM_BOUNDS[i], self.max)
+                return self.max
+        return self.max
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": 0.0 if self.count == 0 else self.min,
+            "max": self.max,
+            "counts": list(self.counts),
+        }
+
+    def merge_dict(self, data: dict) -> None:
+        counts = list(data.get("counts") or ())
+        if len(counts) != len(self.counts):
+            return  # foreign bucket layout: refuse rather than misfile
+        for i, n in enumerate(counts):
+            self.counts[i] += int(n)
+        added = int(data.get("count", 0))
+        self.count += added
+        self.total += float(data.get("total", 0.0))
+        if added:
+            self.min = min(self.min, float(data.get("min", self.min)))
+            self.max = max(self.max, float(data.get("max", self.max)))
+
+
 @dataclass(slots=True)
 class StageStats:
     """Aggregated view of one stage name across all its runs."""
@@ -75,6 +161,8 @@ class Observer:
         self.events: list[Event] = []
         self.counters: dict[str, int] = {}
         self.stages: dict[str, StageStats] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.gauges: dict[str, float] = {}
         self._stack: list[str] = []
 
     # -- time -------------------------------------------------------------
@@ -98,6 +186,28 @@ class Observer:
             for name, total in sorted(self.counters.items())
             if name.startswith(prefix)
         }
+
+    # -- histograms --------------------------------------------------------
+    def record(self, name: str, value: float) -> None:
+        """Add one sample to the named histogram (seconds, bytes, ...)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.record(value)
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self.histograms.get(name)
+
+    # -- gauges ------------------------------------------------------------
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to its current level."""
+        self.gauges[name] = value
+
+    def gauge_add(self, name: str, delta: float) -> float:
+        """Adjust the named gauge by ``delta``; returns the new level."""
+        value = self.gauges.get(name, 0.0) + delta
+        self.gauges[name] = value
+        return value
 
     # -- marks -------------------------------------------------------------
     def mark(self, name: str, **fields) -> None:
@@ -140,6 +250,10 @@ class Observer:
                 name: {"runs": st.runs, "total_s": st.total_s}
                 for name, st in self.stages.items()
             },
+            "histograms": {
+                name: h.to_dict() for name, h in self.histograms.items()
+            },
+            "gauges": dict(self.gauges),
         }
 
     def merge(self, snapshot: dict) -> None:
@@ -158,16 +272,44 @@ class Observer:
                 stats = self.stages[name] = StageStats()
             stats.runs += int(st.get("runs", 0))
             stats.total_s += float(st.get("total_s", 0.0))
+        for name, data in (snapshot.get("histograms") or {}).items():
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.merge_dict(data)
+        # Gauges are levels, not totals: across workers the levels add
+        # (total in-flight = sum of each worker's in-flight).
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauges[name] = self.gauges.get(name, 0.0) + float(value)
 
     # -- export ------------------------------------------------------------
     def iter_jsonl(self) -> Iterator[str]:
-        """All events, then one ``counter`` line per counter total."""
+        """All events, then one summary line per counter/histogram/gauge."""
         for ev in self.events:
             yield ev.to_json()
         at = self.now()
         for name in sorted(self.counters):
             yield Event(
                 "counter", name, at, {"total": self.counters[name]}
+            ).to_json()
+        for name in sorted(self.histograms):
+            h = self.histograms[name]
+            yield Event(
+                "histogram",
+                name,
+                at,
+                {
+                    "count": h.count,
+                    "mean": round(h.mean(), 9),
+                    "p50": round(h.quantile(0.5), 9),
+                    "p95": round(h.quantile(0.95), 9),
+                    "p99": round(h.quantile(0.99), 9),
+                    "max": h.max,
+                },
+            ).to_json()
+        for name in sorted(self.gauges):
+            yield Event(
+                "gauge", name, at, {"value": self.gauges[name]}
             ).to_json()
 
     def to_jsonl(self) -> str:
@@ -183,6 +325,8 @@ class NullObserver(Observer):
         self.events = []
         self.counters = {}
         self.stages = {}
+        self.histograms = {}
+        self.gauges = {}
         self._stack = []
         self._epoch = 0.0
 
@@ -191,6 +335,15 @@ class NullObserver(Observer):
 
     def count(self, name: str, n: int = 1) -> None:
         pass
+
+    def record(self, name: str, value: float) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def gauge_add(self, name: str, delta: float) -> float:
+        return 0.0
 
     def mark(self, name: str, **fields) -> None:
         pass

@@ -45,10 +45,33 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
+from ..obs import get_observer
+
 try:  # advisory locking is POSIX-only; the cache degrades gracefully
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
+
+#: What a truncated/garbled/foreign pickle blob actually raises.  Bare
+#: ``Exception`` here used to swallow real bugs (a KeyboardInterrupt-adjacent
+#: MemoryError, an attribute typo in a __setstate__) as silent cache misses.
+UNPICKLE_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,  # truncated blob
+    AttributeError,  # class moved/renamed since the blob was written
+    ImportError,  # defining module gone
+    IndexError,  # corrupt opcode stream
+    ValueError,  # bad frame/protocol markers
+    TypeError,  # state shape no longer matches
+)
+
+#: What an unpicklable stage value actually raises at store time.
+PICKLE_ERRORS = (
+    pickle.PicklingError,
+    AttributeError,  # local/lambda attribute lookup
+    TypeError,  # unpicklable member (lock, generator, ...)
+    RecursionError,  # pathological cyclic value
+)
 
 #: Bump whenever the index layout or the pickled artifact schema changes;
 #: caches written by other versions are ignored (and rebuilt), never
@@ -214,18 +237,24 @@ class PersistentStageCache:
         """Deserialize an entry's artifact.
 
         Returns ``(ok, value)``; a missing or corrupt blob reads as a miss
-        (``ok=False``), never an exception — the caller recomputes.
+        (``ok=False``), never an exception — the caller recomputes.  Every
+        corruption path bumps the ``cache.corrupt`` counter so a cache
+        that is quietly rotting shows up in ``xpdl stats``/``/stats``
+        instead of degrading to permanent recomputation.
         """
         try:
             with open(self._blob_path(entry.blob), "rb") as fh:
                 data = fh.read()
         except OSError:
+            get_observer().count("cache.corrupt")
             return False, None
         if hashlib.sha256(data).hexdigest() != entry.sha256:
+            get_observer().count("cache.corrupt")
             return False, None
         try:
             return True, pickle.loads(data)
-        except Exception:
+        except UNPICKLE_ERRORS:
+            get_observer().count("cache.corrupt")
             return False, None
 
     def store(
@@ -240,7 +269,8 @@ class PersistentStageCache:
         """Persist one stage artifact; False when it cannot be pickled."""
         try:
             data = pickle.dumps(value, protocol=PICKLE_PROTOCOL)
-        except Exception:
+        except PICKLE_ERRORS:
+            get_observer().count("cache.unpicklable")
             return False
         digest = hashlib.sha256(data).hexdigest()
         blob = f"{digest[:2]}/{digest}.bin"

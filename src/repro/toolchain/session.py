@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from ..analysis import (
     REPOSITORY_SCOPE,
@@ -199,6 +199,7 @@ class ToolchainSession:
         self.observer = observer if observer is not None else get_observer()
         self.disk_cache = disk_cache
         self._cache: dict[tuple, _CacheEntry] = {}
+        self._invalidation_hooks: list[Callable[[str, str], None]] = []
         # Plain counters so cache_stats() works even with a null observer.
         self._hits = 0
         self._misses = 0
@@ -232,6 +233,7 @@ class ToolchainSession:
             )
             del self._cache[key]
             self.repository.invalidate(entry.sources)
+            self._fire_invalidation(stage, identifier)
         persistable = (
             self.disk_cache is not None and stage in PERSISTED_STAGES
         )
@@ -314,8 +316,27 @@ class ToolchainSession:
 
     def invalidate(self) -> None:
         """Drop every cached stage result and the repository's caches."""
+        dropped = [(stage, ident) for stage, ident, _opts in self._cache]
         self._cache.clear()
         self.repository.invalidate()
+        for stage, ident in dropped:
+            self._fire_invalidation(stage, ident)
+
+    # -- invalidation hooks ----------------------------------------------------
+    def add_invalidation_hook(
+        self, hook: Callable[[str, str], None]
+    ) -> None:
+        """Call ``hook(stage, identifier)`` whenever a cached stage entry is
+        dropped because its source fingerprint no longer matches the live
+        descriptor texts.  Long-lived consumers (the model service hosting
+        compiled :class:`~repro.runtime.index.IRIndex` es, say) use this to
+        retire derived state eagerly instead of discovering the edit on
+        their next fingerprint probe."""
+        self._invalidation_hooks.append(hook)
+
+    def _fire_invalidation(self, stage: str, identifier: str) -> None:
+        for hook in self._invalidation_hooks:
+            hook(stage, identifier)
 
     # -- typed wrappers -------------------------------------------------------
     def load(self, identifier: str) -> LoadedModel:

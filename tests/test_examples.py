@@ -17,6 +17,12 @@ CASES = {
     "dvfs_optimizer.py": ["optimal state", "CMX off after all shaves off? True"],
     "platform_discovery.py": ["composed", "generated C++ query API"],
     "energy_aware_scheduling.py": ["HEFT baseline", "verification against"],
+    "model_service.py": [
+        "daemon listening on",
+        "never torn",
+        "hot reload: DemoSys now reports 8 cores",
+        "clean shutdown",
+    ],
 }
 
 

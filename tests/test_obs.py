@@ -9,7 +9,9 @@ import pytest
 from repro.cli import main
 from repro.modellib import PAPER_LISTINGS
 from repro.obs import (
+    HISTOGRAM_BOUNDS,
     NULL_OBSERVER,
+    Histogram,
     NullObserver,
     Observer,
     get_observer,
@@ -104,6 +106,113 @@ class TestSnapshotMerge:
         null = NullObserver()
         null.merge(self._loaded_observer().snapshot())
         assert null.counters == {} and null.stages == {}
+
+
+class TestHistograms:
+    """Latency histograms of the model service's per-request metrics."""
+
+    def test_record_tracks_count_mean_min_max(self):
+        h = Histogram()
+        for v in (0.001, 0.002, 0.004):
+            h.record(v)
+        assert h.count == 3
+        assert h.mean() == pytest.approx(0.007 / 3)
+        assert h.min == 0.001 and h.max == 0.004
+
+    def test_quantile_bounded_by_one_doubling(self):
+        h = Histogram()
+        for _ in range(100):
+            h.record(0.010)
+        # the true value lies in (bound/2, bound]; p99 may overshoot by <2x
+        assert 0.010 <= h.quantile(0.99) <= 0.020
+
+    def test_quantile_capped_at_observed_max(self):
+        h = Histogram()
+        h.record(0.0005)
+        assert h.quantile(0.99) <= 0.0005
+
+    def test_empty_histogram_reads_zero(self):
+        h = Histogram()
+        assert h.mean() == 0.0 and h.quantile(0.5) == 0.0
+        assert h.to_dict()["min"] == 0.0
+
+    def test_merge_dict_adds_buckets(self):
+        a, b = Histogram(), Histogram()
+        a.record(0.001)
+        b.record(0.100)
+        b.record(0.200)
+        a.merge_dict(b.to_dict())
+        assert a.count == 3
+        assert a.max == 0.200 and a.min == 0.001
+        assert sum(a.counts) == 3
+
+    def test_merge_refuses_foreign_bucket_layout(self):
+        a = Histogram()
+        a.record(0.001)
+        a.merge_dict({"counts": [1, 2], "count": 3, "total": 9.0})
+        assert a.count == 1  # untouched
+
+    def test_bounds_cover_microseconds_to_minute(self):
+        assert HISTOGRAM_BOUNDS[0] == pytest.approx(1e-6)
+        assert HISTOGRAM_BOUNDS[-1] > 60.0
+
+    def test_observer_record_and_snapshot_merge(self):
+        obs = Observer()
+        obs.record("service.latency.query", 0.002)
+        obs.record("service.latency.query", 0.004)
+        snap = obs.snapshot()
+        json.dumps(snap)
+        merged = Observer()
+        merged.merge(snap)
+        merged.merge(snap)
+        hist = merged.histogram("service.latency.query")
+        assert hist is not None and hist.count == 4
+        assert hist.mean() == pytest.approx(0.003)
+
+    def test_histogram_events_in_jsonl(self):
+        obs = Observer()
+        for _ in range(3):
+            obs.record("h", 0.01)
+        lines = [json.loads(l) for l in obs.to_jsonl().splitlines()]
+        hist = [l for l in lines if l["event"] == "histogram"]
+        assert len(hist) == 1
+        assert hist[0]["name"] == "h" and hist[0]["count"] == 3
+
+    def test_null_observer_record_is_inert(self):
+        null = NullObserver()
+        null.record("x", 1.0)
+        assert null.histograms == {}
+
+
+class TestGauges:
+    def test_gauge_set_and_add(self):
+        obs = Observer()
+        obs.gauge("inflight", 2.0)
+        assert obs.gauge_add("inflight", 1.0) == 3.0
+        assert obs.gauge_add("inflight", -3.0) == 0.0
+        assert obs.gauges["inflight"] == 0.0
+
+    def test_gauges_sum_across_merge(self):
+        """Levels add across workers: 2 in-flight here + 3 there = 5."""
+        a, b = Observer(), Observer()
+        a.gauge("inflight", 2.0)
+        b.gauge("inflight", 3.0)
+        a.merge(b.snapshot())
+        assert a.gauges["inflight"] == 5.0
+
+    def test_gauge_events_in_jsonl(self):
+        obs = Observer()
+        obs.gauge("g", 7.0)
+        lines = [json.loads(l) for l in obs.to_jsonl().splitlines()]
+        gauges = [l for l in lines if l["event"] == "gauge"]
+        assert len(gauges) == 1
+        assert gauges[0]["name"] == "g" and gauges[0]["value"] == 7.0
+
+    def test_null_observer_gauges_inert(self):
+        null = NullObserver()
+        null.gauge("g", 1.0)
+        assert null.gauge_add("g", 1.0) == 0.0
+        assert null.gauges == {}
 
 
 class TestCounterTotalsMatchModel:

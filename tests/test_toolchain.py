@@ -370,6 +370,143 @@ class TestPersistentCache:
         assert obs.counters.get("compose.runs", 0) == 0
 
 
+class TestInvalidationHooks:
+    """Hooks fired when a cached stage entry is dropped (stale fingerprint)."""
+
+    def test_edit_fires_hook_for_stale_stages(self):
+        session, store, _ = make_session(
+            {"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM}
+        )
+        events: list[tuple[str, str]] = []
+        session.add_invalidation_hook(lambda s, i: events.append((s, i)))
+        session.emit_ir("SynthSys")
+        assert events == []  # first computation drops nothing
+        store.put("cpu.xpdl", CPU_V2)
+        session.emit_ir("SynthSys")
+        assert ("emit_ir", "SynthSys") in events
+        assert ("compose", "SynthSys") in events
+
+    def test_warm_hit_fires_nothing(self):
+        session, _, _ = make_session({"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM})
+        events: list[tuple[str, str]] = []
+        session.add_invalidation_hook(lambda s, i: events.append((s, i)))
+        session.emit_ir("SynthSys")
+        session.emit_ir("SynthSys")
+        assert events == []
+
+    def test_session_invalidate_fires_for_every_entry(self):
+        session, _, _ = make_session({"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM})
+        events: list[tuple[str, str]] = []
+        session.add_invalidation_hook(lambda s, i: events.append((s, i)))
+        session.emit_ir("SynthSys")
+        session.invalidate()
+        assert ("emit_ir", "SynthSys") in events
+        assert len(events) >= 3  # load/compose/analyze/emit_ir all dropped
+
+    def test_multiple_hooks_all_fire(self):
+        session, store, _ = make_session(
+            {"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM}
+        )
+        a: list[str] = []
+        b: list[str] = []
+        session.add_invalidation_hook(lambda s, i: a.append(s))
+        session.add_invalidation_hook(lambda s, i: b.append(s))
+        session.emit_ir("SynthSys")
+        store.put("cpu.xpdl", CPU_V2)
+        session.emit_ir("SynthSys")
+        assert a and a == b
+
+
+class TestDiskCacheErrorTyping:
+    """Corruption paths are typed and counted, not swallowed bare."""
+
+    def _populated_cache(self, tmp_path) -> tuple[PersistentStageCache, object]:
+        store = MemoryStore({"cpu.xpdl": CPU_V1, "sys.xpdl": SYSTEM})
+        cache = PersistentStageCache(str(tmp_path))
+        session = ToolchainSession(
+            ModelRepository([store]), disk_cache=cache
+        )
+        session.emit_ir("SynthSys")
+        fresh = PersistentStageCache(str(tmp_path))
+        entries = [
+            e for e in fresh.entries().values() if e.stage == "emit_ir"
+        ]
+        assert entries
+        return fresh, entries[0]
+
+    def test_missing_blob_counts_cache_corrupt(self, tmp_path):
+        from repro.obs import use_observer
+
+        cache, entry = self._populated_cache(tmp_path)
+        os.unlink(cache._blob_path(entry.blob))
+        obs = Observer()
+        with use_observer(obs):
+            ok, value = cache.load(entry)
+        assert (ok, value) == (False, None)
+        assert obs.counters["cache.corrupt"] == 1
+
+    def test_digest_mismatch_counts_cache_corrupt(self, tmp_path):
+        from repro.obs import use_observer
+
+        cache, entry = self._populated_cache(tmp_path)
+        with open(cache._blob_path(entry.blob), "ab") as fh:
+            fh.write(b"tampered")
+        obs = Observer()
+        with use_observer(obs):
+            ok, _ = cache.load(entry)
+        assert not ok
+        assert obs.counters["cache.corrupt"] == 1
+
+    def test_garbled_pickle_counts_cache_corrupt(self, tmp_path):
+        import hashlib
+        from dataclasses import replace
+
+        from repro.obs import use_observer
+
+        cache, entry = self._populated_cache(tmp_path)
+        garbage = b"\x80\x04not really a pickle stream"
+        with open(cache._blob_path(entry.blob), "wb") as fh:
+            fh.write(garbage)
+        # keep the digest consistent so only unpickling can fail
+        entry = replace(
+            entry, sha256=hashlib.sha256(garbage).hexdigest()
+        )
+        obs = Observer()
+        with use_observer(obs):
+            ok, _ = cache.load(entry)
+        assert not ok
+        assert obs.counters["cache.corrupt"] == 1
+
+    def test_unpicklable_value_counts_and_returns_false(self, tmp_path):
+        from repro.obs import use_observer
+
+        cache = PersistentStageCache(str(tmp_path))
+        obs = Observer()
+        with use_observer(obs):
+            stored = cache.store(
+                "emit_ir",
+                "X",
+                "opts",
+                "fp",
+                ("x.xpdl",),
+                lambda: None,  # lambdas cannot be pickled
+            )
+        assert stored is False
+        assert obs.counters["cache.unpicklable"] == 1
+        assert cache.entries(refresh=True) == {}
+
+    def test_error_tuples_are_actual_exception_types(self):
+        from repro.toolchain.diskcache import PICKLE_ERRORS, UNPICKLE_ERRORS
+
+        for group in (UNPICKLE_ERRORS, PICKLE_ERRORS):
+            assert all(
+                isinstance(t, type) and issubclass(t, Exception)
+                for t in group
+            )
+        assert Exception not in UNPICKLE_ERRORS
+        assert Exception not in PICKLE_ERRORS
+
+
 class TestDoctorStage:
     """The doctor stage: caching, invalidation, disk persistence."""
 
