@@ -45,7 +45,7 @@ import tempfile
 import time
 from typing import Any, Sequence
 
-BENCH_SCHEMA = 3
+BENCH_SCHEMA = 4
 
 #: Warm-cache hit-rate floor (acceptance criterion: >= 90 %).
 MIN_WARM_HIT_RATE = 0.9
@@ -74,6 +74,15 @@ MIN_QUERY_SPEEDUP = 5.0
 #: This is a *self-consistent* gate — both sides are measured on the
 #: same host in the same run — so it needs no calibration.
 MAX_SERVE_DISPATCH_SLOWDOWN = 5.0
+
+#: Warm model open (mmap a v2 image, adopt its persisted index) must be
+#: at least this much faster than a from-scratch open (v1 decode + live
+#: index build) on the largest corpus model (acceptance criterion:
+#: >= 10x).  Self-consistent — both sides measured in the same run.
+MIN_COLD_OPEN_SPEEDUP = 10.0
+
+#: Synthetic model sizes (elements) for the cold-open scaling sweep.
+COLD_INIT_SCALING_NODES = (1_000, 10_000, 50_000)
 
 #: The path query measured for the path/path_naive categories (the E9
 #: hot pattern: descendant axis + attribute-value predicate).
@@ -228,6 +237,129 @@ def run_query_bench(
     }
 
 
+def _min_time(fn, repeats: int = 5) -> float:
+    """Best-of-``repeats`` wall seconds of one ``fn()`` call."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _synthetic_ir(nodes: int):
+    """A flat-ish synthetic IR of ``nodes`` elements for scaling sweeps.
+
+    Shape mirrors the corpus (shared kind/attr strings, shallow fanout)
+    so the persisted-index size and open cost scale like real models.
+    """
+    from repro.ir import IRModel
+    from repro.ir.format import IRNode
+
+    kinds = ("node", "cpu", "core", "cache", "memory", "device")
+    out = [IRNode(0, "system", None, {"id": "root"})]
+    for i in range(1, nodes):
+        parent = (i - 1) // 8  # fanout 8 keeps depth logarithmic
+        out[parent].children.append(i)
+        out.append(
+            IRNode(
+                i,
+                kinds[i % len(kinds)],
+                parent,
+                {"id": f"e{i}", "name": f"n{i % 97}"},
+            )
+        )
+    return IRModel(out, {"system": f"synthetic-{nodes}"})
+
+
+def run_cold_init_bench(
+    calibration_s: float, *, system: str = QUERY_BENCH_SYSTEM
+) -> dict[str, Any]:
+    """Measure cold model-open latency with and without a persisted index.
+
+    Serializes the composed ``system`` three ways — v2 image with index
+    sections, v2 image core-only, legacy v1 records — and times a full
+    :func:`repro.runtime.query.xpdl_init` open of each (best of 5), plus
+    an mmap-free ``from_bytes`` open of the indexed image to isolate the
+    mmap win.  Counters from the mmap open document that a warm reopen
+    does *zero* index construction (``rebuilds`` must be 0).  A scaling
+    sweep over synthetic models shows how the speedup grows with model
+    size.
+    """
+    import warnings
+
+    from repro.composer import Composer
+    from repro.ir import IRModel, XirImageWarning, build_image
+    from repro.modellib import standard_repository
+    from repro.obs import Observer, use_observer
+    from repro.runtime import xpdl_init, xpdl_init_from_model
+
+    composed = Composer(standard_repository()).compose(system)
+    ir = IRModel.from_model(composed.root, {"system": system})
+
+    def measure(ir: IRModel, root: str) -> dict[str, Any]:
+        paths = {
+            "image_mmap": os.path.join(root, "indexed.xir"),
+            "core_only": os.path.join(root, "core.xir"),
+            "v1_scratch": os.path.join(root, "legacy.xir"),
+        }
+        with open(paths["image_mmap"], "wb") as fh:
+            fh.write(ir.to_bytes())
+        with open(paths["core_only"], "wb") as fh:
+            fh.write(build_image(ir, with_index=False))
+        with open(paths["v1_scratch"], "wb") as fh:
+            fh.write(ir.to_bytes_v1())
+
+        opens: dict[str, float] = {}
+        with warnings.catch_warnings():
+            # core_only deliberately ships no index sections; its
+            # degraded-open warning is the measurement, not a defect.
+            warnings.simplefilter("ignore", XirImageWarning)
+            for name, path in paths.items():
+                opens[name] = _min_time(lambda p=path: xpdl_init(p))
+        # from_bytes on pre-read bytes: the image without the mmap.
+        data = open(paths["image_mmap"], "rb").read()
+        opens["image_read"] = _min_time(
+            lambda: xpdl_init_from_model(IRModel.from_bytes(data))
+        )
+
+        # One observed mmap open proves the persisted index was adopted,
+        # not rebuilt.
+        obs = Observer()
+        with use_observer(obs):
+            xpdl_init(paths["image_mmap"])
+        return {
+            "open_ms": {k: round(v * 1e3, 4) for k, v in opens.items()},
+            "norm_open": {
+                k: round(v / calibration_s, 5) for k, v in opens.items()
+            },
+            "speedup_vs_scratch": round(
+                opens["v1_scratch"] / max(opens["image_mmap"], 1e-9), 2
+            ),
+            "rebuilds": obs.counters.get("index.rebuilds", 0),
+            "mmap_loads": obs.counters.get("index.load_mmap", 0),
+        }
+
+    with tempfile.TemporaryDirectory(prefix="xpdl-coldinit-") as root:
+        corpus = measure(ir, root)
+        corpus.update({"system": system, "elements": len(ir)})
+        scaling = []
+        for n in COLD_INIT_SCALING_NODES:
+            sub = os.path.join(root, str(n))
+            os.makedirs(sub)
+            row = measure(_synthetic_ir(n), sub)
+            scaling.append(
+                {
+                    "nodes": n,
+                    "image_mmap_ms": row["open_ms"]["image_mmap"],
+                    "v1_scratch_ms": row["open_ms"]["v1_scratch"],
+                    "speedup": row["speedup_vs_scratch"],
+                }
+            )
+        corpus["scaling"] = scaling
+    return corpus
+
+
 def run_serve_bench(
     calibration_s: float,
     *,
@@ -375,6 +507,7 @@ def run_bench(
         calibration_s,
         raw_path_qps=queries["categories"]["path"]["qps"],
     )
+    cold_init = run_cold_init_bench(calibration_s)
     return {
         "bench_schema": BENCH_SCHEMA,
         "rev": git_rev(),
@@ -386,6 +519,7 @@ def run_bench(
         "phases": phases,
         "queries": queries,
         "serve": serve,
+        "cold_init": cold_init,
     }
 
 
@@ -505,6 +639,42 @@ def compare(
                 f"(baseline {base_c['norm_rps']:.3f} "
                 f"-{max_regress + QUERY_NOISE:.0%})"
             )
+
+    # -- zero-copy cold open (persisted v2 index image) ----------------
+    cur_cold = current.get("cold_init") or {}
+    if cur_cold:
+        if cur_cold.get("rebuilds", 1) != 0:
+            problems.append(
+                f"warm image open rebuilt the index "
+                f"{cur_cold.get('rebuilds')!r} time(s) (expected 0: the "
+                f"persisted sections must be adopted in place)"
+            )
+        speedup = cur_cold.get("speedup_vs_scratch", 0.0)
+        if speedup < MIN_COLD_OPEN_SPEEDUP:
+            problems.append(
+                f"warm image open only {speedup:.1f}x faster than a "
+                f"from-scratch open (floor {MIN_COLD_OPEN_SPEEDUP:.0f}x)"
+            )
+        base_cold = (baseline.get("cold_init") or {}).get("norm_open") or {}
+        cur_norm = cur_cold.get("norm_open") or {}
+        for name, base_v in base_cold.items():
+            cur_v = cur_norm.get(name)
+            if cur_v is None:
+                problems.append(
+                    f"cold_init bench {name!r}: missing from current report"
+                )
+                continue
+            # Latency: higher is worse.  Same relative tolerance as the
+            # throughput gates, plus a tiny absolute slack for sub-ms
+            # opens dominated by syscall noise.
+            ceiling = base_v * (1.0 + max_regress + QUERY_NOISE) + 0.05
+            if cur_v > ceiling:
+                problems.append(
+                    f"cold_init bench {name!r} regressed: norm_open "
+                    f"{cur_v:.4f} above ceiling {ceiling:.4f} "
+                    f"(baseline {base_v:.4f} "
+                    f"+{max_regress + QUERY_NOISE:.0%})"
+                )
     return problems
 
 
@@ -576,5 +746,27 @@ def summarize(data: dict[str, Any]) -> str:
         if frac:
             lines.append(
                 f"    hot dispatch at {frac:.0%} of raw path-query rate"
+            )
+    cold = data.get("cold_init") or {}
+    if cold:
+        lines.append(
+            f"  cold open on {cold.get('system', '?')} "
+            f"({cold.get('elements', '?')} elements, "
+            f"{cold.get('rebuilds', '?')} rebuilds):"
+        )
+        for name in ("image_mmap", "image_read", "core_only", "v1_scratch"):
+            ms = (cold.get("open_ms") or {}).get(name)
+            if ms is None:
+                continue
+            lines.append(f"    {name:15s} {ms:10.3f} ms")
+        lines.append(
+            f"    warm mmap open speedup over from-scratch: "
+            f"{cold.get('speedup_vs_scratch', 0):.0f}x"
+        )
+        for row in cold.get("scaling") or []:
+            lines.append(
+                f"    {row['nodes']:7d} nodes   mmap {row['image_mmap_ms']:8.3f} ms  "
+                f"scratch {row['v1_scratch_ms']:9.3f} ms  "
+                f"speedup {row['speedup']:6.1f}x"
             )
     return "\n".join(lines)

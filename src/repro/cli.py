@@ -191,6 +191,7 @@ def cmd_cache(args) -> int:
         print(f"bytes:    {stats['bytes']}")
         for stage, n in stats["stages"].items():
             print(f"  {stage:12s} {n}")
+        print(f"images:   {stats['images']} ({stats['image_bytes']} bytes)")
         return 0
     if args.action == "clear":
         n = cache.clear()
@@ -630,6 +631,7 @@ def cmd_serve(args) -> int:
         repo_options=RepositoryOptions.from_args(args),
         max_model_bytes=args.max_model_bytes,
         reload_ttl_s=args.reload_ttl,
+        cache_dir=None if args.no_cache else args.cache_dir,
     )
 
     async def _main() -> None:
@@ -936,6 +938,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="seconds a hosted model stays trusted before its source "
         f"fingerprints are re-checked (default {serve_defaults.reload_ttl_s})",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=serve_defaults.cache_dir,
+        metavar="DIR",
+        help="persistent cache holding stage artifacts and mmap'd runtime "
+        f"images (default {serve_defaults.cache_dir})",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent cache (models are compiled in-process)",
     )
     p.set_defaults(fn=cmd_serve)
 

@@ -1,5 +1,15 @@
 """Light-weight runtime model IR and its binary/JSON file formats."""
 
-from .format import MAGIC, IRModel, IRNode
+from .format import MAGIC, MAGIC_V1, IRModel, IRNode
+from .image import XirImageWarning, build_image, read_section_table, verify_image
 
-__all__ = ["MAGIC", "IRModel", "IRNode"]
+__all__ = [
+    "MAGIC",
+    "MAGIC_V1",
+    "IRModel",
+    "IRNode",
+    "XirImageWarning",
+    "build_image",
+    "read_section_table",
+    "verify_image",
+]

@@ -1,4 +1,4 @@
-"""The light-weight runtime model representation and its file format.
+"""The light-weight runtime model representation and its file formats.
 
 Sec. IV: the processing tool "builds a light-weight run-time data structure
 for the composed model that is finally written into a file"; the application
@@ -6,29 +6,55 @@ loads it at startup through the query API.
 
 The IR flattens the composed tree into arrays — a string pool plus one
 record per node (kind, parent index, attribute name/value index pairs) — so
-loading is a single linear scan with no XML parsing.  Two encodings are
-provided: a compact binary format (magic ``XPDLRT01``) and JSON (debugging,
-interchange).  Both round-trip exactly.
+loading is a single linear scan with no XML parsing.  Three encodings are
+understood:
+
+* **v2 binary** (magic ``XPDLRT02``, :mod:`repro.ir.image`) — the default
+  written format: crc-checked, offset-addressed sections carrying the
+  records *and* the compiled :class:`~repro.runtime.index.IRIndex`
+  artifacts.  :meth:`IRModel.load` mmaps it and views every table in
+  place; nodes, strings and analyses materialize lazily on first touch,
+  so opening a model costs O(file open), not O(model).
+* **v1 binary** (magic ``XPDLRT01``) — the legacy record-only format;
+  still read (decoded eagerly, index rebuilt live) and still writable
+  via :meth:`IRModel.to_bytes_v1` for downgrade interchange.
+* **JSON** (debugging, interchange).
+
+All formats round-trip exactly.  A v2 image whose *index* sections fail
+their checksums degrades to a live index rebuild with a loud
+:class:`~repro.ir.image.XirImageWarning` — corruption is never answered
+with wrong query results; core-section damage raises
+:class:`~repro.diagnostics.QueryError`.
 """
 
 from __future__ import annotations
 
 import array
 import json
+import mmap
 import struct
 import sys
+import warnings
 from dataclasses import dataclass, field
 
 from ..diagnostics import QueryError
 from ..model import ELEMENT_REGISTRY, ModelElement
 from ..obs import get_observer
+from .image import IRImage, XirImageWarning, build_image
 
-MAGIC = b"XPDLRT01"
+MAGIC = b"XPDLRT02"
+MAGIC_V1 = b"XPDLRT01"
 _NO_PARENT = 0xFFFFFFFF
+
+#: JSON documents are accepted under either format tag — the JSON node
+#: schema never changed across the binary version bump.
+_JSON_FORMATS = (MAGIC.decode(), MAGIC_V1.decode())
 
 #: The bulk-decode fast path reads the record region as one u32 array;
 #: only usable when the platform's array("I") is exactly 4 bytes wide.
 _U32_ARRAY_OK = array.array("I").itemsize == 4
+
+_MISS = object()
 
 
 @dataclass(slots=True)
@@ -53,14 +79,69 @@ class IRNode:
         return self.name or self.ident or f"<{self.kind}#{self.index}>"
 
 
-class IRModel:
-    """The flattened runtime model."""
+class _LazyNodes:
+    """Node sequence over a mapped :class:`~repro.ir.image.IRImage`.
 
-    def __init__(self, nodes: list[IRNode], meta: dict[str, str] | None = None):
+    Behaves like the eager ``list[IRNode]`` (len/index/slice/iterate) but
+    builds each :class:`IRNode` from the record sections on first touch
+    and interns it — untouched models stay as mapped pages."""
+
+    __slots__ = ("_image", "_memo")
+
+    def __init__(self, image: IRImage) -> None:
+        self._image = image
+        self._memo: list[IRNode | None] = [None] * image.n
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def __iter__(self):
+        for i in range(len(self._memo)):
+            yield self[i]
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(len(self._memo)))]
+        if i < 0:
+            i += len(self._memo)
+        node = self._memo[i]
+        if node is None:
+            node = self._memo[i] = self._materialize(i)
+        return node
+
+    def _materialize(self, i: int) -> IRNode:
+        im = self._image
+        pool = im.pool
+        pairs = im.attr_pairs
+        lo, hi = im.attr_off[i], im.attr_off[i + 1]
+        attrs: dict[str, str] = {}
+        for j in range(lo, hi):
+            attrs[pool[pairs[2 * j]]] = pool[pairs[2 * j + 1]]
+        parent = im.parents[i]
+        return IRNode(
+            i,
+            pool[im.kind_ids[i]],
+            None if parent == _NO_PARENT else parent,
+            attrs,
+            list(im.child_idx[im.child_off[i] : im.child_off[i + 1]]),
+        )
+
+
+class IRModel:
+    """The flattened runtime model (eager node list or mapped image)."""
+
+    def __init__(self, nodes, meta: dict[str, str] | None = None):
         self.nodes = nodes
         self.meta = dict(meta or {})
         self._by_id: dict[str, int] | None = None
         self._index = None  # lazily built IRIndex (the IR is read-only)
+        self._image: IRImage | None = None
+        self._id_memo: dict[str, int | None] | None = None
+        # Set when this model came from a persisted source *without* a
+        # usable index (v1 file, degraded v2 image): the live IRIndex
+        # build then counts as an ``index.rebuilds`` — the startup tax
+        # the image format exists to avoid.
+        self._load_origin: str | None = None
 
     # -- construction -------------------------------------------------------
     @staticmethod
@@ -88,7 +169,7 @@ class IRModel:
     def to_model(self) -> ModelElement:
         """Rebuild a model object tree (for tooling; the runtime query API
         works on the IR directly)."""
-        if not self.nodes:
+        if not len(self.nodes):
             raise QueryError("empty IR model")
         elems: list[ModelElement] = []
         for node in self.nodes:
@@ -116,6 +197,17 @@ class IRModel:
         return self.nodes[node.parent] if node.parent is not None else None
 
     def by_id(self, ident: str) -> IRNode | None:
+        image = self._image
+        if image is not None and image.index_ok:
+            # Serve single lookups straight from the mapped IDTB section
+            # (memoized per id, hits and misses alike) — no full table.
+            memo = self._id_memo
+            if memo is None:
+                memo = self._id_memo = {}
+            idx = memo.get(ident, _MISS)
+            if idx is _MISS:
+                idx = memo[ident] = image.id_index(ident)
+            return self.nodes[idx] if idx is not None else None
         idx = self._id_table().get(ident)
         return self.nodes[idx] if idx is not None else None
 
@@ -151,7 +243,8 @@ class IRModel:
 
     def index(self):
         """The compiled query index (built once; the IR never mutates, so
-        it is never invalidated)."""
+        it is never invalidated).  Image-backed models serve the index
+        straight from the mapped sections — zero construction."""
         if self._index is None:
             from ..runtime.index import IRIndex  # late: avoids an import cycle
 
@@ -164,12 +257,16 @@ class IRModel:
         Used by the model service's LRU byte accounting: exactness does
         not matter (eviction compares models against each other and a
         budget), but the estimate must be monotone in model size and
-        cheap — one pass over nodes and attribute strings, no sys.getsizeof
-        recursion.  The constants approximate CPython object headers for
-        an :class:`IRNode` (+ its interned handle and index rows): ~200
+        cheap.  Image-backed models are dominated by the mapped file
+        plus whatever lazily materialized; ~3x the file size bounds a
+        fully-touched model without walking it.  For eager models the
+        constants approximate CPython object headers for an
+        :class:`IRNode` (+ its interned handle and index rows): ~200
         bytes of fixed overhead per node plus ~100 per attribute pair
         plus the string payloads themselves.
         """
+        if self._image is not None:
+            return 4096 + 3 * self._image.nbytes
         total = 4096  # model object + tables overhead
         for node in self.nodes:
             total += 200 + 8 * len(node.children) + len(node.kind)
@@ -188,8 +285,38 @@ class IRModel:
             yield node
             stack.extend(reversed(node.children))
 
+    # -- pickling (stage caches ship IRModels across processes) -------------
+    def __getstate__(self):
+        if self._image is not None:
+            # An image-backed model pickles as its serialized form: views
+            # into an mmap cannot cross process boundaries, the bytes can.
+            return {"image": self.to_bytes()}
+        return {"nodes": self.nodes, "meta": self.meta}
+
+    def __setstate__(self, state):
+        blob = state.get("image")
+        if blob is not None:
+            other = IRModel.from_bytes(blob)
+            self.__dict__.update(other.__dict__)
+        else:
+            self.__init__(state["nodes"], state["meta"])
+
     # -- binary encoding -----------------------------------------------------------
     def to_bytes(self) -> bytes:
+        """Serialize as a v2 image (records + index sections).
+
+        Deterministic for a given model.  A model opened from an intact
+        image re-serializes as the identical bytes without touching a
+        single lazy structure."""
+        if self._image is not None and self._image.index_ok:
+            blob = bytes(self._image.buffer)
+        else:
+            blob = build_image(self)
+        get_observer().count("ir.bytes", len(blob))
+        return blob
+
+    def to_bytes_v1(self) -> bytes:
+        """Serialize in the legacy record-only ``XPDLRT01`` format."""
         pool: dict[str, int] = {}
         pool_list: list[str] = []
 
@@ -212,7 +339,7 @@ class IRModel:
             records.append(b"".join(rec))
 
         meta_items = list(self.meta.items())
-        out = [MAGIC]
+        out = [MAGIC_V1]
         out.append(struct.pack("<I", len(meta_items)))
         for k, v in meta_items:
             kb, vb = k.encode("utf-8"), v.encode("utf-8")
@@ -231,10 +358,43 @@ class IRModel:
         return blob
 
     @staticmethod
-    def from_bytes(data: bytes) -> "IRModel":
+    def from_bytes(data) -> "IRModel":
+        """Decode either binary format; v2 buffers are viewed in place.
+
+        ``data`` may be bytes or any buffer (an ``mmap`` in particular);
+        a v2 model keeps views into it, so the buffer must outlive the
+        model — which reference counting guarantees."""
         view = memoryview(data)
-        if bytes(view[:8]) != MAGIC:
-            raise QueryError("not an XPDL runtime model file (bad magic)")
+        head = bytes(view[:8])
+        if head == MAGIC:
+            return IRModel._from_image(data)
+        if head == MAGIC_V1:
+            return IRModel._from_bytes_v1(view)
+        raise QueryError("not an XPDL runtime model file (bad magic)")
+
+    @staticmethod
+    def _from_image(data) -> "IRModel":
+        image = IRImage(data)  # raises QueryError on core damage
+        model = IRModel(_LazyNodes(image), image.meta)
+        model._image = image
+        obs = get_observer()
+        if not image.index_ok:
+            model._load_origin = f"degraded image ({image.index_problem})"
+            warnings.warn(
+                "XPDL v2 runtime image has unusable index sections "
+                f"({image.index_problem}); rebuilding the index live — "
+                "re-run the toolchain (or `xpdl cache clear`) to restore "
+                "zero-copy startup",
+                XirImageWarning,
+                stacklevel=3,
+            )
+            if obs.enabled:
+                obs.mark("index.degraded", problem=image.index_problem)
+        obs.count("ir.loads")
+        return model
+
+    @staticmethod
+    def _from_bytes_v1(view: memoryview) -> "IRModel":
         off = 8
 
         def read_u32() -> int:
@@ -312,7 +472,9 @@ class IRModel:
             if node.parent is not None:
                 nodes[node.parent].children.append(node.index)
         get_observer().count("ir.loads")
-        return IRModel(nodes, meta)
+        model = IRModel(nodes, meta)
+        model._load_origin = "v1 format (no persisted index)"
+        return model
 
     # -- JSON encoding -----------------------------------------------------------------
     def to_json(self) -> str:
@@ -335,7 +497,7 @@ class IRModel:
     @staticmethod
     def from_json(text: str) -> "IRModel":
         data = json.loads(text)
-        if data.get("format") != MAGIC.decode():
+        if data.get("format") not in _JSON_FORMATS:
             raise QueryError("not an XPDL runtime model JSON document")
         nodes = [
             IRNode(i, d["kind"], d["parent"], dict(d["attrs"]))
@@ -361,4 +523,8 @@ class IRModel:
             with open(path, "r", encoding="utf-8") as fh:
                 return IRModel.from_json(fh.read())
         with open(path, "rb") as fh:
-            return IRModel.from_bytes(fh.read())
+            try:
+                buf = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            except (ValueError, OSError):  # empty file, exotic filesystems
+                buf = fh.read()
+        return IRModel.from_bytes(buf)

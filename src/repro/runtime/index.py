@@ -27,7 +27,7 @@ objects over the same IR (contexts intern their own handles).
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from ..analysis import NON_PHYSICAL_KINDS
 from ..obs import get_observer
@@ -40,12 +40,60 @@ _EMPTY_BUCKET: tuple[list[int], list[int]] = ([], [])
 _EMPTY_SET: frozenset[int] = frozenset()
 _ZERO_POWER = Quantity(0.0, POWER)
 
+#: v2 images store "unreachable from root" as the u32 all-ones sentinel
+#: (a mapped u32 view cannot hold the eager build's -1).
+_UNREACHABLE = 0xFFFFFFFF
+
+
+class _ImageKinds:
+    """Kind strings viewed through the image's lazily-decoded pool."""
+
+    __slots__ = ("_ids", "_pool")
+
+    def __init__(self, image) -> None:
+        self._ids = image.kind_ids
+        self._pool = image.pool
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __getitem__(self, i: int) -> str:
+        return self._pool[self._ids[i]]
+
+    def __iter__(self):
+        pool = self._pool
+        return (pool[sid] for sid in self._ids)
+
+
+class _ImageChildren:
+    """Per-node child-index lists over the mapped CHLD section (memoized
+    so hot child-axis steps don't re-slice per call)."""
+
+    __slots__ = ("_off", "_idx", "_memo")
+
+    def __init__(self, image) -> None:
+        self._off = image.child_off
+        self._idx = image.child_idx
+        self._memo: list[list[int] | None] = [None] * image.n
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def __getitem__(self, i: int) -> list[int]:
+        c = self._memo[i]
+        if c is None:
+            c = self._memo[i] = list(self._idx[self._off[i] : self._off[i + 1]])
+        return c
+
 
 class IRIndex:
     """Read-only acceleration structures for one :class:`IRModel`.
 
     Built once (``IRModel.index()`` memoizes construction); never
-    invalidated — the runtime IR is immutable by design.
+    invalidated — the runtime IR is immutable by design.  A model backed
+    by an intact v2 image skips construction entirely: the pre/size/doc
+    arrays, kind buckets and attribute node sets are *views* over the
+    mapped sections (attribute sets materialize lazily per key).
     """
 
     __slots__ = (
@@ -55,6 +103,7 @@ class IRIndex:
         "pre",
         "size",
         "doc",
+        "_image",
         "_buckets",
         "_attr_has",
         "_attr_eq",
@@ -63,12 +112,29 @@ class IRIndex:
         "_static_power_w",
     )
 
-    def __init__(self, ir: "IRModel") -> None:
+    # Eager builds use plain lists/sets; image-backed indexes adopt u32
+    # memoryviews and lazy wrappers — one declaration covers both.
+    kinds: Any
+    children: Any
+    pre: Any
+    size: Any
+    doc: Any
+    _image: Any
+    _buckets: Any
+    _attr_has: Any
+    _attr_eq: Any
+
+    def __init__(self, ir: "IRModel", *, use_image: bool = True) -> None:
         self.ir = ir
+        image = getattr(ir, "_image", None) if use_image else None
+        if image is not None and image.index_ok:
+            self._init_from_image(image)
+            return
+        self._image = None
         nodes = ir.nodes
         n = len(nodes)
-        self.kinds: list[str] = [node.kind for node in nodes]
-        self.children: list[list[int]] = [node.children for node in nodes]
+        self.kinds = [node.kind for node in nodes]
+        self.children = [node.children for node in nodes]
 
         # -- pre-order numbering + subtree sizes (iterative, any depth) ----
         pre = [-1] * n
@@ -126,12 +192,39 @@ class IRIndex:
         if obs.enabled:
             obs.count("runtime.index_builds")
             obs.count("runtime.index_nodes", n)
+            if getattr(ir, "_load_origin", None) is not None:
+                # A persisted model was opened without a usable index:
+                # this build is exactly the startup tax the v2 image
+                # format exists to avoid.  CI asserts this stays 0 on
+                # the warm path.
+                obs.count("index.rebuilds")
+                obs.mark("index.rebuild", origin=ir._load_origin)
+
+    def _init_from_image(self, image) -> None:
+        """Adopt the mapped index sections — zero construction work."""
+        self._image = image
+        self.kinds = _ImageKinds(image)
+        self.children = _ImageChildren(image)
+        self.pre = image.pre
+        self.size = image.size
+        self.doc = image.doc
+        self._buckets = image.buckets
+        # Lazy per-key materialization caches (image lookups fill them).
+        self._attr_has = {}
+        self._attr_eq = {}
+        self._kind_counts = {}
+        self._cuda_counts = None
+        self._static_power_w = None
+        obs = get_observer()
+        if obs.enabled:
+            obs.count("index.load_mmap")
+            obs.count("runtime.index_nodes", image.n)
 
     # -- structure queries -------------------------------------------------
     def interval(self, i: int) -> tuple[int, int]:
         """Document-position interval of the *strict* descendants of ``i``."""
         p = self.pre[i]
-        if p < 0:  # unreachable from the root
+        if p < 0 or p == _UNREACHABLE:  # unreachable from the root
             return (0, 0)
         return (p + 1, p + self.size[i])
 
@@ -159,10 +252,24 @@ class IRIndex:
         return lo <= p < hi
 
     def attr_has(self, name: str) -> frozenset[int] | set[int]:
-        return self._attr_has.get(name, _EMPTY_SET)
+        image = self._image
+        if image is None:
+            return self._attr_has.get(name, _EMPTY_SET)
+        members = self._attr_has.get(name)
+        if members is None:
+            members = self._attr_has[name] = image.attr_has_set(name)
+        return members
 
     def attr_eq(self, name: str, value: str) -> frozenset[int] | set[int]:
-        return self._attr_eq.get((name, value), _EMPTY_SET)
+        image = self._image
+        if image is None:
+            return self._attr_eq.get((name, value), _EMPTY_SET)
+        members = self._attr_eq.get((name, value))
+        if members is None:
+            members = self._attr_eq[(name, value)] = image.attr_eq_set(
+                name, value
+            )
+        return members
 
     # -- memoized model analyses -------------------------------------------
     def _physical_postorder(self, per_node, out: list) -> None:

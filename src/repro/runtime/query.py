@@ -23,6 +23,7 @@ analysis functions are O(1) reads of memoized post-order aggregates.
 
 from __future__ import annotations
 
+import time
 from functools import lru_cache
 from typing import Iterator
 
@@ -272,15 +273,23 @@ def xpdl_init(filename: str) -> QueryContext:
 
     The Python spelling of the paper's ``int xpdl_init(char *filename)``;
     raises :class:`QueryError` on unreadable or malformed files instead of
-    returning an error code.  Loading builds the query index once — every
-    later browse/path/analysis call runs against the compiled structures.
+    returning an error code.  A v2 image file is mmapped and its persisted
+    index adopted in place (``index.load_mmap``); v1 files and images with
+    damaged index sections fall back to a live index build
+    (``index.rebuilds``).  Either way the cold-open latency lands in the
+    ``index.open_s`` histogram.
     """
+    obs = get_observer()
+    t0 = time.perf_counter()
     try:
         ir = IRModel.load(filename)
     except FileNotFoundError:
         raise QueryError(f"runtime model file not found: {filename}") from None
-    get_observer().count("runtime.inits")
-    return QueryContext(ir)
+    ctx = QueryContext(ir)
+    obs.count("runtime.inits")
+    if obs.enabled:
+        obs.record("index.open_s", time.perf_counter() - t0)
+    return ctx
 
 
 def xpdl_init_from_model(ir: IRModel) -> QueryContext:

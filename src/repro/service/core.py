@@ -56,9 +56,11 @@ from typing import Any, Callable, Iterator, Mapping
 from contextlib import contextmanager
 
 from ..diagnostics import QueryError, XpdlError
+from ..ir import IRModel
 from ..obs import Observer, use_observer
 from ..runtime import QueryContext, query_all, xpdl_init_from_model
 from ..toolchain import EmitResult, ToolchainSession
+from ..toolchain.diskcache import open_cache
 from .options import RepositoryOptions, build_repository
 
 #: Default hosted-model budget: generous for the paper corpus, small
@@ -237,6 +239,7 @@ class ModelHost:
         include: tuple[str, ...] | list[str] = (),
         max_model_bytes: int = DEFAULT_MAX_MODEL_BYTES,
         reload_ttl_s: float = DEFAULT_RELOAD_TTL_S,
+        cache_dir: str | None = None,
     ) -> None:
         self.observer = observer if observer is not None else Observer()
         if session is None:
@@ -247,7 +250,11 @@ class ModelHost:
                         include=tuple(include) + tuple(opts.include)
                     )
                 repository = build_repository(opts)
-            session = ToolchainSession(repository, observer=self.observer)
+            session = ToolchainSession(
+                repository,
+                observer=self.observer,
+                disk_cache=open_cache(cache_dir),
+            )
         self._session = session
         self.max_model_bytes = int(max_model_bytes)
         self.reload_ttl_s = float(reload_ttl_s)
@@ -324,7 +331,7 @@ class ModelHost:
                 self._total_bytes -= entry.size_bytes
                 self.observer.count("service.model.reloads")
             self._generation += 1
-            ctx = xpdl_init_from_model(result.ir)  # compiles the index once
+            ctx = self._open_context(result)
             new = HostedModel(
                 identifier=identifier,
                 emit=result,
@@ -341,6 +348,36 @@ class ModelHost:
             self.observer.count("service.model.builds")
             self._evict_locked()
             return new
+
+    def _open_context(self, result: EmitResult) -> QueryContext:
+        """Compile one query context, preferring the persisted image.
+
+        When the session's disk cache holds the v2 runtime image of this
+        emit artifact, mmap it — the persisted index sections are adopted
+        zero-copy and no :class:`IRIndex` is constructed.  Any defect in
+        the image (torn write, stale cache, bit rot) falls back to
+        compiling from the in-memory IR: slower, never wrong.
+        """
+        disk_cache = self._session.disk_cache
+        if disk_cache is not None and result.image_key:
+            path = disk_cache.find_image(result.image_key)
+            if path is not None:
+                try:
+                    with use_observer(self.observer):
+                        t0 = time.perf_counter()
+                        ir = IRModel.load(path)
+                        ctx = xpdl_init_from_model(ir)
+                        self.observer.count("service.model.image_opens")
+                        self.observer.record(
+                            "index.open_s", time.perf_counter() - t0
+                        )
+                    return ctx
+                except QueryError:
+                    # Structurally corrupt core sections: the content
+                    # address no longer matches what was stored.
+                    self.observer.count("service.model.image_corrupt")
+        with use_observer(self.observer):
+            return xpdl_init_from_model(result.ir)
 
     def _release(self, entry: HostedModel) -> None:
         with self._lock:

@@ -165,4 +165,7 @@ class ServiceOptions:
     max_model_bytes: int = 256 * 1024 * 1024
     reload_ttl_s: float = 0.25
     workers: int = 4
+    #: Persistent cache root holding stage artifacts and v2 runtime
+    #: images (mmap'd on model open); None disables disk caching.
+    cache_dir: str | None = ".xpdl-cache"
     repository: RepositoryOptions = field(default_factory=RepositoryOptions)

@@ -45,6 +45,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
+from ..ir.image import verify_image
 from ..obs import get_observer
 
 try:  # advisory locking is POSIX-only; the cache degrades gracefully
@@ -83,6 +84,7 @@ PICKLE_PROTOCOL = 4
 
 INDEX_NAME = "index.json"
 OBJECTS_DIR = "objects"
+IMAGES_DIR = "images"
 LOCK_NAME = ".lock"
 
 DEFAULT_CACHE_DIR = ".xpdl-cache"
@@ -151,8 +153,16 @@ class PersistentStageCache:
     def objects_root(self) -> str:
         return os.path.join(self.root, OBJECTS_DIR)
 
+    @property
+    def images_root(self) -> str:
+        return os.path.join(self.root, IMAGES_DIR)
+
     def _blob_path(self, blob: str) -> str:
         return os.path.join(self.objects_root, blob.replace("/", os.sep))
+
+    def image_path(self, key: str) -> str:
+        """Content-addressed location of one runtime image (v2 ``.xir``)."""
+        return os.path.join(self.images_root, key[:2], f"{key}.xir")
 
     # -- index I/O ---------------------------------------------------------
     @contextmanager
@@ -295,6 +305,40 @@ class PersistentStageCache:
         self._entries = None  # next lookup sees the merged view
         return True
 
+    # -- runtime images ------------------------------------------------------
+    def store_image(self, data: bytes) -> str:
+        """Persist one serialized v2 runtime image; returns its key.
+
+        Content-addressed by SHA-256 and written atomically, exactly like
+        stage blobs — concurrent build workers emitting the same model
+        write identical files, and a reader never maps a torn image.
+        """
+        key = hashlib.sha256(data).hexdigest()
+        path = self.image_path(key)
+        if not os.path.exists(path):
+            self._atomic_write(path, data)
+            get_observer().count("cache.image_stores")
+        return key
+
+    def find_image(self, key: str) -> str | None:
+        """Path of a persisted image, or None (caller falls back to a
+        live build — a missing image is a cold cache, not an error)."""
+        if not key:
+            return None
+        path = self.image_path(key)
+        return path if os.path.exists(path) else None
+
+    def _image_files(self) -> list[str]:
+        out: list[str] = []
+        root = self.images_root
+        if not os.path.isdir(root):
+            return out
+        for dirpath, _dirs, files in os.walk(root):
+            for name in files:
+                if name.endswith(".xir"):
+                    out.append(os.path.join(dirpath, name))
+        return sorted(out)
+
     # -- maintenance (xpdl cache …) -----------------------------------------
     def stats(self) -> dict[str, Any]:
         """Summary counts for ``xpdl cache stats``."""
@@ -304,27 +348,33 @@ class PersistentStageCache:
         for e in entries.values():
             by_stage[e.stage] = by_stage.get(e.stage, 0) + 1
             total += e.size
+        images = self._image_files()
         return {
             "path": self.root,
             "version": CACHE_SCHEMA_VERSION,
             "entries": len(entries),
             "bytes": total,
             "stages": dict(sorted(by_stage.items())),
+            "images": len(images),
+            "image_bytes": sum(os.path.getsize(p) for p in images),
         }
 
     def clear(self) -> int:
-        """Drop every entry and blob; returns the number removed."""
+        """Drop every entry, blob and image; returns the number removed."""
         with self._index_lock():
-            n = len(self._read_index())
+            n = len(self._read_index()) + len(self._image_files())
             shutil.rmtree(self.objects_root, ignore_errors=True)
+            shutil.rmtree(self.images_root, ignore_errors=True)
             self._write_index({})
         self._entries = None
         return n
 
     def verify(self) -> tuple[int, list[str]]:
-        """Check every entry's blob exists and matches its digest.
+        """Check every entry's blob — and every runtime image — exists
+        and matches its digest; images additionally get their section
+        checksums verified.
 
-        Returns ``(entries_checked, problems)``; an empty problem list
+        Returns ``(items_checked, problems)``; an empty problem list
         means the cache is internally consistent.
         """
         problems: list[str] = []
@@ -341,7 +391,20 @@ class PersistentStageCache:
                 problems.append(f"{key}: blob digest mismatch {entry.blob}")
             elif len(data) != entry.size:
                 problems.append(f"{key}: blob size mismatch {entry.blob}")
-        return len(entries), problems
+        images = self._image_files()
+        for path in images:
+            name = os.path.basename(path)[: -len(".xir")]
+            try:
+                with open(path, "rb") as fh:
+                    data = fh.read()
+            except OSError:
+                problems.append(f"image {name[:12]}: unreadable")
+                continue
+            if hashlib.sha256(data).hexdigest() != name:
+                problems.append(f"image {name[:12]}: content digest mismatch")
+            for defect in verify_image(data):
+                problems.append(f"image {name[:12]}: {defect}")
+        return len(entries) + len(images), problems
 
     # -- hooks for tests ------------------------------------------------------
     def stamp_version(self, version: int) -> None:

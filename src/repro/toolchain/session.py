@@ -136,6 +136,11 @@ class EmitResult:
     composed: ComposedModel
     dropped_attrs: int = 0
     dropped_elements: int = 0
+    #: Content-address of the persisted v2 runtime image in the disk
+    #: cache (``images/``), or None when no disk cache was configured.
+    #: Consumers (:class:`repro.service.core.ModelHost`) mmap this image
+    #: for a zero-copy open instead of re-deriving the index.
+    image_key: str | None = None
 
 
 @dataclass
@@ -478,11 +483,20 @@ class ToolchainSession:
                 "schema": f"{CORE_SCHEMA.name} {CORE_SCHEMA.version}",
             },
         )
+        image_key: str | None = None
+        if self.disk_cache is not None:
+            try:
+                image_key = self.disk_cache.store_image(ir.to_bytes())
+            except OSError:
+                # A read-only or full cache directory costs the fast
+                # open, never the build.
+                image_key = None
         result = EmitResult(
             ir=ir,
             composed=composed,
             dropped_attrs=dropped_attrs,
             dropped_elements=dropped_elements,
+            image_key=image_key,
         )
         return result, composed.referenced or (identifier,)
 

@@ -358,7 +358,9 @@ class TestPersistentCache:
         cache = PersistentStageCache(str(cache_dir))
         checked, problems = cache.verify()
         assert problems == []
-        assert checked == 3  # compose, analyze, emit_ir — once, not twice
+        # compose, analyze, emit_ir stages + the content-addressed runtime
+        # image — each cached once, not twice.
+        assert checked == 4
 
         obs = Observer()
         session = ToolchainSession(

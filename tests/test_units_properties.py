@@ -2,7 +2,7 @@
 
 import math
 
-from hypothesis import given, strategies as st
+from hypothesis import assume, given, strategies as st
 
 from repro.units import (
     DEFAULT_REGISTRY,
@@ -45,6 +45,10 @@ def test_power_time_energy_consistency(p, pu, t, tu):
     power = Quantity.of(p, pu)
     time = Quantity.of(t, tu)
     energy = power * time
+    # A subnormal intermediate (|P*t| below ~1e-308) loses mantissa bits
+    # by construction in IEEE 754; the round-trip property only holds in
+    # the normal range.
+    assume(energy.magnitude == 0.0 or abs(energy.magnitude) > 1e-300)
     assert energy.dimension == ENERGY
     back = energy / time
     assert math.isclose(
