@@ -25,6 +25,14 @@ path/analysis evaluators for comparison.  ``compare`` gates the
 normalized throughputs against the baseline and enforces the compiled
 engine's speedup floor over the naive evaluators.
 
+The ``scale`` section runs the toolchain over a *generated* corpus
+(``repro.corpus``, seed/scale fixed in :data:`SCALE_BENCH_SEED` /
+:data:`SCALE_BENCH_SCALE`): generator throughput, cold/warm/parallel
+batch builds of the synthetic systems, and a cold doctor pass.
+``compare`` gates batch-build and doctor normalized walls against the
+baseline and enforces the structural invariants — digest-stable
+generation, byte-identical parallel builds, zero doctor errors.
+
 The ``serve`` section measures the ``xpdl serve`` hot path in-process:
 :class:`repro.service.ModelHost` dispatch throughput once the model's
 ``IRIndex`` is hosted (single requests, 32-request batches, and a
@@ -45,7 +53,7 @@ import tempfile
 import time
 from typing import Any, Sequence
 
-BENCH_SCHEMA = 4
+BENCH_SCHEMA = 5
 
 #: Warm-cache hit-rate floor (acceptance criterion: >= 90 %).
 MIN_WARM_HIT_RATE = 0.9
@@ -83,6 +91,13 @@ MIN_COLD_OPEN_SPEEDUP = 10.0
 
 #: Synthetic model sizes (elements) for the cold-open scaling sweep.
 COLD_INIT_SCALING_NODES = (1_000, 10_000, 50_000)
+
+#: Seed/scale of the generated corpus the ``scale`` section measures.
+#: Scale 120 is ~6x the bundled corpus — big enough that batch sharding,
+#: repository indexing and the doctor's cross-descriptor passes dominate,
+#: small enough for every CI run.
+SCALE_BENCH_SEED = 7
+SCALE_BENCH_SCALE = 120
 
 #: The path query measured for the path/path_naive categories (the E9
 #: hot pattern: descendant axis + attribute-value predicate).
@@ -443,6 +458,94 @@ def run_serve_bench(
     return out
 
 
+def run_scale_bench(
+    calibration_s: float,
+    *,
+    seed: int = SCALE_BENCH_SEED,
+    scale: int = SCALE_BENCH_SCALE,
+    jobs: int | None = None,
+) -> dict[str, Any]:
+    """Measure the toolchain over a generated corpus (``xpdl gen``).
+
+    Generates a seeded synthetic descriptor library, then measures:
+    generator throughput (descriptors/s), cold/warm/parallel batch builds
+    of the generated systems, and one cold doctor pass over the whole
+    repository.  ``digest_stable`` re-generates and compares tree digests
+    (the determinism contract); ``ir_deterministic`` compares the
+    sequential and parallel builds' IR hashes; the doctor's ``errors``
+    must be 0 — the generator is doctor-clean by construction.
+    """
+    from repro.corpus import generate_corpus
+    from repro.modellib import standard_repository
+    from repro.service.core import merged_doctor_report
+    from repro.toolchain import ToolchainSession, default_jobs, run_batch
+
+    jobs = jobs or default_jobs()
+
+    t0 = time.perf_counter()
+    corpus = generate_corpus(seed, scale)
+    gen_wall = time.perf_counter() - t0
+    digest = corpus.digest()
+    digest_stable = generate_corpus(seed, scale).digest() == digest
+
+    with tempfile.TemporaryDirectory(prefix="xpdl-scale-") as scratch:
+        corpus_dir = os.path.join(scratch, "corpus")
+        corpus.write_to(corpus_dir)
+        cache = os.path.join(scratch, "cache")
+        systems = list(corpus.systems)
+
+        cold = run_batch(
+            standard_repository(corpus_dir), systems, jobs=1,
+            cache_dir=os.path.join(cache, "seq"),
+        )
+        warm = run_batch(
+            standard_repository(corpus_dir), systems, jobs=1,
+            cache_dir=os.path.join(cache, "seq"),
+        )
+        par = run_batch(
+            standard_repository(corpus_dir), systems, jobs=jobs,
+            cache_dir=os.path.join(cache, "par"),
+        )
+
+        session = ToolchainSession(standard_repository(corpus_dir))
+        t0 = time.perf_counter()
+        merged = merged_doctor_report(session, systems)
+        doctor_wall = time.perf_counter() - t0
+
+    phases = {
+        "cold": _phase_dict(cold),
+        "warm": _phase_dict(warm),
+        "parallel": _phase_dict(par),
+    }
+    for phase in phases.values():
+        phase["norm_wall"] = round(phase["wall_s"] / calibration_s, 4)
+    ir_match = [b.ir_sha256 for b in cold.builds] == [
+        b.ir_sha256 for b in par.builds
+    ]
+    return {
+        "seed": seed,
+        "scale": scale,
+        "descriptors": len(corpus),
+        "systems": len(systems),
+        "digest": digest,
+        "digest_stable": digest_stable,
+        "gen": {
+            "wall_s": round(gen_wall, 6),
+            "norm_wall": round(gen_wall / calibration_s, 4),
+            "descriptors_per_s": round(len(corpus) / gen_wall, 1),
+        },
+        "phases": phases,
+        "ir_deterministic": ir_match,
+        "doctor": {
+            "wall_s": round(doctor_wall, 6),
+            "norm_wall": round(doctor_wall / calibration_s, 4),
+            "systems_per_s": round(len(systems) / doctor_wall, 2),
+            "errors": merged.errors,
+            "findings": len(merged.findings),
+        },
+    }
+
+
 def _phase_dict(report: Any) -> dict[str, Any]:
     return {
         "ok": report.ok,
@@ -469,9 +572,9 @@ def run_bench(
     touches (or benefits from) a developer's real ``.xpdl-cache``.
     """
     from repro.modellib import standard_repository
-    from repro.toolchain import run_batch
+    from repro.toolchain import default_jobs, run_batch
 
-    jobs = jobs or os.cpu_count() or 1
+    jobs = jobs or default_jobs()
     calibration_s = calibrate()
 
     with tempfile.TemporaryDirectory(prefix="xpdl-bench-") as scratch:
@@ -508,6 +611,7 @@ def run_bench(
         raw_path_qps=queries["categories"]["path"]["qps"],
     )
     cold_init = run_cold_init_bench(calibration_s)
+    scale = run_scale_bench(calibration_s, jobs=jobs)
     return {
         "bench_schema": BENCH_SCHEMA,
         "rev": git_rev(),
@@ -520,6 +624,7 @@ def run_bench(
         "queries": queries,
         "serve": serve,
         "cold_init": cold_init,
+        "scale": scale,
     }
 
 
@@ -675,6 +780,64 @@ def compare(
                     f"(baseline {base_v:.4f} "
                     f"+{max_regress + QUERY_NOISE:.0%})"
                 )
+    # -- generated-corpus scale section --------------------------------
+    cur_scale = current.get("scale") or {}
+    if cur_scale:
+        if not cur_scale.get("digest_stable", False):
+            problems.append(
+                "scale bench: generator digest is not stable across "
+                "re-generation (seeding contract broken)"
+            )
+        if not cur_scale.get("ir_deterministic", False):
+            problems.append(
+                "scale bench: parallel corpus build is not byte-identical "
+                "to sequential"
+            )
+        for name, phase in (cur_scale.get("phases") or {}).items():
+            if not phase.get("ok", False):
+                problems.append(f"scale bench phase {name}: build failed")
+        scale_warm = (cur_scale.get("phases") or {}).get("warm") or {}
+        if scale_warm and scale_warm.get("hit_rate", 0.0) < MIN_WARM_HIT_RATE:
+            problems.append(
+                f"scale bench warm hit rate {scale_warm['hit_rate']:.0%} "
+                f"below the {MIN_WARM_HIT_RATE:.0%} floor"
+            )
+        doctor = cur_scale.get("doctor") or {}
+        if doctor.get("errors", 0) != 0:
+            problems.append(
+                f"scale bench: doctor found {doctor.get('errors')} error(s) "
+                "in the generated corpus (generator must be doctor-clean)"
+            )
+        # Batch-build and doctor throughput gates against the baseline
+        # (normalized walls; ceiling like the latency gates above).
+        base_scale = baseline.get("scale") or {}
+        gates = [
+            ("cold build", ("phases", "cold"), "norm_wall"),
+            ("warm build", ("phases", "warm"), "norm_wall"),
+            ("doctor", ("doctor",), "norm_wall"),
+        ]
+        for label, path_keys, key in gates:
+            base_v: Any = base_scale
+            cur_v: Any = cur_scale
+            for k in path_keys:
+                base_v = (base_v or {}).get(k)
+                cur_v = (cur_v or {}).get(k)
+            base_v = (base_v or {}).get(key) if base_v else None
+            cur_v = (cur_v or {}).get(key) if cur_v else None
+            if base_v is None:
+                continue
+            if cur_v is None:
+                problems.append(
+                    f"scale bench {label}: missing from current report"
+                )
+                continue
+            ceiling = base_v * (1.0 + max_regress + QUERY_NOISE) + NORM_SLACK
+            if cur_v > ceiling:
+                problems.append(
+                    f"scale bench {label} regressed: norm_wall {cur_v:.3f} "
+                    f"above ceiling {ceiling:.3f} (baseline {base_v:.3f} "
+                    f"+{max_regress + QUERY_NOISE:.0%})"
+                )
     return problems
 
 
@@ -768,5 +931,38 @@ def summarize(data: dict[str, Any]) -> str:
                 f"    {row['nodes']:7d} nodes   mmap {row['image_mmap_ms']:8.3f} ms  "
                 f"scratch {row['v1_scratch_ms']:9.3f} ms  "
                 f"speedup {row['speedup']:6.1f}x"
+            )
+    scale = data.get("scale") or {}
+    if scale:
+        lines.append(
+            f"  scale corpus (seed={scale.get('seed')}, "
+            f"scale={scale.get('scale')}): {scale.get('descriptors')} "
+            f"descriptors, {scale.get('systems')} systems, "
+            f"digest {'stable' if scale.get('digest_stable') else 'UNSTABLE'}"
+        )
+        gen = scale.get("gen") or {}
+        if gen:
+            lines.append(
+                f"    gen        wall {gen['wall_s'] * 1e3:8.1f} ms  "
+                f"{gen['descriptors_per_s']:7.1f} descriptors/s"
+            )
+        for name in ("cold", "warm", "parallel"):
+            p = (scale.get("phases") or {}).get(name)
+            if p is None:
+                continue
+            lines.append(
+                f"    {name:9s}  wall {p['wall_s'] * 1e3:8.1f} ms  "
+                f"norm {p['norm_wall']:7.3f}  "
+                f"{p['models_per_s']:7.1f} models/s  "
+                f"hit rate {p['hit_rate']:.0%}"
+            )
+        doctor = scale.get("doctor") or {}
+        if doctor:
+            lines.append(
+                f"    doctor     wall {doctor['wall_s'] * 1e3:8.1f} ms  "
+                f"norm {doctor['norm_wall']:7.3f}  "
+                f"{doctor['systems_per_s']:7.2f} systems/s  "
+                f"{doctor['errors']} error(s), "
+                f"{doctor['findings']} finding(s)"
             )
     return "\n".join(lines)

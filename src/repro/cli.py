@@ -7,6 +7,9 @@ Subcommands cover the whole processing pipeline::
     xpdl compose <ident> [-o out.xir]  # compose + analyses + runtime IR
     xpdl build [ident ...]             # parallel batch build of all systems
     xpdl doctor [ident ...]            # cross-descriptor static analysis
+    xpdl gen --seed S --scale N -d DIR # seeded synthetic descriptor corpus
+    xpdl import model.yaml -d DIR      # CESDM YAML/JSON or PDL subset
+    xpdl export DIR -o model.yaml      # descriptor tree -> CESDM document
     xpdl cache stats|clear|verify      # manage the persistent stage cache
     xpdl repo stats|mirror|check       # repository resilience & offline mirror
     xpdl query <file.xir> <path>       # path queries over a runtime model
@@ -369,6 +372,107 @@ def cmd_doctor(args) -> int:
     return 1 if (not merged.ok() or session.sink.has_errors()) else 0
 
 
+def cmd_gen(args) -> int:
+    """Generate a seeded synthetic descriptor corpus (``xpdl gen``)."""
+    from .corpus import GeneratorConfig, generate_corpus
+
+    cfg = GeneratorConfig(seed=args.seed, scale=args.scale)
+    corpus = generate_corpus(config=cfg)
+    root = corpus.write_to(args.directory)
+    print(
+        f"generated {len(corpus)} descriptors "
+        f"({len(corpus.systems)} systems, seed={cfg.seed}, "
+        f"scale={cfg.scale}) -> {root}"
+    )
+    # The digest is the determinism contract: same seed+scale, same
+    # sha256, in any process.
+    print(f"sha256 {corpus.digest()}")
+    return 0
+
+
+def _import_files(args) -> dict[str, str]:
+    from .corpus import import_cesdm, import_pdl, load_cesdm
+
+    with open(args.file, encoding="utf-8") as fh:
+        text = fh.read()
+    fmt = args.format
+    if fmt == "auto":
+        lower = args.file.lower()
+        if lower.endswith((".yaml", ".yml", ".json")):
+            fmt = "cesdm"
+        elif lower.endswith((".pdl", ".xml")):
+            fmt = "pdl"
+        else:
+            fmt = "cesdm" if text.lstrip().startswith(("{", "cesdm")) else "pdl"
+    if fmt == "pdl":
+        return import_pdl(text, source_name=args.file)
+    return import_cesdm(load_cesdm(text, source_name=args.file))
+
+
+def cmd_import(args) -> int:
+    """Import a foreign platform model (CESDM YAML/JSON or PDL subset)."""
+    import os as _os
+
+    from .corpus import corpus_digest
+
+    files = _import_files(args)
+    for relpath, content in sorted(files.items()):
+        path = _os.path.join(args.directory, relpath)
+        _os.makedirs(_os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(content)
+    print(
+        f"imported {len(files)} descriptor(s) -> {args.directory}"
+    )
+    print(f"sha256 {corpus_digest(files.items())}")
+    if not args.check:
+        return 0
+    # --check: round-trip the imported tree through the doctor.
+    from .service.core import merged_doctor_report
+
+    opts = RepositoryOptions.from_args(args)
+    opts = opts.with_(include=(args.directory, *opts.include))
+    session = ToolchainSession(build_repository(opts))
+    merged = merged_doctor_report(session, None)
+    _print_diagnostics(session)
+    print(
+        f"doctor: {merged.errors} error(s), {merged.warnings} warning(s) "
+        f"over the imported tree"
+    )
+    return 1 if (not merged.ok() or session.sink.has_errors()) else 0
+
+
+def cmd_export(args) -> int:
+    """Export a descriptor tree as one CESDM YAML/JSON document."""
+    import os as _os
+
+    from .corpus import export_cesdm
+
+    files: dict[str, str] = {}
+    for dirpath, _dirnames, filenames in sorted(_os.walk(args.directory)):
+        for fname in sorted(filenames):
+            if not fname.endswith(".xpdl"):
+                continue
+            path = _os.path.join(dirpath, fname)
+            rel = _os.path.relpath(path, args.directory)
+            with open(path, encoding="utf-8") as fh:
+                files[rel] = fh.read()
+    if not files:
+        print(
+            f"xpdl export: no .xpdl descriptors under {args.directory}",
+            file=sys.stderr,
+        )
+        return 2
+    text = export_cesdm(files, fmt=args.format)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"exported {len(files)} descriptor(s) -> {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def cmd_query(args) -> int:
     from .runtime import query_all, xpdl_init
     from .service.core import format_query_results, handle_payload
@@ -721,7 +825,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="parallel worker processes (default: os.cpu_count())",
+        help="parallel worker processes (default: the CPUs available to "
+        "this process — sched_getaffinity, falling back to cpu_count)",
     )
     p.add_argument(
         "--cache-dir",
@@ -808,6 +913,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalog and exit",
     )
     p.set_defaults(fn=cmd_doctor)
+
+    p = sub.add_parser(
+        "gen",
+        help="generate a seeded synthetic descriptor corpus in "
+        "repository layout",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="generator seed (default 0)"
+    )
+    p.add_argument(
+        "--scale",
+        type=int,
+        default=100,
+        metavar="N",
+        help="target descriptor count (default 100)",
+    )
+    p.add_argument(
+        "-d",
+        "--directory",
+        default="corpus",
+        metavar="DIR",
+        help="output directory (default: corpus)",
+    )
+    p.set_defaults(fn=cmd_gen)
+
+    p = sub.add_parser(
+        "import",
+        help="import a foreign platform model (CESDM YAML/JSON, PDL subset)",
+    )
+    p.add_argument("file", help="foreign model document to import")
+    p.add_argument(
+        "--format",
+        choices=("auto", "cesdm", "pdl"),
+        default="auto",
+        help="input format (default: auto-detect from extension/content)",
+    )
+    p.add_argument(
+        "-d",
+        "--directory",
+        default="imported",
+        metavar="DIR",
+        help="output directory for descriptor files (default: imported)",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="round-trip the imported tree through the doctor",
+    )
+    p.set_defaults(fn=cmd_import)
+
+    p = sub.add_parser(
+        "export",
+        help="export a descriptor tree as one CESDM YAML/JSON document",
+    )
+    p.add_argument(
+        "directory", help="descriptor tree to export (.xpdl files, recursive)"
+    )
+    p.add_argument(
+        "--format",
+        choices=("yaml", "json"),
+        default="yaml",
+        help="output format (default: yaml)",
+    )
+    p.add_argument("-o", "--output", metavar="FILE")
+    p.set_defaults(fn=cmd_export)
 
     p = sub.add_parser("query", help="path query over a runtime model file")
     p.add_argument("file")

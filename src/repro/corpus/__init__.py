@@ -1,0 +1,60 @@
+"""Corpus engineering: synthetic descriptor libraries and foreign formats.
+
+The paper's evaluation (Sec. V) runs over four hand-written systems; the
+roadmap's north star is a toolchain serving orders of magnitude more.  This
+package closes the gap from the input side:
+
+``generator``
+    A seeded, deterministic platform generator (``xpdl gen``) that emits
+    realistic descriptor libraries — heterogeneous clusters, cache
+    hierarchies, DVFS power-state machines, thousands of cross-referencing
+    descriptors — straight into a repository layout, so batch compilation,
+    the doctor, indexing and ``ModelHost`` leasing can be stressed at
+    100-1000x the bundled corpus.
+
+``cesdm``
+    A schema-driven YAML/JSON bridge (``xpdl import`` / ``xpdl export``)
+    in the style of CESDM platform models: one document describes a
+    library of platform entries; importing materializes one descriptor
+    file per entry, and the export/import cycle is a fixed point at the
+    descriptor-file level (hence byte-identical runtime IR).
+
+``pdlin``
+    A reader for the PEPPHER PDL subset the paper compares against,
+    wrapping :mod:`repro.pdl` so foreign PDL files land in the same
+    repository layout as everything else.
+"""
+
+from __future__ import annotations
+
+from .cesdm import (
+    CesdmError,
+    cesdm_from_files,
+    dump_cesdm,
+    export_cesdm,
+    import_cesdm,
+    load_cesdm,
+)
+from .generator import (
+    Corpus,
+    GeneratorConfig,
+    corpus_digest,
+    generate_corpus,
+    write_corpus,
+)
+from .pdlin import import_pdl
+
+__all__ = [
+    "Corpus",
+    "GeneratorConfig",
+    "generate_corpus",
+    "corpus_digest",
+    "write_corpus",
+    "CesdmError",
+    "load_cesdm",
+    "dump_cesdm",
+    "import_cesdm",
+    "export_cesdm",
+    "cesdm_from_files",
+    "import_pdl",
+]

@@ -1,0 +1,265 @@
+"""CESDM-style schema-driven YAML/JSON platform bridge.
+
+Energy-system toolboxes of the CESDM family describe a platform library as
+one schema-tagged document: a list of *entries*, each a typed record with
+scalar attributes and nested component records.  This module maps that
+document model 1:1 onto XPDL descriptors:
+
+* one entry  <->  one descriptor file ``<category>/<identifier>.xpdl``
+* entry ``kind``  <->  the descriptor's root tag
+* entry ``attrs``  <->  XML attributes (insertion order preserved)
+* entry ``elements``  <->  child elements, recursively
+* entry ``comment``  <->  the file's prolog comment (descriptor headers)
+
+Because the mapping is structural and order-preserving, ``import ->
+export -> import`` is a **fixed point at the descriptor-file level**: the
+second import reproduces the first one's files byte-for-byte, so the
+composed XPDLRT02 runtime IR is byte-identical as well.  That property is
+what the round-trip tests (and the acceptance gate) pin down.
+
+YAML handling is gated on :mod:`yaml` being importable; JSON always works.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..diagnostics import XpdlError
+from ..xpdlxml import (
+    XmlComment,
+    XmlElement,
+    XmlText,
+    comment,
+    document,
+    element,
+    parse_xml,
+    text as text_node,
+    write_xml,
+)
+
+try:  # PyYAML is an optional dependency of this bridge only.
+    import yaml
+except ImportError:  # pragma: no cover - baked into the reference image
+    yaml = None  # type: ignore[assignment]
+
+#: Schema tag every document must carry (major version checked).
+CESDM_SCHEMA = "cesdm.platform-library/1.0"
+
+#: Root tag -> repository category directory (generator layout).  Tags
+#: without an entry file under their own name.
+_CATEGORY = {
+    "instructions": "isa",
+    "microbenchmarks": "mb",
+    "power_model": "power",
+    "power_state_machine": "power",
+}
+
+
+class CesdmError(XpdlError):
+    """A malformed CESDM document or an unconvertible entry."""
+
+
+@dataclass
+class CesdmDocument:
+    """A parsed CESDM platform library."""
+
+    schema: str = CESDM_SCHEMA
+    entries: list[dict[str, Any]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+# -- loading / dumping --------------------------------------------------------
+
+
+def load_cesdm(text: str, *, source_name: str = "<cesdm>") -> CesdmDocument:
+    """Parse a CESDM document from YAML or JSON text."""
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CesdmError(f"{source_name}: invalid JSON: {exc}") from exc
+    else:
+        if yaml is None:
+            raise CesdmError(
+                f"{source_name}: YAML input needs the 'yaml' module, which "
+                "is unavailable; use the JSON form instead"
+            )
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise CesdmError(f"{source_name}: invalid YAML: {exc}") from exc
+    if not isinstance(data, Mapping):
+        raise CesdmError(f"{source_name}: document must be a mapping")
+    schema = data.get("cesdm")
+    if not isinstance(schema, str) or not schema.startswith("cesdm."):
+        raise CesdmError(
+            f"{source_name}: missing or malformed 'cesdm' schema tag "
+            f"(expected e.g. {CESDM_SCHEMA!r})"
+        )
+    if schema.rsplit("/", 1)[0] != CESDM_SCHEMA.rsplit("/", 1)[0]:
+        raise CesdmError(f"{source_name}: unsupported schema {schema!r}")
+    entries = data.get("entries")
+    if not isinstance(entries, list):
+        raise CesdmError(f"{source_name}: 'entries' must be a list")
+    doc = CesdmDocument(schema=schema)
+    for i, raw in enumerate(entries):
+        doc.entries.append(
+            _check_entry(raw, f"{source_name}: entries[{i}]", top=True)
+        )
+    return doc
+
+
+def dump_cesdm(doc: CesdmDocument, *, fmt: str = "yaml") -> str:
+    """Serialize a CESDM document deterministically (``yaml`` or ``json``)."""
+    data = {"cesdm": doc.schema, "entries": doc.entries}
+    if fmt == "json":
+        return json.dumps(data, indent=1) + "\n"
+    if fmt != "yaml":
+        raise CesdmError(f"unknown CESDM format {fmt!r} (yaml or json)")
+    if yaml is None:
+        raise CesdmError(
+            "YAML output needs the 'yaml' module, which is unavailable; "
+            "use --format json instead"
+        )
+    return yaml.safe_dump(
+        data, sort_keys=False, default_flow_style=False, width=88
+    )
+
+
+# -- entry <-> DOM ------------------------------------------------------------
+
+
+def _check_entry(raw: Any, where: str, *, top: bool = False) -> dict[str, Any]:
+    if not isinstance(raw, Mapping):
+        raise CesdmError(f"{where}: entry must be a mapping")
+    kind = raw.get("kind")
+    if not isinstance(kind, str) or not kind:
+        raise CesdmError(f"{where}: entry needs a non-empty 'kind'")
+    entry: dict[str, Any] = {"kind": kind}
+    # A descriptor-file header comment travels with the top-level entry
+    # only; nested records have no prolog to land in.
+    if top and raw.get("comment") is not None:
+        entry["comment"] = str(raw["comment"])
+    attrs = raw.get("attrs", {})
+    if not isinstance(attrs, Mapping):
+        raise CesdmError(f"{where}: 'attrs' must be a mapping")
+    entry["attrs"] = {str(k): _attr_text(v) for k, v in attrs.items()}
+    if "text" in raw and raw["text"] is not None:
+        entry["text"] = str(raw["text"])
+    elements = raw.get("elements", [])
+    if not isinstance(elements, list):
+        raise CesdmError(f"{where}: 'elements' must be a list")
+    if elements:
+        entry["elements"] = [
+            _check_entry(c, f"{where}.elements[{j}]")
+            for j, c in enumerate(elements)
+        ]
+    return entry
+
+
+def _attr_text(value: Any) -> str:
+    """Foreign scalars -> XPDL attribute spelling (bools, ints, floats)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+def _entry_to_dom(entry: Mapping[str, Any]) -> XmlElement:
+    elem = element(str(entry["kind"]), dict(entry.get("attrs") or {}))
+    if entry.get("text"):
+        elem.append(text_node(str(entry["text"])))
+    for child in entry.get("elements") or ():
+        elem.append(_entry_to_dom(child))
+    return elem
+
+
+def _dom_to_entry(elem: XmlElement) -> dict[str, Any]:
+    entry: dict[str, Any] = {"kind": elem.tag}
+    entry["attrs"] = dict(elem.attr_items())
+    texts = [
+        c.text
+        for c in elem.children
+        if isinstance(c, XmlText) and not c.is_whitespace()
+    ]
+    if texts:
+        entry["text"] = "".join(texts)
+    children = [_dom_to_entry(c) for c in elem.elements()]
+    if children:
+        entry["elements"] = children
+    return entry
+
+
+# -- import / export ----------------------------------------------------------
+
+
+def _identifier(entry: Mapping[str, Any]) -> str:
+    attrs = entry.get("attrs") or {}
+    ident = attrs.get("name") or attrs.get("id")
+    if not ident:
+        raise CesdmError(
+            f"entry of kind {entry['kind']!r} has neither 'name' nor 'id' "
+            "in attrs; descriptors need an identifier"
+        )
+    return str(ident)
+
+
+def import_cesdm(doc: CesdmDocument) -> dict[str, str]:
+    """Materialize a CESDM document as descriptor files (relpath -> text)."""
+    files: dict[str, str] = {}
+    for entry in doc.entries:
+        kind = str(entry["kind"])
+        ident = _identifier(entry)
+        category = _CATEGORY.get(kind, kind)
+        relpath = f"{category}/{ident}.xpdl"
+        if relpath in files:
+            raise CesdmError(
+                f"duplicate entry {ident!r} of kind {kind!r}: descriptors "
+                "must be unique per identifier"
+            )
+        xml_doc = document(_entry_to_dom(entry), source_name=f"{ident}.xpdl")
+        if entry.get("comment") is not None:
+            xml_doc.prolog.append(comment(str(entry["comment"])))
+        files[relpath] = write_xml(xml_doc)
+    return files
+
+
+def cesdm_from_files(
+    files: Mapping[str, str] | Iterable[tuple[str, str]],
+) -> CesdmDocument:
+    """Build a CESDM document from descriptor files (the exporter core).
+
+    Entries are emitted in sorted-relpath order so the export is
+    deterministic regardless of how ``files`` was produced.
+    """
+    pairs = sorted(files.items() if isinstance(files, Mapping) else files)
+    doc = CesdmDocument()
+    for relpath, content in pairs:
+        xml_doc = parse_xml(content, source_name=relpath)
+        entry = _dom_to_entry(xml_doc.root)
+        comments = [
+            n.text for n in xml_doc.prolog if isinstance(n, XmlComment)
+        ]
+        if comments:
+            # Key order mirrors _check_entry so dump/load is a fixed point.
+            entry = {"kind": entry["kind"], "comment": "\n".join(comments)} | {
+                k: v for k, v in entry.items() if k != "kind"
+            }
+        doc.entries.append(entry)
+    return doc
+
+
+def export_cesdm(
+    files: Mapping[str, str] | Iterable[tuple[str, str]],
+    *,
+    fmt: str = "yaml",
+) -> str:
+    """Serialize descriptor files as one CESDM document."""
+    return dump_cesdm(cesdm_from_files(files), fmt=fmt)

@@ -1,0 +1,652 @@
+"""Seeded, deterministic platform-descriptor generator (``xpdl gen``).
+
+The generator synthesizes a *descriptor library* in repository layout —
+the same category directories the bundled model library uses — so the rest
+of the toolchain consumes it with a plain ``-I DIR``:
+
+* per **family** (one hardware generation of one vendor) a septet of
+  cross-referencing component descriptors: an instruction-set energy model,
+  its microbenchmark suite, a power model (power domains + a complete DVFS
+  power-state machine), a CPU with a cache hierarchy, a memory module, an
+  interconnect technology and an accelerator device;
+* per **system** a concrete cluster: a node group replicated via the
+  ``prefix``/``quantity`` group construct, sockets with typed CPU
+  references, memory DIMM groups, accelerator devices, intra-node links
+  and an inter-node ring — every ``head=``/``tail=`` endpoint resolving in
+  the composed model.
+
+Determinism contract: everything is derived from ``random.Random`` seeded
+with *strings* built from ``(seed, purpose, index)``.  String seeding
+hashes with SHA-512 inside :mod:`random`, so the emitted bytes are
+identical across runs, processes and ``PYTHONHASHSEED`` values; the tree
+digest (:func:`corpus_digest`) is the observable contract.
+
+The output is **doctor-clean by construction**: every reference resolves
+(XPDL0700/0701/0713), PSMs enumerate complete transition matrices with
+non-negative costs (XPDL0710/0711), power is monotone in frequency
+(XPDL0712), only registry units appear (XPDL0704), endpoints stay within
+group cardinality (XPDL0714) and no ``effective_bandwidth`` is asserted
+(XPDL0715).  All names carry the config prefix (default ``gen``) so the
+bundled library is never shadowed (XPDL0201).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..xpdlxml import XmlElement, comment, document, element, write_xml
+
+# Realistic-sounding vocabulary.  Tuples, not sets: iteration order is part
+# of the determinism contract.
+_VENDORS = ("acme", "borealis", "cirrus", "dynavolt", "ember", "fluxion")
+_ARCHES = ("nova", "quark", "talon", "vega", "wisp", "zephyr")
+_OPS = (
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "fma_f32",
+    "vadd_f32",
+    "vmul_f32",
+    "ldr",
+    "str",
+    "mov",
+    "cmp",
+    "nop",
+)
+_MEM_KINDS = ("DDR4", "DDR5", "LPDDR5", "HBM2e", "GDDR6")
+_IC_KINDS = ("mesh", "torus", "xbar", "ring", "fabric")
+_OS_NAMES = ("Linux_5.15", "Linux_6.1", "Linux_6.6")
+
+# Discrete DVFS frequency menu (GHz) — ascending, so sampled subsequences
+# are ascending too and monotone power assignment is trivial.
+_FREQ_MENU = (0.6, 0.8, 1.0, 1.2, 1.5, 1.8, 2.0, 2.4, 2.8, 3.2, 3.6)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the platform generator (see DESIGN.md for the paper map).
+
+    ``scale`` is the target descriptor count; the emitted corpus has at
+    least that many descriptors (exactly ``scale`` for ``scale >= 8``).
+    """
+
+    seed: int = 0
+    scale: int = 100
+    prefix: str = "gen"
+    max_nodes: int = 8  # nodes per generated cluster group
+    max_states: int = 5  # DVFS states per power-state machine
+
+    def family_count(self) -> int:
+        # A family is 7 component descriptors; systems fill the remainder
+        # (about two systems referencing each family at scale).
+        return max(1, self.scale // 9)
+
+    def system_count(self) -> int:
+        return max(1, self.scale - 7 * self.family_count())
+
+
+@dataclass(frozen=True)
+class Corpus:
+    """An in-memory generated corpus: repository-layout relpath -> text."""
+
+    seed: int
+    scale: int
+    files: tuple[tuple[str, str], ...]  # sorted (relpath, content)
+    systems: tuple[str, ...]
+    config: GeneratorConfig = field(default=GeneratorConfig())
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+    def digest(self) -> str:
+        """SHA-256 over the sorted (relpath, content) pairs."""
+        return corpus_digest(self.files)
+
+    def write_to(self, directory: str | Path) -> Path:
+        """Materialize the corpus under ``directory`` (created if needed)."""
+        root = Path(directory)
+        for relpath, content in self.files:
+            path = root / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(content, encoding="utf-8")
+        return root
+
+
+def corpus_digest(files) -> str:
+    """SHA-256 digest of an iterable of (relpath, content) pairs."""
+    h = hashlib.sha256()
+    for relpath, content in sorted(files):
+        h.update(relpath.encode("utf-8"))
+        h.update(b"\0")
+        h.update(content.encode("utf-8"))
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+def generate_corpus(
+    seed: int = 0, scale: int = 100, *, config: GeneratorConfig | None = None
+) -> Corpus:
+    """Generate a deterministic descriptor corpus.
+
+    ``generate_corpus(s, n)`` is byte-stable: same arguments, same files,
+    in any process.
+    """
+    cfg = config or GeneratorConfig(seed=seed, scale=scale)
+    gen = _Generator(cfg)
+    files, systems = gen.run()
+    return Corpus(
+        seed=cfg.seed,
+        scale=cfg.scale,
+        files=tuple(sorted(files.items())),
+        systems=tuple(systems),
+        config=cfg,
+    )
+
+
+def write_corpus(corpus: Corpus, directory: str | Path) -> Path:
+    """Write ``corpus`` into ``directory`` in repository layout."""
+    return corpus.write_to(directory)
+
+
+# -- internals ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Family:
+    """Identifiers of one generated hardware family (all cross-referenced)."""
+
+    index: int
+    vendor: str
+    arch: str
+    isa: str
+    mb: str
+    power: str
+    cpu: str
+    cores_group: str
+    memory: str
+    interconnect: str
+    device: str
+
+
+class _Generator:
+    def __init__(self, cfg: GeneratorConfig) -> None:
+        self.cfg = cfg
+
+    def _rng(self, purpose: str, index: int) -> random.Random:
+        # String seeding goes through SHA-512 inside random.Random: stable
+        # across processes regardless of PYTHONHASHSEED.
+        return random.Random(f"{self.cfg.seed}:{purpose}:{index}")
+
+    def run(self) -> tuple[dict[str, str], list[str]]:
+        cfg = self.cfg
+        files: dict[str, str] = {}
+        families = [
+            self._family(i) for i in range(cfg.family_count())
+        ]
+        for fam in families:
+            self._emit_family(fam, files)
+        systems = []
+        for j in range(cfg.system_count()):
+            systems.append(self._emit_system(j, families, files))
+        return files, systems
+
+    # -- naming ------------------------------------------------------------
+
+    def _family(self, i: int) -> _Family:
+        rng = self._rng("family", i)
+        vendor = rng.choice(_VENDORS)
+        arch = rng.choice(_ARCHES)
+        p = self.cfg.prefix
+        base = f"{p}_{vendor}_{arch}{i}"
+        return _Family(
+            index=i,
+            vendor=vendor,
+            arch=arch,
+            isa=f"{p}_isa_{arch}{i}",
+            mb=f"{p}_mb_{arch}{i}",
+            power=f"{p}_pm_{base[len(p) + 1:]}",
+            cpu=f"{base}_cpu",
+            cores_group=f"{base}_cores",
+            memory=f"{base}_mem",
+            interconnect=f"{base}_link",
+            device=f"{base}_acc",
+        )
+
+    # -- emission helpers --------------------------------------------------
+
+    def _emit(
+        self,
+        files: dict[str, str],
+        category: str,
+        name: str,
+        root: XmlElement,
+        note: str,
+    ) -> None:
+        doc = document(root, source_name=f"{name}.xpdl")
+        doc.prolog.append(
+            comment(
+                f" {note}  Generated by `xpdl gen` "
+                f"(seed={self.cfg.seed}, scale={self.cfg.scale}). "
+            )
+        )
+        files[f"{category}/{name}.xpdl"] = write_xml(doc)
+
+    # -- component descriptors ---------------------------------------------
+
+    def _emit_family(self, fam: _Family, files: dict[str, str]) -> None:
+        self._emit_isa_and_mb(fam, files)
+        self._emit_power_model(fam, files)
+        self._emit_cpu(fam, files)
+        self._emit_memory(fam, files)
+        self._emit_interconnect(fam, files)
+        self._emit_device(fam, files)
+
+    def _emit_isa_and_mb(self, fam: _Family, files: dict[str, str]) -> None:
+        rng = self._rng("isa", fam.index)
+        ops = sorted(rng.sample(_OPS, rng.randint(4, 8)))
+        insts = []
+        benches = []
+        for k, op in enumerate(ops):
+            mb_id = f"b{k}"
+            insts.append(
+                element(
+                    "inst",
+                    {
+                        "name": op,
+                        "energy": "?",
+                        "energy_unit": "pJ",
+                        "mb": mb_id,
+                    },
+                )
+            )
+            benches.append(
+                element(
+                    "microbenchmark",
+                    {
+                        "id": mb_id,
+                        "type": op,
+                        "file": f"{op}.c",
+                        "cflags": "-O0",
+                    },
+                )
+            )
+        isa_root = element("instructions", {"name": fam.isa, "mb": fam.mb}, insts)
+        self._emit(
+            files,
+            "isa",
+            fam.isa,
+            isa_root,
+            f"Instruction energy meta-model for the {fam.vendor} "
+            f"{fam.arch} family.",
+        )
+        mb_root = element(
+            "microbenchmarks",
+            {
+                "id": fam.mb,
+                "instruction_set": fam.isa,
+                "path": f"mb/src/{fam.arch}{fam.index}",
+                "command": "mbscript.sh",
+            },
+            benches,
+        )
+        self._emit(
+            files,
+            "mb",
+            fam.mb,
+            mb_root,
+            f"Microbenchmark suite for the {fam.isa} ISA.",
+        )
+
+    def _emit_power_model(self, fam: _Family, files: dict[str, str]) -> None:
+        rng = self._rng("power", fam.index)
+        n_states = rng.randint(3, self.cfg.max_states)
+        # Ascending frequency menu sample -> ascending frequencies; power
+        # strictly increases with them (XPDL0712 monotone by construction).
+        freq_idx = sorted(rng.sample(range(len(_FREQ_MENU)), n_states))
+        freqs = [_FREQ_MENU[i] for i in freq_idx]
+        power_mw = []
+        level = rng.randint(60, 400)  # mW at the lowest state
+        for _ in freqs:
+            power_mw.append(level)
+            level += rng.randint(80, 900)
+        states = []
+        names = []
+        for f, p in zip(freqs, power_mw):
+            name = f"P{int(round(f * 1000))}"
+            names.append(name)
+            states.append(
+                element(
+                    "power_state",
+                    {
+                        "name": name,
+                        "frequency": _num(f),
+                        "frequency_unit": "GHz",
+                        "power": _num(p / 1000.0),
+                        "power_unit": "W",
+                    },
+                )
+            )
+        # Complete pairwise transition matrix (XPDL0710 reachability and
+        # the lint's completeness rule): costs grow with level distance.
+        transitions = []
+        for a, src in enumerate(names):
+            for b, dst in enumerate(names):
+                if a == b:
+                    continue
+                hops = abs(a - b)
+                transitions.append(
+                    element(
+                        "transition",
+                        {
+                            "head": src,
+                            "tail": dst,
+                            "time": str(20 * hops + rng.randint(0, 15)),
+                            "time_unit": "us",
+                            "energy": str(4 * hops + rng.randint(0, 6)),
+                            "energy_unit": "nJ",
+                        },
+                    )
+                )
+        domain = f"{self.cfg.prefix}_pd_{fam.arch}{fam.index}"
+        root = element(
+            "power_model",
+            {"name": fam.power},
+            [
+                element(
+                    "power_domains",
+                    {"name": f"{fam.power}_pds"},
+                    [
+                        element(
+                            "power_domain",
+                            {"name": domain, "enableSwitchOff": "false"},
+                            [element("group", {"type": fam.cores_group})],
+                        )
+                    ],
+                ),
+                element(
+                    "power_state_machine",
+                    {"name": f"{fam.power}_psm", "power_domain": domain},
+                    [
+                        element("power_states", {}, states),
+                        element("transitions", {}, transitions),
+                    ],
+                ),
+                element("instructions", {"type": fam.isa}),
+                element("microbenchmarks", {"type": fam.mb}),
+            ],
+        )
+        self._emit(
+            files,
+            "power",
+            fam.power,
+            root,
+            f"Power model for the {fam.cpu} cluster: "
+            f"{n_states}-state DVFS machine.",
+        )
+
+    def _emit_cpu(self, fam: _Family, files: dict[str, str]) -> None:
+        rng = self._rng("cpu", fam.index)
+        cores = rng.choice((2, 4, 6, 8, 12, 16))
+        base_freq = rng.choice(_FREQ_MENU[3:])
+        l1 = rng.choice((32, 48, 64))
+        l2 = rng.choice((256, 512, 1024))
+        l3 = rng.choice((4, 8, 16, 30))
+        group_children = [
+            element(
+                "core",
+                {
+                    "frequency": _num(base_freq),
+                    "frequency_unit": "GHz",
+                    "endian": "LE",
+                },
+            ),
+            element("cache", {"name": "L1", "size": str(l1), "unit": "KiB"}),
+        ]
+        children = [
+            element(
+                "group",
+                {
+                    "name": fam.cores_group,
+                    "prefix": "c",
+                    "quantity": str(cores),
+                },
+                group_children,
+            ),
+            element("cache", {"name": "L2", "size": str(l2), "unit": "KiB"}),
+            element("cache", {"name": "L3", "size": str(l3), "unit": "MiB"}),
+            element("instructions", {"type": fam.isa}),
+            element("power_model", {"type": fam.power}),
+        ]
+        root = element(
+            "cpu",
+            {
+                "name": fam.cpu,
+                "endian": "LE",
+                "issue_width": str(rng.choice((1, 2, 4))),
+                "energy_per_op_scale": _num(rng.choice((0.5, 1.0, 1.5, 2.0))),
+                "thermal_resistance": str(rng.randint(1, 20)),
+                "thermal_resistance_unit": "K/W",
+                "max_temperature": str(rng.choice((70, 85, 95))),
+                "max_temperature_unit": "dC",
+            },
+            children,
+        )
+        self._emit(
+            files,
+            "cpu",
+            fam.cpu,
+            root,
+            f"{cores}-core {fam.vendor} {fam.arch} CPU, three-level cache.",
+        )
+
+    def _emit_memory(self, fam: _Family, files: dict[str, str]) -> None:
+        rng = self._rng("memory", fam.index)
+        root = element(
+            "memory",
+            {
+                "name": fam.memory,
+                "type": rng.choice(_MEM_KINDS),
+                "size": str(rng.choice((8, 16, 32, 64))),
+                "unit": "GB",
+                "static_power": _num(rng.choice((2, 3, 4, 5))),
+                "static_power_unit": "W",
+            },
+        )
+        self._emit(
+            files,
+            "memory",
+            fam.memory,
+            root,
+            f"Memory module of the {fam.vendor} {fam.arch} family.",
+        )
+
+    def _emit_interconnect(self, fam: _Family, files: dict[str, str]) -> None:
+        rng = self._rng("interconnect", fam.index)
+        bw = rng.choice((4, 6, 8, 12, 16, 25))
+        channels = []
+        for direction in ("up_link", "down_link"):
+            channels.append(
+                element(
+                    "channel",
+                    {
+                        "name": direction,
+                        "max_bandwidth": str(bw),
+                        "max_bandwidth_unit": "GiB/s",
+                        "time_offset_per_message": "?",
+                        "time_offset_per_message_unit": "ns",
+                        "energy_per_byte": str(rng.randint(4, 12)),
+                        "energy_per_byte_unit": "pJ",
+                    },
+                )
+            )
+        # Technology meta-model: no head/tail here, and no
+        # effective_bandwidth (that is the analyzer's to derive, XPDL0715).
+        root = element(
+            "interconnect",
+            {
+                "name": fam.interconnect,
+                "max_bandwidth": str(bw),
+                "max_bandwidth_unit": "GiB/s",
+            },
+            channels,
+        )
+        self._emit(
+            files,
+            "interconnect",
+            fam.interconnect,
+            root,
+            f"{rng.choice(_IC_KINDS)} interconnect technology "
+            f"({bw} GiB/s per direction).",
+        )
+
+    def _emit_device(self, fam: _Family, files: dict[str, str]) -> None:
+        rng = self._rng("device", fam.index)
+        root = element(
+            "device",
+            {
+                "name": fam.device,
+                "compute_capability": f"{rng.randint(3, 9)}.{rng.randint(0, 5)}",
+                "static_power": str(rng.randint(10, 60)),
+                "static_power_unit": "W",
+            },
+            [
+                element(
+                    "param",
+                    {"name": "num_units", "value": str(rng.choice((8, 13, 32, 64)))},
+                ),
+                element(
+                    "param",
+                    {
+                        "name": "devfrq",
+                        "frequency": str(rng.choice((600, 706, 900, 1100))),
+                        "unit": "MHz",
+                    },
+                ),
+                element(
+                    "param",
+                    {
+                        "name": "devmem",
+                        "size": str(rng.choice((4, 5, 8, 12, 16))),
+                        "unit": "GB",
+                    },
+                ),
+                element("power_model", {"type": fam.power}),
+            ],
+        )
+        self._emit(
+            files,
+            "device",
+            fam.device,
+            root,
+            f"Accelerator board of the {fam.vendor} {fam.arch} family.",
+        )
+
+    # -- systems -----------------------------------------------------------
+
+    def _emit_system(
+        self, j: int, families: list[_Family], files: dict[str, str]
+    ) -> str:
+        rng = self._rng("system", j)
+        name = f"{self.cfg.prefix}_sys{j}"
+        # Round-robin guarantees every family is referenced by some system
+        # (keeps XPDL0703 unused-descriptor notes away from components).
+        # The accelerator is referenced only through fam_b, so its first
+        # lap must also be a full round-robin — a random pick alone leaves
+        # coupon-collector gaps once families number in the hundreds; later
+        # laps pick freely to keep clusters heterogeneous.
+        fam_a = families[j % len(families)]
+        if j < len(families):
+            fam_b = families[(j + 1) % len(families)]
+        else:
+            fam_b = rng.choice(families)
+        n_nodes = rng.randint(2, self.cfg.max_nodes)
+        sockets = rng.choice((1, 2))
+        dimms = rng.choice((2, 4, 8))
+
+        node_children: list[XmlElement] = [
+            element(
+                "group",
+                {"id": "cpus"},
+                [
+                    element(
+                        "socket",
+                        {},
+                        [element("cpu", {"id": f"PE{s}", "type": fam_a.cpu})],
+                    )
+                    for s in range(sockets)
+                ],
+            ),
+            element(
+                "group",
+                {"prefix": "dimm", "quantity": str(dimms)},
+                [element("memory", {"type": fam_a.memory})],
+            ),
+            element("device", {"id": "acc0", "type": fam_b.device}),
+            element(
+                "interconnects",
+                {},
+                [
+                    element(
+                        "interconnect",
+                        {
+                            "id": "lnk0",
+                            "type": fam_a.interconnect,
+                            "head": "cpus",
+                            "tail": "acc0",
+                        },
+                    )
+                ],
+            ),
+        ]
+        # Inter-node ring over the expanded member ids n0..n{q-1}
+        # (XPDL0713/0714: endpoints resolve and stay within cardinality).
+        links = [
+            element(
+                "interconnect",
+                {
+                    "id": f"ring{k}",
+                    "type": fam_b.interconnect,
+                    "head": f"n{k}",
+                    "tail": f"n{(k + 1) % n_nodes}",
+                },
+            )
+            for k in range(n_nodes)
+        ]
+        cluster = element(
+            "cluster",
+            {},
+            [
+                element(
+                    "group",
+                    {"prefix": "n", "quantity": str(n_nodes)},
+                    [element("node", {}, node_children)],
+                ),
+                element("interconnects", {}, links),
+            ],
+        )
+        software = element(
+            "software",
+            {},
+            [element("hostOS", {"id": "os0", "type": rng.choice(_OS_NAMES)})],
+        )
+        root = element("system", {"id": name}, [cluster, software])
+        self._emit(
+            files,
+            "system",
+            name,
+            root,
+            f"Generated cluster: {n_nodes} nodes x {sockets} socket(s) "
+            f"of {fam_a.cpu}, accelerator {fam_b.device}.",
+        )
+        return name
+
+
+def _num(x: float) -> str:
+    """Format a number without float-repr noise ('1.4', '2', '0.08')."""
+    if x == int(x):
+        return str(int(x))
+    return repr(round(x, 6))

@@ -1,0 +1,27 @@
+"""PDL-subset reader: foreign PEPPHER PDL files into the repository layout.
+
+The paper compares XPDL against the PEPPHER Platform Description Language;
+:mod:`repro.pdl` already implements the PDL subset parser and the
+PDL -> XPDL lifting used by ``xpdl to-pdl``'s inverse direction.  This
+module wraps both behind the same files-contract the CESDM bridge uses, so
+``xpdl import`` lands every foreign format in a uniform descriptor tree.
+"""
+
+from __future__ import annotations
+
+from ..model import to_document
+from ..pdl import parse_pdl, pdl_to_xpdl
+from ..xpdlxml import write_xml
+
+
+def import_pdl(text: str, *, source_name: str = "<pdl>") -> dict[str, str]:
+    """Convert one PDL platform document into descriptor files.
+
+    Returns the repository-layout mapping ``{"system/<name>.xpdl": text}``;
+    PDL describes one platform per document, so one system file comes out.
+    """
+    platform = parse_pdl(text, source_name=source_name)
+    system = pdl_to_xpdl(platform)
+    ident = system.ident or platform.name
+    doc = to_document(system, source_name=f"{ident}.xpdl")
+    return {f"system/{ident}.xpdl": write_xml(doc)}

@@ -16,6 +16,7 @@ from .batch import (
     BatchReport,
     ShardPlan,
     SystemBuild,
+    default_jobs,
     discover_systems,
     plan_shards,
     run_batch,
@@ -53,6 +54,7 @@ __all__ = [
     "StageSpec",
     "ToolchainSession",
     "ValidationResult",
+    "default_jobs",
     "discover_systems",
     "plan_shards",
     "run_batch",

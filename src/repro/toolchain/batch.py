@@ -15,7 +15,8 @@ scales far past the three paper systems, so this module turns the staged
    so workers get balanced load and maximal warm-parse reuse.
 3. **Fan out** one worker per shard across a
    :class:`~concurrent.futures.ProcessPoolExecutor` (``--jobs N``,
-   default :func:`os.cpu_count`).  Workers share one persistent stage
+   default :func:`default_jobs` — the CPUs actually available to this
+   process, not the machine's count).  Workers share one persistent stage
    cache directory; artifacts any worker computes are reusable by every
    later invocation.
 4. **Merge** the per-worker diagnostics, observer counters and stage
@@ -33,6 +34,7 @@ from __future__ import annotations
 import hashlib
 import os
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Sequence
@@ -42,6 +44,21 @@ from ..obs import Observer, get_observer
 from ..repository import ModelRepository
 from .diskcache import DEFAULT_CACHE_DIR, PersistentStageCache
 from .session import ToolchainSession
+
+
+def default_jobs() -> int:
+    """Worker processes to use when the caller does not say (``--jobs``).
+
+    ``os.cpu_count()`` reports the *machine's* processors, which
+    oversubscribes the pool inside cgroup- or affinity-limited containers
+    (exactly where CI and ``xpdl serve`` run).  The CPUs actually
+    available to this process — :func:`os.sched_getaffinity` — are the
+    honest budget; platforms without it fall back to ``cpu_count``.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # non-Linux, or restricted sandbox
+        return os.cpu_count() or 1
 
 
 def discover_systems(
@@ -270,11 +287,20 @@ def _run_worker(task: _WorkerTask) -> WorkerReport:
                     out_path=out_path,
                 )
             )
-        except Exception as exc:  # one broken system must not kill the shard
+        except BaseException as exc:
+            # One broken system must not kill the shard — but only genuine
+            # Exceptions become shard diagnostics.  KeyboardInterrupt,
+            # SystemExit and friends are cancellation, not a build result;
+            # swallowing them here would silently convert a ^C into a
+            # "FAIL" row, so they propagate.
+            if not isinstance(exc, Exception):
+                raise
+            observer.count("batch.system_errors")
             sink.error(
                 "XPDL0401",
                 f"building {ident!r} failed: {exc}",
                 SourceSpan.unknown(ident),
+                traceback.format_exc(),
             )
             builds.append(
                 SystemBuild(
@@ -320,7 +346,7 @@ def run_batch(
     observer = observer if observer is not None else get_observer()
     sink = sink if sink is not None else DiagnosticSink()
     if jobs is None:
-        jobs = os.cpu_count() or 1
+        jobs = default_jobs()
     jobs = max(1, jobs)
 
     t0 = time.perf_counter()

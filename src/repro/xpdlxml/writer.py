@@ -77,22 +77,40 @@ class XmlWriter:
 
     # -- internals ----------------------------------------------------------
     def _write_node(self, node: XmlNode, depth: int) -> None:
-        if isinstance(node, XmlElement):
-            self._write_element(node, depth)
-        elif isinstance(node, XmlText):
-            self._out.append(escape_text(node.text))
-        elif isinstance(node, XmlCData):
-            # ']]>' cannot appear inside CDATA; split it across sections.
-            body = node.text.replace("]]>", "]]]]><![CDATA[>")
-            self._out.append(f"<![CDATA[{body}]]>")
-        elif isinstance(node, XmlComment):
-            body = node.text.replace("--", "- -")
-            self._out.append(f"<!--{body}-->")
-        elif isinstance(node, XmlPI):
-            data = f" {node.data}" if node.data else ""
-            self._out.append(f"<?{node.target}{data}?>")
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"cannot serialize {type(node).__name__}")
+        """Serialize one node (and its subtree) onto the output buffer.
+
+        The element walk is iterative — an explicit LIFO work stack of
+        pending nodes and literal fragments — so generated models with
+        multi-thousand-deep hierarchies serialize without hitting the
+        interpreter recursion limit.
+        """
+        # Stack entries: ("node", node, depth) still to open, or
+        # ("lit", text, 0) — an already-rendered fragment (close tags,
+        # separators) emitted when popped.
+        stack: list[tuple[str, object, int]] = [("node", node, depth)]
+        out = self._out
+        while stack:
+            kind, payload, cur_depth = stack.pop()
+            if kind == "lit":
+                out.append(payload)  # type: ignore[arg-type]
+                continue
+            cur = payload
+            if isinstance(cur, XmlElement):
+                self._write_element(cur, cur_depth, stack)
+            elif isinstance(cur, XmlText):
+                out.append(escape_text(cur.text))
+            elif isinstance(cur, XmlCData):
+                # ']]>' cannot appear inside CDATA; split it across sections.
+                body = cur.text.replace("]]>", "]]]]><![CDATA[>")
+                out.append(f"<![CDATA[{body}]]>")
+            elif isinstance(cur, XmlComment):
+                body = cur.text.replace("--", "- -")
+                out.append(f"<!--{body}-->")
+            elif isinstance(cur, XmlPI):
+                data = f" {cur.data}" if cur.data else ""
+                out.append(f"<?{cur.target}{data}?>")
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"cannot serialize {type(cur).__name__}")
 
     def _open_tag(self, elem: XmlElement, depth: int, *, self_close: bool) -> str:
         parts = [f"<{elem.tag}"]
@@ -111,7 +129,13 @@ class XmlWriter:
         parts.append(" />" if self_close else ">")
         return "".join(parts)
 
-    def _write_element(self, elem: XmlElement, depth: int) -> None:
+    def _write_element(
+        self,
+        elem: XmlElement,
+        depth: int,
+        stack: list[tuple[str, object, int]],
+    ) -> None:
+        """Emit the open tag; push children and the close tag onto ``stack``."""
         pad = self.indent * depth if self.pretty else ""
         significant = [
             c
@@ -123,23 +147,24 @@ class XmlWriter:
             return
         text_only = all(isinstance(c, (XmlText, XmlCData)) for c in significant)
         self._out.append(pad + self._open_tag(elem, depth, self_close=False))
+        # Collected in document order, then pushed reversed so the LIFO
+        # stack pops them in document order.
+        pending: list[tuple[str, object, int]] = []
         if text_only:
             for c in significant:
-                self._write_node(c, depth + 1)
-            self._out.append(f"</{elem.tag}>")
-            return
-        for c in significant:
-            if self.pretty:
-                self._out.append("\n")
-            if isinstance(c, (XmlText, XmlCData)):
+                pending.append(("node", c, depth + 1))
+            pending.append(("lit", f"</{elem.tag}>", 0))
+        else:
+            for c in significant:
                 if self.pretty:
-                    self._out.append(self.indent * (depth + 1))
-                self._write_node(c, depth + 1)
-            else:
-                self._write_node(c, depth + 1)
-        if self.pretty:
-            self._out.append("\n" + pad)
-        self._out.append(f"</{elem.tag}>")
+                    pending.append(("lit", "\n", 0))
+                    if isinstance(c, (XmlText, XmlCData)):
+                        pending.append(("lit", self.indent * (depth + 1), 0))
+                pending.append(("node", c, depth + 1))
+            if self.pretty:
+                pending.append(("lit", "\n" + pad, 0))
+            pending.append(("lit", f"</{elem.tag}>", 0))
+        stack.extend(reversed(pending))
 
 
 def write_xml(doc: XmlDocument, *, pretty: bool = True) -> str:

@@ -240,6 +240,29 @@ class TestDeepTrees:
         assert len(query_all(ctx, "//core")) == 1
         assert query_all(ctx, "//core") == query_all_naive(ctx, "//core")
 
+    def test_writer_serializes_deep_chain_iteratively(self):
+        import sys
+
+        from repro.xpdlxml import document, element, write_xml
+
+        # Build the chain programmatically: the parser is recursive, so a
+        # deep *input* document is out of scope here -- the writer is not.
+        root = element("system", {"id": "deep"})
+        tip = root
+        for i in range(self.DEPTH):
+            child = element("node", {"id": f"n{i}"})
+            tip.append(child)
+            tip = child
+        doc = document(root, source_name="deep.xpdl")
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(1000)
+        try:
+            text = write_xml(doc, pretty=False)
+        finally:
+            sys.setrecursionlimit(limit)
+        assert text.count("<node") == self.DEPTH
+        assert text.count("</node>") == self.DEPTH - 1  # deepest self-closes
+
 
 # ---------------------------------------------------------------------------
 # plan compiler + LRU plan cache
