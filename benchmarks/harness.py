@@ -40,6 +40,15 @@ The ``serve`` section measures the ``xpdl serve`` hot path in-process:
 hot service query stays within :data:`MAX_SERVE_DISPATCH_SLOWDOWN` of
 raw compiled path-query throughput and that the bench never rebuilt the
 hosted index (``index_builds == 1`` — no recompile per request).
+
+The ``fleet`` section runs the discrete-interval fleet simulator
+(``repro.fleet``) over a small generated cluster: a seeded diurnal trace
+through every DVFS governor policy, reporting per-policy energy/SLO and
+the simulation rate (machine-intervals/s).  ``compare`` gates the
+normalized rate against the baseline and enforces the structural
+invariants — byte-identical reports across re-runs, ``powersave`` never
+costing more energy than ``performance``, and ``ondemand`` saving energy
+at equal SLO attainment on the diurnal shape.
 """
 
 from __future__ import annotations
@@ -53,7 +62,7 @@ import tempfile
 import time
 from typing import Any, Sequence
 
-BENCH_SCHEMA = 5
+BENCH_SCHEMA = 6
 
 #: Warm-cache hit-rate floor (acceptance criterion: >= 90 %).
 MIN_WARM_HIT_RATE = 0.9
@@ -98,6 +107,18 @@ COLD_INIT_SCALING_NODES = (1_000, 10_000, 50_000)
 #: small enough for every CI run.
 SCALE_BENCH_SEED = 7
 SCALE_BENCH_SCALE = 120
+
+#: Seed/scale of the generated cluster the ``fleet`` section simulates,
+#: and the trace geometry it drives through every governor.  Scale 40
+#: yields ~20 machines in the first generated system — enough that the
+#: greedy allocator and per-machine governor loops dominate, small
+#: enough for every CI run.
+FLEET_BENCH_SEED = 11
+FLEET_BENCH_SCALE = 40
+FLEET_BENCH_TRACE = "diurnal"
+FLEET_BENCH_TRACE_SEED = 5
+FLEET_BENCH_INTERVALS = 24
+FLEET_BENCH_INTERVAL_S = 60.0
 
 #: The path query measured for the path/path_naive categories (the E9
 #: hot pattern: descendant axis + attribute-value predicate).
@@ -546,6 +567,102 @@ def run_scale_bench(
     }
 
 
+def run_fleet_bench(
+    calibration_s: float,
+    *,
+    seed: int = FLEET_BENCH_SEED,
+    scale: int = FLEET_BENCH_SCALE,
+) -> dict[str, Any]:
+    """Measure the fleet simulator (``xpdl fleet``) over a generated cluster.
+
+    Generates a seeded corpus, composes its first system into a
+    :class:`repro.simhw.SimTestbed`, compiles the runtime index for the
+    power-state catalog, and drives a seeded diurnal trace through every
+    registered governor policy.  The simulation runs twice; the wall is
+    the best of the two and ``digest_stable`` compares the two reports
+    byte-for-byte (the determinism contract).  The rate is
+    machine-intervals/s across all policies — the unit of simulator work.
+    """
+    from repro.composer import Composer
+    from repro.corpus import generate_corpus
+    from repro.fleet import GOVERNORS, index_state_catalog, make_trace, simulate_fleet
+    from repro.ir import IRModel
+    from repro.modellib import standard_repository
+    from repro.runtime import xpdl_init_from_model
+    from repro.simhw import testbed_from_model
+
+    policies = tuple(GOVERNORS)
+    corpus = generate_corpus(seed, scale)
+    with tempfile.TemporaryDirectory(prefix="xpdl-fleet-") as scratch:
+        corpus_dir = os.path.join(scratch, "corpus")
+        corpus.write_to(corpus_dir)
+        system = sorted(corpus.systems)[0]
+        composed = Composer(standard_repository(corpus_dir)).compose(system)
+
+    bed = testbed_from_model(composed.root, name=system)
+    ctx = xpdl_init_from_model(
+        IRModel.from_model(composed.root, {"system": system})
+    )
+    catalog = index_state_catalog(ctx, bed)
+    trace = make_trace(
+        FLEET_BENCH_TRACE,
+        seed=FLEET_BENCH_TRACE_SEED,
+        intervals=FLEET_BENCH_INTERVALS,
+        interval_s=FLEET_BENCH_INTERVAL_S,
+        machines=sorted(bed.machines),
+    )
+
+    walls: list[float] = []
+    reports = []
+    for _ in range(2):
+        t0 = time.perf_counter()
+        reports.append(
+            simulate_fleet(bed, trace, policies, state_catalog=catalog)
+        )
+        walls.append(time.perf_counter() - t0)
+    report = reports[0]
+    wall = min(walls)
+
+    perf_energy = report.result("performance").energy_j
+    measured: dict[str, Any] = {}
+    for policy in policies:
+        r = report.result(policy)
+        measured[policy] = {
+            "energy_j": round(r.energy_j, 3),
+            "energy_delta_vs_performance": round(
+                (r.energy_j - perf_energy) / perf_energy, 4
+            )
+            if perf_energy
+            else 0.0,
+            "slo_attainment": round(r.slo_attainment, 4),
+            "service_level": round(r.service_level, 4),
+            "switches": r.switches,
+        }
+
+    machine_intervals = len(bed.machines) * trace.intervals * len(policies)
+    rate = machine_intervals / wall
+    return {
+        "system": system,
+        "seed": seed,
+        "scale": scale,
+        "machines": len(bed.machines),
+        "trace": {
+            "kind": FLEET_BENCH_TRACE,
+            "seed": FLEET_BENCH_TRACE_SEED,
+            "intervals": FLEET_BENCH_INTERVALS,
+            "interval_s": FLEET_BENCH_INTERVAL_S,
+        },
+        "peak_capacity": report.peak_capacity,
+        "digest": report.digest(),
+        "digest_stable": reports[0].to_json() == reports[1].to_json(),
+        "wall_s": round(wall, 6),
+        "norm_wall": round(wall / calibration_s, 4),
+        "machine_intervals_per_s": round(rate, 1),
+        "norm_rate": round(rate * calibration_s, 3),
+        "policies": measured,
+    }
+
+
 def _phase_dict(report: Any) -> dict[str, Any]:
     return {
         "ok": report.ok,
@@ -612,6 +729,7 @@ def run_bench(
     )
     cold_init = run_cold_init_bench(calibration_s)
     scale = run_scale_bench(calibration_s, jobs=jobs)
+    fleet = run_fleet_bench(calibration_s)
     return {
         "bench_schema": BENCH_SCHEMA,
         "rev": git_rev(),
@@ -625,6 +743,7 @@ def run_bench(
         "serve": serve,
         "cold_init": cold_init,
         "scale": scale,
+        "fleet": fleet,
     }
 
 
@@ -838,6 +957,51 @@ def compare(
                     f"above ceiling {ceiling:.3f} (baseline {base_v:.3f} "
                     f"+{max_regress + QUERY_NOISE:.0%})"
                 )
+    # -- fleet energy/SLO simulation -----------------------------------
+    cur_fleet = current.get("fleet") or {}
+    if cur_fleet:
+        if not cur_fleet.get("digest_stable", False):
+            problems.append(
+                "fleet bench: report is not byte-identical across re-runs "
+                "(simulation determinism contract broken)"
+            )
+        pols = cur_fleet.get("policies") or {}
+        perf = pols.get("performance")
+        save = pols.get("powersave")
+        od = pols.get("ondemand")
+        if perf and save and save["energy_j"] > perf["energy_j"]:
+            problems.append(
+                f"fleet bench: powersave used more energy "
+                f"({save['energy_j']:.1f} J) than performance "
+                f"({perf['energy_j']:.1f} J)"
+            )
+        if perf and od:
+            if od["slo_attainment"] < perf["slo_attainment"]:
+                problems.append(
+                    f"fleet bench: ondemand SLO attainment "
+                    f"{od['slo_attainment']:.0%} fell below performance's "
+                    f"{perf['slo_attainment']:.0%} on the diurnal trace"
+                )
+            elif od["energy_j"] >= perf["energy_j"]:
+                problems.append(
+                    f"fleet bench: ondemand saved no energy over "
+                    f"performance ({od['energy_j']:.1f} J vs "
+                    f"{perf['energy_j']:.1f} J at equal SLO)"
+                )
+        base_fleet = baseline.get("fleet") or {}
+        base_rate = base_fleet.get("norm_rate")
+        cur_rate = cur_fleet.get("norm_rate")
+        if base_rate is not None:
+            if cur_rate is None:
+                problems.append("fleet bench: missing from current report")
+            else:
+                floor = base_rate * (1.0 - max_regress - QUERY_NOISE)
+                if cur_rate < floor:
+                    problems.append(
+                        f"fleet bench regressed: norm_rate {cur_rate:.3f} "
+                        f"below floor {floor:.3f} (baseline {base_rate:.3f} "
+                        f"-{max_regress + QUERY_NOISE:.0%})"
+                    )
     return problems
 
 
@@ -964,5 +1128,27 @@ def summarize(data: dict[str, Any]) -> str:
                 f"{doctor['systems_per_s']:7.2f} systems/s  "
                 f"{doctor['errors']} error(s), "
                 f"{doctor['findings']} finding(s)"
+            )
+    fleet = data.get("fleet") or {}
+    if fleet:
+        trace = fleet.get("trace") or {}
+        lines.append(
+            f"  fleet sim on {fleet.get('system', '?')} "
+            f"({fleet.get('machines', '?')} machines, "
+            f"{trace.get('kind', '?')} trace x{trace.get('intervals', '?')}, "
+            f"digest {'stable' if fleet.get('digest_stable') else 'UNSTABLE'}):"
+        )
+        lines.append(
+            f"    wall {fleet.get('wall_s', 0) * 1e3:8.1f} ms  "
+            f"norm {fleet.get('norm_wall', 0):7.3f}  "
+            f"{fleet.get('machine_intervals_per_s', 0):9.1f} machine-intervals/s"
+        )
+        for policy, p in (fleet.get("policies") or {}).items():
+            lines.append(
+                f"    {policy:13s} {p['energy_j']:12.1f} J  "
+                f"({p['energy_delta_vs_performance']:+7.1%} vs performance)  "
+                f"SLO {p['slo_attainment']:4.0%}  "
+                f"served {p['service_level']:4.0%}  "
+                f"{p['switches']:5d} switches"
             )
     return "\n".join(lines)

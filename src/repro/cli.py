@@ -8,6 +8,7 @@ Subcommands cover the whole processing pipeline::
     xpdl build [ident ...]             # parallel batch build of all systems
     xpdl doctor [ident ...]            # cross-descriptor static analysis
     xpdl gen --seed S --scale N -d DIR # seeded synthetic descriptor corpus
+    xpdl fleet --model <ident>         # fleet energy/SLO policy simulation
     xpdl import model.yaml -d DIR      # CESDM YAML/JSON or PDL subset
     xpdl export DIR -o model.yaml      # descriptor tree -> CESDM document
     xpdl cache stats|clear|verify      # manage the persistent stage cache
@@ -387,6 +388,58 @@ def cmd_gen(args) -> int:
     # The digest is the determinism contract: same seed+scale, same
     # sha256, in any process.
     print(f"sha256 {corpus.digest()}")
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    """Fleet-scale energy simulation under a time-varying load trace.
+
+    Composes the model, compiles its runtime index, builds the simulated
+    testbed and runs every requested DVFS governor policy over the same
+    seeded trace, reporting per-policy energy and SLO attainment.
+    """
+    from .fleet import (
+        GOVERNORS,
+        index_state_catalog,
+        make_trace,
+        simulate_fleet,
+    )
+    from .runtime import xpdl_init_from_model
+    from .simhw import testbed_from_model
+
+    session = _session(args)
+    result = session.emit_ir(args.model)
+    _print_diagnostics(session)
+    if session.sink.has_errors():
+        return 1
+    testbed = testbed_from_model(result.composed.root, name=args.model)
+    ctx = xpdl_init_from_model(result.ir)
+    catalog = index_state_catalog(ctx, testbed)
+    trace = make_trace(
+        args.trace_kind,
+        seed=args.seed,
+        intervals=args.intervals,
+        interval_s=args.interval_s,
+        machines=sorted(testbed.machines),
+    )
+    policies = list(args.policy or GOVERNORS)
+    report = simulate_fleet(
+        testbed,
+        trace,
+        policies,
+        state_catalog=catalog,
+        request_ops=args.request_ops,
+    )
+    if args.format == "json":
+        text = report.to_json()
+    else:
+        text = report.render_table() + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.output} [{report.digest()[:12]}]")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -937,6 +990,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="output directory (default: corpus)",
     )
     p.set_defaults(fn=cmd_gen)
+
+    p = sub.add_parser(
+        "fleet",
+        help="simulate a fleet under a load trace and compare DVFS "
+        "governor policies (energy vs. SLO)",
+    )
+    p.add_argument(
+        "--model",
+        required=True,
+        help="system identifier to compose into the simulated fleet",
+    )
+    p.add_argument(
+        "--trace",
+        dest="trace_kind",
+        choices=("diurnal", "poisson", "step", "spike", "failures"),
+        default="diurnal",
+        help="traffic trace family (default: diurnal)",
+    )
+    p.add_argument(
+        "--policy",
+        action="append",
+        choices=("performance", "powersave", "ondemand", "race-to-idle"),
+        metavar="NAME",
+        help="governor policy to run; repeatable (default: all four)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="trace seed (default 0)"
+    )
+    p.add_argument(
+        "--intervals",
+        type=int,
+        default=72,
+        metavar="N",
+        help="simulated intervals; the diurnal period is 24 (default 72)",
+    )
+    p.add_argument(
+        "--interval-s",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="length of one interval (default 60)",
+    )
+    p.add_argument(
+        "--request-ops",
+        type=int,
+        default=200_000,
+        metavar="N",
+        help="instructions per request (default 200000)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="report format (default: table)",
+    )
+    p.add_argument("-o", "--output", metavar="FILE")
+    p.set_defaults(fn=cmd_fleet)
 
     p = sub.add_parser(
         "import",

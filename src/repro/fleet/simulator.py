@@ -1,0 +1,477 @@
+"""The discrete-interval fleet simulator.
+
+Load model: a *request* is a fixed instruction mix (drawn from each
+machine's ISA ground truth) of ``request_ops`` total instructions.  The
+trace's offered fraction is scaled by the fleet's *peak capacity* — the
+requests per interval the fleet serves with every machine pinned to its
+fastest state — into an integer request count per interval.  Unserved
+requests queue: the next interval's demand is ``offered + backlog``.
+
+Per interval, for every machine:
+
+1. its governor picks a P-state from the machine's PSM (validated
+   against the compiled :class:`~repro.runtime.index.IRIndex` state
+   catalog when one is supplied), and the cursor switches — paying the
+   declared transition time/energy, multi-hop if needed;
+2. the fleet allocates demand greedily, fastest machines first; each
+   machine serves up to ``floor((interval - switch_time) / request_time)``
+   requests;
+3. energy is accounted exactly: served requests through
+   :meth:`~repro.simhw.machine.SimMachine.run_stream`, the idle tail
+   through :meth:`~repro.simhw.machine.SimMachine.run_idle` (optionally
+   parked in the PSM's lowest-power state for race-to-idle governors),
+   switches through the cursor deltas.
+
+A machine inside a trace downtime window serves nothing and consumes
+nothing (hard power-off).  Everything is deterministic given (testbed,
+trace, policy): reports hash byte-identically across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from ..diagnostics import XpdlError
+from ..obs import get_observer
+from ..power import PsmCursor
+from ..simhw import SimMachine, SimTestbed
+from ..units import TIME, Quantity
+from .governors import Governor, make_governor
+from .traces import Trace
+
+#: Instructions per request; split evenly across the machine's ISA mix.
+DEFAULT_REQUEST_OPS = 200_000
+
+
+def _request_mix(machine: SimMachine, request_ops: int) -> dict[str, int]:
+    names = sorted(machine.truth.names())
+    if not names:
+        raise XpdlError(
+            f"machine {machine.name!r} has no instruction ground truth"
+        )
+    per = max(1, request_ops // len(names))
+    return {name: per for name in names}
+
+
+def _request_cycles(machine: SimMachine, mix: Mapping[str, int]) -> float:
+    cycles = 0.0
+    for name, count in mix.items():
+        cycles += count * machine.truth.entry(name).cpi / machine.issue_width
+    return cycles
+
+
+@dataclass
+class PolicyResult:
+    """Energy/SLO outcome of one policy over one trace."""
+
+    policy: str
+    intervals: int
+    offered: int
+    served: int
+    final_backlog: int
+    slo_met_intervals: int
+    busy_j: float
+    idle_j: float
+    switch_j: float
+    switches: int
+
+    @property
+    def energy_j(self) -> float:
+        return self.busy_j + self.idle_j + self.switch_j
+
+    @property
+    def slo_attainment(self) -> float:
+        return self.slo_met_intervals / self.intervals if self.intervals else 1.0
+
+    @property
+    def service_level(self) -> float:
+        return self.served / self.offered if self.offered else 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "intervals": self.intervals,
+            "offered": self.offered,
+            "served": self.served,
+            "final_backlog": self.final_backlog,
+            "slo_met_intervals": self.slo_met_intervals,
+            "slo_attainment": round(self.slo_attainment, 6),
+            "service_level": round(self.service_level, 6),
+            "busy_j": round(self.busy_j, 6),
+            "idle_j": round(self.idle_j, 6),
+            "switch_j": round(self.switch_j, 6),
+            "energy_j": round(self.energy_j, 6),
+            "switches": self.switches,
+        }
+
+
+@dataclass
+class FleetReport:
+    """Per-policy comparison over one trace on one fleet."""
+
+    model: str
+    trace: str
+    seed: int
+    intervals: int
+    interval_s: float
+    machines: int
+    peak_capacity: int
+    results: list[PolicyResult] = field(default_factory=list)
+
+    def result(self, policy: str) -> PolicyResult:
+        for r in self.results:
+            if r.policy == policy:
+                return r
+        raise XpdlError(
+            f"report has no policy {policy!r}; "
+            f"policies: {', '.join(r.policy for r in self.results)}"
+        )
+
+    def to_dict(self) -> dict:
+        baseline = next(
+            (r for r in self.results if r.policy == "performance"), None
+        )
+        out = {
+            "model": self.model,
+            "trace": self.trace,
+            "seed": self.seed,
+            "intervals": self.intervals,
+            "interval_s": self.interval_s,
+            "machines": self.machines,
+            "peak_capacity": self.peak_capacity,
+            "policies": [r.to_dict() for r in self.results],
+        }
+        if baseline is not None and baseline.energy_j > 0.0:
+            out["energy_delta_vs_performance"] = {
+                r.policy: round(
+                    (r.energy_j - baseline.energy_j) / baseline.energy_j, 6
+                )
+                for r in self.results
+            }
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+    def render_table(self) -> str:
+        baseline = next(
+            (r for r in self.results if r.policy == "performance"), None
+        )
+        head = (
+            f"fleet {self.model}: trace={self.trace} seed={self.seed} "
+            f"intervals={self.intervals}x{self.interval_s:g}s "
+            f"machines={self.machines} peak={self.peak_capacity} req/interval"
+        )
+        cols = (
+            f"{'policy':<14} {'energy [kJ]':>12} {'vs perf':>8} "
+            f"{'SLO':>7} {'service':>8} {'switches':>9}"
+        )
+        lines = [head, cols, "-" * len(cols)]
+        for r in self.results:
+            if baseline is not None and baseline.energy_j > 0.0:
+                delta = (r.energy_j - baseline.energy_j) / baseline.energy_j
+                delta_s = f"{delta:+8.1%}"
+            else:
+                delta_s = f"{'-':>8}"
+            lines.append(
+                f"{r.policy:<14} {r.energy_j / 1e3:>12.3f} {delta_s} "
+                f"{r.slo_attainment:>7.1%} {r.service_level:>8.1%} "
+                f"{r.switches:>9d}"
+            )
+        return "\n".join(lines)
+
+
+def index_state_catalog(ctx, testbed: SimTestbed) -> dict[str, frozenset[str]]:
+    """Per-machine P-state catalog read through the compiled query API.
+
+    For each simulated machine, browse the runtime :class:`IRIndex` for
+    the matching unit (by id) and collect its declared ``power_state``
+    names; machines the index cannot pin down fall back to the model-wide
+    state set.  The simulator uses the catalog to cross-check every
+    governor decision against the *compiled* model — the query engine as
+    the optimizer's inner loop.
+    """
+    obs = get_observer()
+    all_states = frozenset(
+        h.attr("name") or h.label() for h in ctx.find_all("power_state")
+    )
+    catalog: dict[str, frozenset[str]] = {}
+    for name in testbed.machines:
+        handle = ctx.by_id(name)
+        obs.count("fleet.query.lookups")
+        if handle is not None:
+            states = frozenset(
+                h.attr("name") or h.label()
+                for h in handle.descendants("power_state")
+            )
+            if states:
+                catalog[name] = states
+                continue
+        catalog[name] = all_states
+    return catalog
+
+
+@dataclass
+class _MachineState:
+    """Per-run bookkeeping for one machine."""
+
+    machine: SimMachine
+    governor: Governor | None
+    mix: dict[str, int]
+    req_cycles: float
+    last_util: float
+    pred_cycles: float
+
+
+class FleetSimulator:
+    """Drives one testbed through traces under different governors."""
+
+    def __init__(
+        self,
+        testbed: SimTestbed,
+        *,
+        state_catalog: Mapping[str, frozenset[str]] | None = None,
+        request_ops: int = DEFAULT_REQUEST_OPS,
+    ) -> None:
+        if not testbed.machines:
+            raise XpdlError(f"testbed {testbed.name!r} has no machines")
+        self.testbed = testbed
+        self.state_catalog = dict(state_catalog or {})
+        self.request_ops = request_ops
+        self._mixes = {
+            name: _request_mix(m, request_ops)
+            for name, m in testbed.machines.items()
+        }
+        self._cycles = {
+            name: _request_cycles(m, self._mixes[name])
+            for name, m in testbed.machines.items()
+        }
+
+    # -- capacity ------------------------------------------------------------
+    def _fastest_frequency(self, m: SimMachine) -> float:
+        if m.psm is not None:
+            return m.psm.fastest().frequency.magnitude
+        return m.fixed_frequency.magnitude
+
+    def _machine_peak(self, m: SimMachine, interval_s: float) -> int:
+        req_t = self._cycles[m.name] / self._fastest_frequency(m)
+        return int(interval_s / req_t)
+
+    def peak_capacity(self, interval_s: float) -> int:
+        """Requests/interval with every machine pinned to its fastest state."""
+        return sum(
+            self._machine_peak(m, interval_s)
+            for m in self.testbed.machines.values()
+        )
+
+    # -- policy run ----------------------------------------------------------
+    def _fresh_states(self, policy: str, interval_s: float) -> list[_MachineState]:
+        states = []
+        for name in sorted(self.testbed.machines):
+            m = self.testbed.machines[name]
+            if m.psm is not None:
+                # Fresh cursor per policy run: byte-stable, no cross-policy
+                # contamination of switch accounting.
+                m.cursor = PsmCursor(m.psm, m.psm.fastest().name)
+                governor: Governor | None = make_governor(policy, m.psm)
+                governor.reset()
+            else:
+                governor = None
+            states.append(
+                _MachineState(
+                    machine=m,
+                    governor=governor,
+                    mix=self._mixes[name],
+                    req_cycles=self._cycles[name],
+                    last_util=1.0,
+                    pred_cycles=self._machine_peak(m, interval_s)
+                    * self._cycles[name],
+                )
+            )
+        return states
+
+    def _checked_state(self, machine: str, state: str) -> str:
+        catalog = self.state_catalog.get(machine)
+        if catalog is not None:
+            get_observer().count("fleet.query.state_checks")
+            if state not in catalog:
+                raise XpdlError(
+                    f"governor chose state {state!r} for machine "
+                    f"{machine!r}, absent from the compiled index catalog"
+                )
+        return state
+
+    def run_policy(self, policy: str, trace: Trace) -> PolicyResult:
+        obs = get_observer()
+        interval_s = trace.interval_s
+        interval_q = Quantity(interval_s, TIME)
+        peak = self.peak_capacity(interval_s)
+        states = self._fresh_states(policy, interval_s)
+
+        backlog = 0
+        offered_total = 0
+        served_total = 0
+        slo_met = 0
+        busy_j = idle_j = switch_j = 0.0
+        switches = 0
+
+        for i in range(trace.intervals):
+            offered = int(round(trace.offered[i] * peak))
+            offered_total += offered
+            demand = offered + backlog
+
+            # Pass A: governor decisions + switches + capacities.
+            plans: list[tuple[_MachineState, bool, float, float, int]] = []
+            for st in states:
+                m = st.machine
+                down = trace.is_down(m.name, i)
+                sw_t = sw_e = 0.0
+                if down:
+                    plans.append((st, True, 0.0, 0.0, 0))
+                    continue
+                if st.governor is not None and m.cursor is not None:
+                    target = self._checked_state(
+                        m.name,
+                        st.governor.decide(
+                            m.cursor.current,
+                            st.last_util,
+                            backlog,
+                            st.pred_cycles,
+                            interval_q,
+                        ),
+                    )
+                    if target != m.cursor.current:
+                        plan = m.cursor.go(target)
+                        sw_t = plan.time.magnitude
+                        sw_e = plan.energy.magnitude
+                        switches += plan.hops
+                req_t = st.req_cycles / m.frequency.magnitude
+                capacity = max(0, int((interval_s - sw_t) / req_t))
+                plans.append((st, False, sw_t, sw_e, capacity))
+
+            # Pass B: greedy allocation, fastest machines first.
+            order = sorted(
+                range(len(plans)),
+                key=lambda k: (
+                    -plans[k][0].machine.frequency.magnitude,
+                    plans[k][0].machine.name,
+                ),
+            )
+            allocation = [0] * len(plans)
+            remaining = demand
+            for k in order:
+                st, down, _sw_t, _sw_e, capacity = plans[k]
+                if down or remaining <= 0:
+                    continue
+                n = min(capacity, remaining)
+                allocation[k] = n
+                remaining -= n
+            served = demand - remaining
+            backlog = remaining
+            served_total += served
+            if backlog == 0:
+                slo_met += 1
+
+            # Pass C: exact energy accounting.
+            for k, (st, down, sw_t, sw_e, _capacity) in enumerate(plans):
+                m = st.machine
+                if down:
+                    st.last_util = 0.0
+                    st.pred_cycles = 0.0
+                    continue
+                n = allocation[k]
+                switch_j += sw_e
+                busy_t = 0.0
+                if n > 0:
+                    counts = {
+                        name: count * n for name, count in st.mix.items()
+                    }
+                    run = m.run_stream(counts)
+                    busy_j += run.energy.magnitude
+                    busy_t = run.duration.magnitude
+                idle_t = max(0.0, interval_s - sw_t - busy_t)
+                if idle_t > 0.0:
+                    if (
+                        st.governor is not None
+                        and st.governor.wants_idle_parking
+                        and m.psm is not None
+                        and m.cursor is not None
+                    ):
+                        park = m.psm.idle_state().name
+                        if park != m.cursor.current:
+                            plan = m.psm.switch_plan(m.cursor.current, park)
+                            if plan.time.magnitude < idle_t:
+                                plan = m.cursor.go(park)
+                                switch_j += plan.energy.magnitude
+                                switches += plan.hops
+                                idle_t -= plan.time.magnitude
+                    rest = m.run_idle(Quantity(idle_t, TIME))
+                    idle_j += rest.energy.magnitude
+                st.last_util = min(1.0, (busy_t + sw_t) / interval_s)
+                st.pred_cycles = n * st.req_cycles
+                obs.record("fleet.machine.util", st.last_util)
+
+            obs.count("fleet.intervals")
+            obs.gauge("fleet.backlog", float(backlog))
+
+        obs.count("fleet.requests.offered", offered_total)
+        obs.count("fleet.requests.served", served_total)
+        obs.count("fleet.switches", switches)
+        obs.mark(
+            "fleet.policy",
+            policy=policy,
+            trace=trace.kind,
+            seed=trace.seed,
+            energy_j=round(busy_j + idle_j + switch_j, 6),
+        )
+        return PolicyResult(
+            policy=policy,
+            intervals=trace.intervals,
+            offered=offered_total,
+            served=served_total,
+            final_backlog=backlog,
+            slo_met_intervals=slo_met,
+            busy_j=busy_j,
+            idle_j=idle_j,
+            switch_j=switch_j,
+            switches=switches,
+        )
+
+
+def simulate_fleet(
+    testbed: SimTestbed,
+    trace: Trace,
+    policies: Iterable[str],
+    *,
+    state_catalog: Mapping[str, frozenset[str]] | None = None,
+    request_ops: int = DEFAULT_REQUEST_OPS,
+) -> FleetReport:
+    """Run every policy over the trace and assemble the comparison report."""
+    sim = FleetSimulator(
+        testbed, state_catalog=state_catalog, request_ops=request_ops
+    )
+    report = FleetReport(
+        model=testbed.name,
+        trace=trace.kind,
+        seed=trace.seed,
+        intervals=trace.intervals,
+        interval_s=trace.interval_s,
+        machines=len(testbed.machines),
+        peak_capacity=sim.peak_capacity(trace.interval_s),
+    )
+    seen = set()
+    for policy in policies:
+        if policy in seen:
+            continue
+        seen.add(policy)
+        report.results.append(sim.run_policy(policy, trace))
+    if not report.results:
+        raise XpdlError("no policies requested for fleet simulation")
+    return report

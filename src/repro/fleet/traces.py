@@ -1,0 +1,171 @@
+"""Synthetic traffic traces for the fleet simulator.
+
+A :class:`Trace` is a per-interval sequence of *offered load* fractions —
+relative to the fleet's peak capacity with every machine in its fastest
+state — plus an optional per-machine downtime overlay for node-failure
+scenarios.  Every draw is seeded through the corpus convention
+``random.Random(f"{seed}:{purpose}:{i}")``, so a (kind, seed, intervals,
+machines) tuple always produces byte-identical traces regardless of
+``PYTHONHASHSEED`` or platform.
+
+Families:
+
+``diurnal``
+    A day/night sinusoid with period 24 intervals plus small noise — the
+    canonical datacenter load shape.
+``poisson``
+    A low baseline with seeded exponential-magnitude bursts.
+``step``
+    A low plateau stepping to a high plateau mid-trace (capacity
+    re-planning shape).
+``spike``
+    A low baseline with rare overload spikes *above* fleet capacity, to
+    exercise queue backlog and SLO misses.
+``failures``
+    The diurnal shape plus contiguous per-machine outage windows.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..diagnostics import XpdlError
+
+_EMPTY: frozenset[int] = frozenset()
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A seeded, immutable load trace."""
+
+    kind: str
+    seed: int
+    interval_s: float
+    #: Offered load per interval, as a fraction of fleet peak capacity.
+    offered: tuple[float, ...]
+    #: Machine name -> intervals during which the machine is down.
+    downtime: dict[str, frozenset[int]] = field(default_factory=dict)
+
+    @property
+    def intervals(self) -> int:
+        return len(self.offered)
+
+    def is_down(self, machine: str, interval: int) -> bool:
+        return interval in self.downtime.get(machine, _EMPTY)
+
+    def peak(self) -> float:
+        return max(self.offered) if self.offered else 0.0
+
+
+def _rng(seed: int, purpose: str, i: object) -> random.Random:
+    return random.Random(f"{seed}:{purpose}:{i}")
+
+
+def _clamp(x: float, lo: float, hi: float) -> float:
+    return max(lo, min(hi, x))
+
+
+def _diurnal_offered(seed: int, intervals: int, purpose: str) -> tuple[float, ...]:
+    out = []
+    for i in range(intervals):
+        base = 0.45 + 0.35 * math.sin(2.0 * math.pi * i / 24.0)
+        noise = _rng(seed, purpose, i).uniform(-0.03, 0.03)
+        out.append(_clamp(base + noise, 0.02, 1.0))
+    return tuple(out)
+
+
+def _poisson_offered(seed: int, intervals: int) -> tuple[float, ...]:
+    out = []
+    for i in range(intervals):
+        rng = _rng(seed, "trace.poisson", i)
+        load = 0.3 + rng.uniform(-0.02, 0.02)
+        if rng.random() < 0.15:
+            load += rng.expovariate(2.0)
+        out.append(_clamp(load, 0.02, 1.5))
+    return tuple(out)
+
+
+def _step_offered(seed: int, intervals: int) -> tuple[float, ...]:
+    out = []
+    for i in range(intervals):
+        base = 0.2 if i < intervals // 2 else 0.7
+        noise = _rng(seed, "trace.step", i).uniform(-0.01, 0.01)
+        out.append(_clamp(base + noise, 0.02, 1.0))
+    return tuple(out)
+
+
+def _spike_offered(seed: int, intervals: int) -> tuple[float, ...]:
+    out = []
+    for i in range(intervals):
+        rng = _rng(seed, "trace.spike", i)
+        load = 0.25 + rng.uniform(-0.02, 0.02)
+        if rng.random() < 0.08:
+            load = 1.3  # deliberate overload: backlog must queue
+        out.append(_clamp(load, 0.02, 1.5))
+    return tuple(out)
+
+
+def _failure_downtime(
+    seed: int, intervals: int, machines: Sequence[str]
+) -> dict[str, frozenset[int]]:
+    downtime: dict[str, frozenset[int]] = {}
+    for machine in sorted(machines):
+        rng = _rng(seed, "trace.failures.down", machine)
+        if rng.random() >= 0.25:
+            continue
+        start = rng.randrange(intervals)
+        length = 1 + rng.randrange(max(1, intervals // 6))
+        window = frozenset(range(start, min(intervals, start + length)))
+        if window:
+            downtime[machine] = window
+    return downtime
+
+
+def make_trace(
+    kind: str,
+    *,
+    seed: int,
+    intervals: int = 72,
+    interval_s: float = 60.0,
+    machines: Sequence[str] = (),
+) -> Trace:
+    """Build a byte-stable trace of one of the :data:`TRACE_KINDS`."""
+    if intervals <= 0:
+        raise XpdlError(f"trace needs at least one interval, got {intervals}")
+    if interval_s <= 0.0:
+        raise XpdlError(f"interval length must be positive, got {interval_s}")
+    downtime: dict[str, frozenset[int]] = {}
+    if kind == "diurnal":
+        offered = _diurnal_offered(seed, intervals, "trace.diurnal")
+    elif kind == "poisson":
+        offered = _poisson_offered(seed, intervals)
+    elif kind == "step":
+        offered = _step_offered(seed, intervals)
+    elif kind == "spike":
+        offered = _spike_offered(seed, intervals)
+    elif kind == "failures":
+        offered = _diurnal_offered(seed, intervals, "trace.failures")
+        downtime = _failure_downtime(seed, intervals, machines)
+    else:
+        raise XpdlError(
+            f"unknown trace kind {kind!r}; kinds: {', '.join(TRACE_KINDS)}"
+        )
+    return Trace(
+        kind=kind,
+        seed=seed,
+        interval_s=interval_s,
+        offered=offered,
+        downtime=downtime,
+    )
+
+
+TRACE_KINDS: tuple[str, ...] = (
+    "diurnal",
+    "poisson",
+    "step",
+    "spike",
+    "failures",
+)

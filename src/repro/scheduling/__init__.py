@@ -11,6 +11,7 @@ from .taskgraph import (
 )
 from .scheduler import (
     EnergyAwareScheduler,
+    LinkMissingWarning,
     Placement,
     Schedule,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "fork_join",
     "random_dag",
     "EnergyAwareScheduler",
+    "LinkMissingWarning",
     "Placement",
     "Schedule",
 ]

@@ -22,13 +22,25 @@ replaying them on the testbed.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from ..diagnostics import XpdlError
+from ..obs import get_observer
 from ..power import PowerStateDef
 from ..simhw import SimLink, SimMachine, SimTestbed
 from ..units import ENERGY, TIME, Quantity
 from .taskgraph import Task, TaskGraph
+
+
+class LinkMissingWarning(UserWarning):
+    """Cross-unit traffic hit a machine pair with no modeled link.
+
+    The scheduler degrades to a zero-cost transfer estimate — loudly:
+    this warning fires once per scheduler instance, and every occurrence
+    bumps the ``sched.link_missing`` observability counter (the PR-4
+    "loud degradation" convention).
+    """
 
 
 @dataclass
@@ -64,6 +76,21 @@ class Schedule:
         )
 
     def idle_energy(self, idle_power: dict[str, float]) -> float:
+        """Idle energy over the makespan, given per-machine idle power.
+
+        ``idle_power`` must cover every machine that executes a task:
+        a scheduled machine with no entry would silently contribute zero
+        and understate fleet energy, so that raises :class:`XpdlError`.
+        Extra entries (machines that idled the whole span) are charged
+        ``power * makespan`` as expected.
+        """
+        scheduled = {p.machine for p in self.placements.values()}
+        missing = sorted(scheduled - set(idle_power))
+        if missing:
+            raise XpdlError(
+                "idle_power is missing scheduled machine(s): "
+                + ", ".join(missing)
+            )
         span = self.makespan
         total = 0.0
         for machine, power in idle_power.items():
@@ -71,8 +98,14 @@ class Schedule:
         return total
 
     def total_energy(self, idle_power: dict[str, float] | None = None) -> float:
+        """Busy plus idle energy.
+
+        When ``idle_power`` is given it must name every scheduled machine
+        (see :meth:`idle_energy`); when omitted, only busy energy is
+        summed.
+        """
         return self.busy_energy() + (
-            self.idle_energy(idle_power) if idle_power else 0.0
+            self.idle_energy(idle_power) if idle_power is not None else 0.0
         )
 
     def on_machine(self, machine: str) -> list[Placement]:
@@ -102,6 +135,20 @@ class EnergyAwareScheduler:
             # Fall back to the first modeled channel for cross-unit traffic.
             first = next(iter(testbed.links.values()))
             self.default_link = next(iter(first.values()))
+        self._link_warned = False
+
+    def _note_link_missing(self, src: str, dst: str) -> None:
+        """Unmodeled link on a real transfer: count it, warn once."""
+        get_observer().count("sched.link_missing")
+        if not self._link_warned:
+            self._link_warned = True
+            warnings.warn(
+                f"no modeled link for transfer {src} -> {dst} (and no "
+                "default link); treating the transfer as free — model an "
+                "<interconnect> or pass default_link to make costs real",
+                LinkMissingWarning,
+                stacklevel=3,
+            )
 
     # -- per-unit cost models ---------------------------------------------------
     def _machine(self, name: str) -> SimMachine:
@@ -156,6 +203,7 @@ class EnergyAwareScheduler:
             return 0.0
         link = self.links.get((src, dst)) or self.default_link
         if link is None:
+            self._note_link_missing(src, dst)
             return 0.0
         return link.transfer(nbytes).time.magnitude
 
@@ -180,11 +228,14 @@ class EnergyAwareScheduler:
             downstream = 0.0
             for s, nbytes in succ:
                 # Mean transfer estimate: default link time.
-                t = (
-                    self.default_link.transfer(nbytes).time.magnitude
-                    if (self.default_link is not None and nbytes)
-                    else 0.0
-                )
+                if self.default_link is not None and nbytes:
+                    t = self.default_link.transfer(nbytes).time.magnitude
+                else:
+                    t = 0.0
+                    if nbytes:
+                        # No link modeled at all: the rank estimate treats
+                        # the transfer as free — make that loud.
+                        self._note_link_missing(task.name, s.name)
                 downstream = max(downstream, t + ranks[s.name])
             ranks[task.name] = mean_cost[task.name] + downstream
         return ranks
@@ -221,7 +272,6 @@ class EnergyAwareScheduler:
                 finish = start + cost[0]
                 if best is None or finish < best[0]:
                     best = (finish, machine, cost)
-                    best_start = start
             if best is None:
                 raise XpdlError(
                     f"task {task.name!r} is not runnable on any machine"
@@ -365,22 +415,43 @@ class EnergyAwareScheduler:
         compare the analytic costs; returns per-task relative time error.
 
         Analytic scheduling and simulated execution share the ground truth,
-        so errors beyond float noise indicate a scheduler bug."""
+        so errors beyond float noise indicate a scheduler bug.
+
+        State changes go through :meth:`PsmCursor.go` — so an undeclared
+        switching path raises instead of teleporting the FSM — and every
+        touched cursor is restored to its pre-verify snapshot afterwards:
+        verification never leaves the shared testbed in whatever state the
+        last replayed task happened to use."""
         errors: dict[str, float] = {}
-        for task in tg.tasks():
-            p = sched.placements[task.name]
-            m = self._machine(p.machine)
-            if m.psm is not None:
-                m.cursor.current = p.state  # directly position the FSM
-            mix = task.mix_for(m.truth.names()) or {}
-            if not mix:
-                errors[task.name] = 0.0
-                continue
-            run = m.run_stream(mix)
-            analytic = p.finish - p.start
-            errors[task.name] = (
-                abs(run.duration.magnitude - analytic) / analytic
-                if analytic
-                else 0.0
-            )
+        saved: dict[str, tuple] = {}
+        try:
+            for task in tg.tasks():
+                p = sched.placements[task.name]
+                m = self._machine(p.machine)
+                if m.psm is not None and m.cursor is not None:
+                    if p.machine not in saved:
+                        c = m.cursor
+                        saved[p.machine] = (
+                            c.current,
+                            c.switch_time,
+                            c.switch_energy,
+                            c.switches,
+                        )
+                    m.cursor.go(p.state)
+                mix = task.mix_for(m.truth.names()) or {}
+                if not mix:
+                    errors[task.name] = 0.0
+                    continue
+                run = m.run_stream(mix)
+                analytic = p.finish - p.start
+                errors[task.name] = (
+                    abs(run.duration.magnitude - analytic) / analytic
+                    if analytic
+                    else 0.0
+                )
+        finally:
+            for machine, snap in saved.items():
+                c = self._machine(machine).cursor
+                if c is not None:
+                    (c.current, c.switch_time, c.switch_energy, c.switches) = snap
         return errors
