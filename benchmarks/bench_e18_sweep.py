@@ -1,0 +1,98 @@
+"""E18 (extension) — sharded policy/trace/seed sweeps over the fleet simulator.
+
+E17 measures one cell of the optimization loop (one trace through every
+governor).  E18 measures the loop the paper's Sec. I actually motivates:
+a *grid* of (policy, trace, seed) cells sharded across worker processes
+by ``repro.fleet.run_sweep``, with the memoized simulator inner loop
+doing the per-cell work.  The contract under test is twofold: the merged
+report must be byte-identical whatever ``jobs`` the grid ran under, and
+sharding must buy wall-clock roughly linear in the worker count (on
+hosts that have the cores).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from conftest import emit_table
+
+from repro.composer import Composer
+from repro.corpus import generate_corpus
+from repro.fleet import GOVERNORS, index_state_catalog, run_sweep
+from repro.ir import IRModel
+from repro.modellib import standard_repository
+from repro.runtime import xpdl_init_from_model
+from repro.simhw import testbed_from_model
+from repro.toolchain import default_jobs
+
+SEED = 11
+SCALE = 40
+TRACES = ("diurnal", "poisson")
+SEEDS = tuple(range(1, 5))
+INTERVALS = 24
+INTERVAL_S = 60.0
+
+
+def _sweep_inputs():
+    corpus = generate_corpus(SEED, SCALE)
+    with tempfile.TemporaryDirectory(prefix="xpdl-e18-") as scratch:
+        corpus_dir = os.path.join(scratch, "corpus")
+        corpus.write_to(corpus_dir)
+        system = sorted(corpus.systems)[0]
+        composed = Composer(standard_repository(corpus_dir)).compose(system)
+    bed = testbed_from_model(composed.root, name=system)
+    ctx = xpdl_init_from_model(
+        IRModel.from_model(composed.root, {"system": system})
+    )
+    return bed, index_state_catalog(ctx, bed)
+
+
+def test_e18_sweep_sharding(benchmark):
+    bed, catalog = _sweep_inputs()
+    kwargs = dict(
+        policies=tuple(GOVERNORS),
+        traces=TRACES,
+        seeds=SEEDS,
+        intervals=INTERVALS,
+        interval_s=INTERVAL_S,
+        state_catalog=catalog,
+    )
+    jobs = min(4, default_jobs())
+
+    runs = {}
+    for n in (1, jobs):
+        runs[n] = run_sweep(bed, jobs=n, **kwargs)
+
+    report, serial_stats = runs[1]
+    _, par_stats = runs[jobs]
+
+    # The benchmark clock measures the parallel sweep (the shipped path).
+    benchmark.pedantic(
+        lambda: run_sweep(bed, jobs=jobs, **kwargs), rounds=3, iterations=1
+    )
+
+    rows = [
+        [
+            f"jobs={n}",
+            f"{stats.wall_s * 1e3:.1f}",
+            f"{stats.cells_per_s:.2f}",
+            f"{stats.workers}",
+            f"{serial_stats.wall_s / max(stats.wall_s, 1e-9):.2f}x",
+        ]
+        for n, (_, stats) in sorted(runs.items())
+    ]
+    emit_table(
+        "e18_sweep",
+        f"sweep sharding on {report.model} ({report.machines} machines, "
+        f"{serial_stats.cells} cells = {len(GOVERNORS)} policies x "
+        f"{len(TRACES)} traces x {len(SEEDS)} seeds)",
+        ["shard", "wall [ms]", "cells/s", "workers", "speedup"],
+        rows,
+        notes=f"{default_jobs()} CPUs; report digest {report.digest()[:12]} "
+        "is byte-identical across job counts",
+    )
+
+    assert runs[1][0].to_json() == runs[jobs][0].to_json()
+    assert serial_stats.cells == len(GOVERNORS) * len(TRACES) * len(SEEDS)
+    assert par_stats.workers == min(jobs, serial_stats.cells)

@@ -49,6 +49,14 @@ normalized rate against the baseline and enforces the structural
 invariants — byte-identical reports across re-runs, ``powersave`` never
 costing more energy than ``performance``, and ``ondemand`` saving energy
 at equal SLO attainment on the diurnal shape.
+
+The ``sweep`` section (schema 7) shards the full (policy, trace, seed)
+grid through ``repro.fleet.run_sweep`` at ``jobs=1`` and ``jobs=4``:
+grid wall, cells/s and the parallel speedup, plus the ``fleet``
+section's single-cell rate floored against the frozen schema-6
+cursor-engine constant.  ``compare`` enforces byte-identical reports
+across job counts, the >= 2x speedup floor (only on hosts with >= 4
+CPUs), and both throughput floors.
 """
 
 from __future__ import annotations
@@ -62,7 +70,7 @@ import tempfile
 import time
 from typing import Any, Sequence
 
-BENCH_SCHEMA = 6
+BENCH_SCHEMA = 7
 
 #: Warm-cache hit-rate floor (acceptance criterion: >= 90 %).
 MIN_WARM_HIT_RATE = 0.9
@@ -119,6 +127,25 @@ FLEET_BENCH_TRACE = "diurnal"
 FLEET_BENCH_TRACE_SEED = 5
 FLEET_BENCH_INTERVALS = 24
 FLEET_BENCH_INTERVAL_S = 60.0
+
+#: Grid the ``sweep`` section shards (schema 7): every governor policy x
+#: two trace shapes x eight seeds on the FLEET_BENCH cluster = 64 cells.
+SWEEP_BENCH_TRACES = ("diurnal", "poisson")
+SWEEP_BENCH_SEEDS = tuple(range(1, 9))
+SWEEP_BENCH_JOBS = 4
+
+#: Parallel sweep speedup floor at ``--jobs 4`` (acceptance criterion:
+#: >= 2x).  Enforced only when the host actually has >= SWEEP_BENCH_JOBS
+#: CPUs; a 1-core container cannot exhibit process-level speedup.
+MIN_SWEEP_SPEEDUP = 2.0
+
+#: The schema-6 fleet simulator rate (``norm_rate``: machine-intervals/s
+#: x calibration) on this grid's cluster, measured with the cursor-walk
+#: inner loop before the memoized engine landed.  The single-cell gate
+#: floors the current fleet rate against this constant so the
+#: memoization win cannot silently regress away even when the committed
+#: baseline is regenerated.
+SCHEMA6_FLEET_NORM_RATE = 2476.637
 
 #: The path query measured for the path/path_naive categories (the E9
 #: hot pattern: descendant axis + attribute-value predicate).
@@ -663,6 +690,97 @@ def run_fleet_bench(
     }
 
 
+def run_sweep_bench(
+    calibration_s: float,
+    *,
+    seed: int = FLEET_BENCH_SEED,
+    scale: int = FLEET_BENCH_SCALE,
+    fleet_norm_rate: float | None = None,
+) -> dict[str, Any]:
+    """Measure the fleet sweep engine (``xpdl fleet sweep``).
+
+    Shards the :data:`SWEEP_BENCH_TRACES` x :data:`SWEEP_BENCH_SEEDS` x
+    every-governor grid over the FLEET_BENCH cluster twice — ``jobs=1``
+    and ``jobs=min(4, cpus)`` — and reports grid wall, cells/s and the
+    parallel speedup.  ``digest_stable`` compares the two reports
+    byte-for-byte: sharding must not change a single bit of the output.
+    ``single_cell_norm_rate`` carries the ``fleet`` section's rate so the
+    sweep gate can floor it against :data:`SCHEMA6_FLEET_NORM_RATE`.
+    """
+    from repro.composer import Composer
+    from repro.corpus import generate_corpus
+    from repro.fleet import GOVERNORS, index_state_catalog, run_sweep
+    from repro.ir import IRModel
+    from repro.modellib import standard_repository
+    from repro.runtime import xpdl_init_from_model
+    from repro.simhw import testbed_from_model
+    from repro.toolchain import default_jobs
+
+    policies = tuple(GOVERNORS)
+    corpus = generate_corpus(seed, scale)
+    with tempfile.TemporaryDirectory(prefix="xpdl-sweep-") as scratch:
+        corpus_dir = os.path.join(scratch, "corpus")
+        corpus.write_to(corpus_dir)
+        system = sorted(corpus.systems)[0]
+        composed = Composer(standard_repository(corpus_dir)).compose(system)
+
+    bed = testbed_from_model(composed.root, name=system)
+    ctx = xpdl_init_from_model(
+        IRModel.from_model(composed.root, {"system": system})
+    )
+    catalog = index_state_catalog(ctx, bed)
+
+    cpus = default_jobs()
+    jobs = min(SWEEP_BENCH_JOBS, cpus)
+    kwargs: dict[str, Any] = dict(
+        policies=policies,
+        traces=SWEEP_BENCH_TRACES,
+        seeds=SWEEP_BENCH_SEEDS,
+        intervals=FLEET_BENCH_INTERVALS,
+        interval_s=FLEET_BENCH_INTERVAL_S,
+        state_catalog=catalog,
+    )
+    serial, serial_stats = run_sweep(bed, jobs=1, **kwargs)
+    parallel, par_stats = run_sweep(bed, jobs=jobs, **kwargs)
+
+    def shard(stats: Any) -> dict[str, Any]:
+        return {
+            "wall_s": round(stats.wall_s, 6),
+            "norm_wall": round(stats.wall_s / calibration_s, 4),
+            "cells_per_s": round(stats.cells_per_s, 2),
+            "norm_cells_per_s": round(stats.cells_per_s * calibration_s, 4),
+            "workers": stats.workers,
+        }
+
+    out: dict[str, Any] = {
+        "system": system,
+        "seed": seed,
+        "scale": scale,
+        "machines": len(bed.machines),
+        "grid": {
+            "policies": list(policies),
+            "traces": list(SWEEP_BENCH_TRACES),
+            "seeds": list(SWEEP_BENCH_SEEDS),
+            "intervals": FLEET_BENCH_INTERVALS,
+            "interval_s": FLEET_BENCH_INTERVAL_S,
+        },
+        "cells": serial_stats.cells,
+        "cpus": cpus,
+        "jobs": jobs,
+        "digest": serial.digest(),
+        "digest_stable": serial.to_json() == parallel.to_json(),
+        "serial": shard(serial_stats),
+        "parallel": shard(par_stats),
+        "parallel_speedup": round(
+            serial_stats.wall_s / max(par_stats.wall_s, 1e-9), 2
+        ),
+    }
+    if fleet_norm_rate is not None:
+        out["single_cell_norm_rate"] = fleet_norm_rate
+        out["schema6_single_cell_floor"] = SCHEMA6_FLEET_NORM_RATE
+    return out
+
+
 def _phase_dict(report: Any) -> dict[str, Any]:
     return {
         "ok": report.ok,
@@ -730,6 +848,9 @@ def run_bench(
     cold_init = run_cold_init_bench(calibration_s)
     scale = run_scale_bench(calibration_s, jobs=jobs)
     fleet = run_fleet_bench(calibration_s)
+    sweep = run_sweep_bench(
+        calibration_s, fleet_norm_rate=fleet["norm_rate"]
+    )
     return {
         "bench_schema": BENCH_SCHEMA,
         "rev": git_rev(),
@@ -744,6 +865,7 @@ def run_bench(
         "cold_init": cold_init,
         "scale": scale,
         "fleet": fleet,
+        "sweep": sweep,
     }
 
 
@@ -1002,6 +1124,55 @@ def compare(
                         f"below floor {floor:.3f} (baseline {base_rate:.3f} "
                         f"-{max_regress + QUERY_NOISE:.0%})"
                     )
+    # -- fleet sweep engine --------------------------------------------
+    cur_sweep = current.get("sweep") or {}
+    if cur_sweep:
+        if not cur_sweep.get("digest_stable", False):
+            problems.append(
+                "sweep bench: report is not byte-identical across jobs "
+                "(sharding determinism contract broken)"
+            )
+        if (
+            cur_sweep.get("cpus", 0) >= SWEEP_BENCH_JOBS
+            and cur_sweep.get("jobs", 0) >= SWEEP_BENCH_JOBS
+            and cur_sweep.get("parallel_speedup", 0.0) < MIN_SWEEP_SPEEDUP
+        ):
+            problems.append(
+                f"sweep bench: parallel speedup "
+                f"{cur_sweep.get('parallel_speedup', 0.0):.2f}x at "
+                f"jobs={cur_sweep.get('jobs')} below the "
+                f"{MIN_SWEEP_SPEEDUP:.0f}x floor "
+                f"({cur_sweep.get('cpus')} CPUs available)"
+            )
+        single = cur_sweep.get("single_cell_norm_rate")
+        if single is not None:
+            floor = SCHEMA6_FLEET_NORM_RATE * (
+                1.0 - max_regress - QUERY_NOISE
+            )
+            if single < floor:
+                problems.append(
+                    f"sweep bench: single-cell norm_rate {single:.3f} fell "
+                    f"below the schema-6 cursor-engine floor {floor:.3f} "
+                    f"(the memoized inner loop must stay at least as fast "
+                    f"as the pre-memo simulator)"
+                )
+        base_sweep = baseline.get("sweep") or {}
+        base_cells = (base_sweep.get("serial") or {}).get("norm_cells_per_s")
+        cur_cells = (cur_sweep.get("serial") or {}).get("norm_cells_per_s")
+        if base_cells is not None:
+            if cur_cells is None:
+                problems.append(
+                    "sweep bench: serial cells/s missing from current report"
+                )
+            else:
+                floor = base_cells * (1.0 - max_regress - QUERY_NOISE)
+                if cur_cells < floor:
+                    problems.append(
+                        f"sweep bench regressed: serial norm_cells_per_s "
+                        f"{cur_cells:.4f} below floor {floor:.4f} "
+                        f"(baseline {base_cells:.4f} "
+                        f"-{max_regress + QUERY_NOISE:.0%})"
+                    )
     return problems
 
 
@@ -1150,5 +1321,38 @@ def summarize(data: dict[str, Any]) -> str:
                 f"SLO {p['slo_attainment']:4.0%}  "
                 f"served {p['service_level']:4.0%}  "
                 f"{p['switches']:5d} switches"
+            )
+    sweep = data.get("sweep") or {}
+    if sweep:
+        grid = sweep.get("grid") or {}
+        lines.append(
+            f"  fleet sweep on {sweep.get('system', '?')} "
+            f"({sweep.get('cells', '?')} cells = "
+            f"{len(grid.get('policies') or [])} policies x "
+            f"{len(grid.get('traces') or [])} traces x "
+            f"{len(grid.get('seeds') or [])} seeds, "
+            f"digest {'stable' if sweep.get('digest_stable') else 'UNSTABLE'} "
+            f"across jobs):"
+        )
+        for name in ("serial", "parallel"):
+            s = sweep.get(name) or {}
+            if not s:
+                continue
+            lines.append(
+                f"    {name:9s}  wall {s['wall_s'] * 1e3:8.1f} ms  "
+                f"norm {s['norm_wall']:7.3f}  "
+                f"{s['cells_per_s']:7.2f} cells/s  "
+                f"workers={s['workers']}"
+            )
+        lines.append(
+            f"    speedup {sweep.get('parallel_speedup', 0):.2f}x at "
+            f"jobs={sweep.get('jobs')} ({sweep.get('cpus')} CPUs)"
+        )
+        single = sweep.get("single_cell_norm_rate")
+        if single is not None:
+            lines.append(
+                f"    single-cell norm rate {single:.1f} "
+                f"(schema-6 cursor floor "
+                f"{sweep.get('schema6_single_cell_floor', 0):.1f})"
             )
     return "\n".join(lines)

@@ -407,6 +407,11 @@ def cmd_fleet(args) -> int:
     from .runtime import xpdl_init_from_model
     from .simhw import testbed_from_model
 
+    if getattr(args, "fleet_cmd", None) == "sweep":
+        return cmd_fleet_sweep(args)
+    if not args.model:
+        print("xpdl: error: fleet requires --model", file=sys.stderr)
+        return 2
     session = _session(args)
     result = session.emit_ir(args.model)
     _print_diagnostics(session)
@@ -440,6 +445,78 @@ def cmd_fleet(args) -> int:
         print(f"wrote {args.output} [{report.digest()[:12]}]")
     else:
         print(text, end="")
+    return 0
+
+
+def cmd_fleet_sweep(args) -> int:
+    """Parallel (policy, trace, seed) grid sweep over one fleet model.
+
+    Composes the model once (persisting its XPDLRT02 image into the
+    content-addressed cache), then shards the grid across worker
+    processes that each reopen the image zero-copy and derive the
+    power-state catalog through the compiled query engine.  The report
+    is byte-identical for any ``--jobs``.
+    """
+    import json as _json
+
+    from .fleet import GOVERNORS, index_state_catalog, parse_seeds, run_sweep
+    from .runtime import xpdl_init_from_model
+    from .simhw import testbed_from_model
+    from .toolchain import PersistentStageCache
+
+    cache = None if args.no_cache else PersistentStageCache(args.cache_dir)
+    session = ToolchainSession(_repository(args), disk_cache=cache)
+    result = session.emit_ir(args.model)
+    _print_diagnostics(session)
+    if session.sink.has_errors():
+        return 1
+    testbed = testbed_from_model(result.composed.root, name=args.model)
+    image_path = None
+    catalog = None
+    if cache is not None and result.image_key:
+        image_path = cache.find_image(result.image_key)
+    if image_path is None:
+        # No persisted image to hand the workers: build the catalog once
+        # here and ship it, so workers still never re-index per cell.
+        ctx = xpdl_init_from_model(result.ir)
+        catalog = index_state_catalog(ctx, testbed)
+
+    def _split(value: str) -> tuple[str, ...]:
+        return tuple(s for s in (p.strip() for p in value.split(",")) if s)
+
+    policies = _split(args.policy) if args.policy else tuple(GOVERNORS)
+    report, stats = run_sweep(
+        testbed,
+        policies=policies,
+        traces=_split(args.trace),
+        seeds=parse_seeds(args.seeds),
+        intervals=args.intervals,
+        interval_s=args.interval_s,
+        request_ops=args.request_ops,
+        image_path=image_path,
+        state_catalog=catalog,
+        jobs=args.jobs,
+        engine=args.engine,
+    )
+    if args.format == "json":
+        text = report.to_json()
+    else:
+        text = report.render_table() + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.output} [{report.digest()[:12]}]")
+    else:
+        print(text, end="")
+    if args.stats_out:
+        with open(args.stats_out, "w", encoding="utf-8") as fh:
+            _json.dump(stats.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(
+            f"sweep stats: {stats.cells} cells, jobs={stats.jobs}, "
+            f"{stats.wall_s:.2f}s -> {args.stats_out}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -998,7 +1075,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--model",
-        required=True,
         help="system identifier to compose into the simulated fleet",
     )
     p.add_argument(
@@ -1046,7 +1122,101 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: table)",
     )
     p.add_argument("-o", "--output", metavar="FILE")
-    p.set_defaults(fn=cmd_fleet)
+    p.set_defaults(fn=cmd_fleet, fleet_cmd=None)
+
+    fleet_sub = p.add_subparsers(dest="fleet_cmd", metavar="COMMAND")
+    ps = fleet_sub.add_parser(
+        "sweep",
+        help="parallel (policy, trace, seed) grid sweep; workers reopen "
+        "the model zero-copy from the image cache",
+    )
+    ps.add_argument(
+        "--model",
+        required=True,
+        help="system identifier to compose into the simulated fleet",
+    )
+    ps.add_argument(
+        "--policy",
+        metavar="A,B,...",
+        help="comma-separated governor policies (default: all four)",
+    )
+    ps.add_argument(
+        "--trace",
+        default="diurnal",
+        metavar="A,B,...",
+        help="comma-separated trace families (default: diurnal)",
+    )
+    ps.add_argument(
+        "--seeds",
+        default="0",
+        metavar="SPEC",
+        help="trace seeds: '1..32', '0,3,7' or a mix (default: 0)",
+    )
+    ps.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: the CPUs available to this "
+        "process)",
+    )
+    ps.add_argument(
+        "--intervals",
+        type=int,
+        default=24,
+        metavar="N",
+        help="simulated intervals per cell; the diurnal period is 24 "
+        "(default 24)",
+    )
+    ps.add_argument(
+        "--interval-s",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="length of one interval (default 60)",
+    )
+    ps.add_argument(
+        "--request-ops",
+        type=int,
+        default=200_000,
+        metavar="N",
+        help="instructions per request (default 200000)",
+    )
+    ps.add_argument(
+        "--engine",
+        choices=("memo", "cursor"),
+        default="memo",
+        help="simulation inner loop: memoized tables or the cursor-walk "
+        "reference (default: memo)",
+    )
+    ps.add_argument(
+        "--cache-dir",
+        default=".xpdl-cache",
+        metavar="DIR",
+        help="persistent cache holding the runtime image workers reopen "
+        "(default: .xpdl-cache)",
+    )
+    ps.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the image store; the catalog is built once in-process "
+        "and shipped to workers",
+    )
+    ps.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="report format (default: table)",
+    )
+    ps.add_argument("-o", "--output", metavar="FILE")
+    ps.add_argument(
+        "--stats-out",
+        metavar="FILE",
+        help="write run-shape stats (wall, jobs, merged counters) as "
+        "JSON; kept out of the report so its digest is jobs-invariant",
+    )
+    ps.set_defaults(fn=cmd_fleet, fleet_cmd="sweep")
 
     p = sub.add_parser(
         "import",

@@ -22,14 +22,30 @@ from .governors import (
     make_governor,
 )
 from .simulator import (
+    ENGINES,
     FleetReport,
     FleetSimulator,
     PolicyResult,
     index_state_catalog,
     simulate_fleet,
 )
+from .sweep import (
+    SweepCell,
+    SweepCellResult,
+    SweepReport,
+    SweepStats,
+    parse_seeds,
+    run_sweep,
+)
 
 __all__ = [
+    "ENGINES",
+    "SweepCell",
+    "SweepCellResult",
+    "SweepReport",
+    "SweepStats",
+    "parse_seeds",
+    "run_sweep",
     "TRACE_KINDS",
     "Trace",
     "make_trace",

@@ -47,6 +47,12 @@ class Governor:
         self.ladder = [s.name for s in psm.by_frequency() if not s.is_off()]
         if not self.ladder:
             raise XpdlError(f"PSM {psm.name!r} has no running state to govern")
+        #: State name -> frequency magnitude, hoisted out of the
+        #: per-interval path (psm.state() is a dict lookup plus a Quantity
+        #: attribute chain per call otherwise).
+        self._freq = {
+            name: psm.state(name).frequency.magnitude for name in self.ladder
+        }
 
     def reset(self) -> None:
         """Forget per-run policy state (hysteresis counters etc.)."""
@@ -100,7 +106,7 @@ class OndemandGovernor(Governor):
         self._low_streak = 0
 
     def _frequency(self, state: str) -> float:
-        return self.psm.state(state).frequency.magnitude
+        return self._freq[state]
 
     def decide(self, current, util, backlog, pred_cycles, interval):
         if current not in self.ladder:
@@ -127,7 +133,16 @@ class OndemandGovernor(Governor):
 
 
 class RaceToIdleGovernor(Governor):
-    """Energy-optimal state for the predicted work, then park in idle."""
+    """Energy-optimal state for the predicted work, then park in idle.
+
+    :func:`~repro.power.dvfs.best_state` evaluates every running state
+    with full switch-plan accounting — by far the most expensive governor
+    step.  Its inputs here are discrete (the current state, and a
+    predicted cycle count that is always ``n_requests * cycles_per_req``
+    for integer ``n``), so decisions are memoized on the exact
+    ``(current, pred_cycles, interval)`` triple: a cache hit returns the
+    identical decision the ranking would have produced.
+    """
 
     name = "race-to-idle"
     wants_idle_parking = True
@@ -135,12 +150,26 @@ class RaceToIdleGovernor(Governor):
     #: rising load does not out-run the one-interval-lagged prediction.
     safety = 1.3
 
+    def __init__(self, psm: PowerStateMachineModel) -> None:
+        super().__init__(psm)
+        self._memo: dict[tuple[str, float, float], str] = {}
+
+    def reset(self) -> None:
+        self._memo.clear()
+
     def decide(self, current, util, backlog, pred_cycles, interval):
-        cycles = max(pred_cycles, 1.0) * self.safety
-        choice = best_state(self.psm, cycles, interval, start_state=current)
-        if choice is None or backlog > 0:
+        if backlog > 0:
+            # Mirrors the unmemoized order of checks: with a backlog the
+            # ranking result is discarded, so it need not be computed.
             return self.ladder[-1]
-        return choice.state
+        key = (current, pred_cycles, interval.magnitude)
+        target = self._memo.get(key)
+        if target is None:
+            cycles = max(pred_cycles, 1.0) * self.safety
+            choice = best_state(self.psm, cycles, interval, start_state=current)
+            target = self.ladder[-1] if choice is None else choice.state
+            self._memo[key] = target
+        return target
 
 
 GOVERNORS: dict[str, type[Governor]] = {

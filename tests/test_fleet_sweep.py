@@ -1,0 +1,490 @@
+"""Tests for the fleet sweep engine and the memoized simulator inner loop.
+
+The two contracts under test:
+
+* **engine equivalence** — the memoized inner loop (`engine="memo"`)
+  returns *bit-identical* :class:`PolicyResult` values to the cursor-walk
+  reference (`engine="cursor"`), on synthetic testbeds and on the paper
+  corpus;
+* **jobs invariance** — :meth:`SweepReport.to_json`/:meth:`digest` are
+  byte-identical whatever ``jobs`` the grid was sharded across.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diagnostics import XpdlError
+from repro.fleet import (
+    GOVERNORS,
+    TRACE_KINDS,
+    FleetSimulator,
+    index_state_catalog,
+    make_governor,
+    make_trace,
+    parse_seeds,
+    run_sweep,
+    simulate_fleet,
+)
+from repro.obs import Observer, use_observer
+from repro.units import TIME, Quantity
+from tests.test_fleet import POLICIES, _toy_psm, _toy_testbed, _toy_trace
+
+
+class TestEngineEquivalence:
+    def test_memo_matches_cursor_bitwise_on_toy(self):
+        bed = _toy_testbed(n=3)
+        for kind in TRACE_KINDS:
+            trace = make_trace(
+                kind,
+                seed=7,
+                intervals=36,
+                interval_s=1.0,
+                machines=sorted(bed.machines),
+            )
+            for policy in POLICIES:
+                memo = FleetSimulator(bed, request_ops=1000).run_policy(
+                    policy, trace, engine="memo"
+                )
+                cursor = FleetSimulator(bed, request_ops=1000).run_policy(
+                    policy, trace, engine="cursor"
+                )
+                # Dataclass equality is exact float equality: the memoized
+                # tables must replay the reference arithmetic bit-for-bit.
+                assert memo == cursor, (kind, policy)
+
+    def test_memo_matches_cursor_with_catalog_and_downtime(self):
+        bed = _toy_testbed(n=2)
+        catalog = {
+            name: frozenset({"sleep", "slow", "fast"}) for name in bed.machines
+        }
+        trace = make_trace(
+            "failures",
+            seed=5,
+            intervals=40,
+            interval_s=1.0,
+            machines=sorted(bed.machines),
+        )
+        for policy in POLICIES:
+            a = FleetSimulator(
+                bed, state_catalog=catalog, request_ops=1000
+            ).run_policy(policy, trace, engine="memo")
+            b = FleetSimulator(
+                bed, state_catalog=catalog, request_ops=1000
+            ).run_policy(policy, trace, engine="cursor")
+            assert a == b, policy
+
+    def test_memo_matches_cursor_on_paper_corpus(self, liu_ctx, liu_server):
+        from repro.simhw import testbed_from_model
+
+        bed = testbed_from_model(liu_server.root)
+        catalog = index_state_catalog(liu_ctx, bed)
+        trace = make_trace(
+            "diurnal",
+            seed=2,
+            intervals=24,
+            interval_s=1.0,
+            machines=sorted(bed.machines),
+        )
+        memo = simulate_fleet(
+            bed,
+            trace,
+            POLICIES,
+            state_catalog=catalog,
+            request_ops=10_000,
+            engine="memo",
+        )
+        cursor = simulate_fleet(
+            bed,
+            trace,
+            POLICIES,
+            state_catalog=catalog,
+            request_ops=10_000,
+            engine="cursor",
+        )
+        assert memo.results == cursor.results
+        assert memo.to_json() == cursor.to_json()
+        assert memo.digest() == cursor.digest()
+
+    def test_memo_counts_state_checks_like_cursor(self):
+        catalog = {"m0": frozenset({"sleep", "slow", "fast"})}
+        totals = {}
+        for engine in ("memo", "cursor"):
+            obs = Observer()
+            with use_observer(obs):
+                simulate_fleet(
+                    _toy_testbed(),
+                    _toy_trace(intervals=10),
+                    ("performance",),
+                    state_catalog=catalog,
+                    request_ops=1000,
+                    engine=engine,
+                )
+            totals[engine] = obs.counter("fleet.query.state_checks")
+        assert totals["memo"] == totals["cursor"] > 0
+
+    def test_memo_catalog_mismatch_raises(self):
+        catalog = {"m0": frozenset({"ghost"})}
+        with pytest.raises(XpdlError):
+            simulate_fleet(
+                _toy_testbed(),
+                _toy_trace(intervals=5),
+                ("performance",),
+                state_catalog=catalog,
+                request_ops=1000,
+                engine="memo",
+            )
+
+    def test_unknown_engine_rejected(self):
+        sim = FleetSimulator(_toy_testbed(), request_ops=1000)
+        with pytest.raises(XpdlError):
+            sim.run_policy("performance", _toy_trace(intervals=5), engine="warp")
+
+    def test_race_to_idle_memo_clears_on_reset(self):
+        g = make_governor("race-to-idle", _toy_psm())
+        one_s = Quantity(1.0, TIME)
+        first = g.decide("fast", 0.0, 0, 1e6, one_s)
+        assert g._memo  # decision cached
+        assert g.decide("fast", 0.0, 0, 1e6, one_s) == first  # cache hit
+        g.reset()
+        assert not g._memo
+        assert g.decide("fast", 0.0, 0, 1e6, one_s) == first
+
+
+class TestParseSeeds:
+    def test_range(self):
+        assert parse_seeds("1..5") == (1, 2, 3, 4, 5)
+
+    def test_list_and_mix(self):
+        assert parse_seeds("0,3,7") == (0, 3, 7)
+        assert parse_seeds("1..3, 9") == (1, 2, 3, 9)
+
+    def test_duplicates_collapse(self):
+        assert parse_seeds("2,2,1..3") == (2, 1, 3)
+
+    def test_bad_specs_rejected(self):
+        for spec in ("", "x", "3..1", "1..x", ","):
+            with pytest.raises(XpdlError):
+                parse_seeds(spec)
+
+
+class TestBaselineHelper:
+    def test_delta_renders_na_without_performance(self):
+        rep = simulate_fleet(
+            _toy_testbed(),
+            _toy_trace(intervals=10),
+            ("powersave", "ondemand"),
+            request_ops=1000,
+        )
+        assert rep.performance_baseline() is None
+        assert "energy_delta_vs_performance" not in rep.to_dict()
+        table = rep.render_table()
+        assert "n/a" in table
+        assert "+0.0%" not in table
+
+    def test_delta_present_with_performance(self):
+        rep = simulate_fleet(
+            _toy_testbed(),
+            _toy_trace(intervals=10),
+            ("performance", "powersave"),
+            request_ops=1000,
+        )
+        assert rep.performance_baseline() is rep.result("performance")
+        deltas = rep.to_dict()["energy_delta_vs_performance"]
+        assert deltas["performance"] == 0.0
+        assert "n/a" not in rep.render_table()
+
+
+class TestSweep:
+    def test_report_is_jobs_invariant(self):
+        bed = _toy_testbed(n=2)
+        kwargs = dict(
+            policies=("performance", "ondemand"),
+            traces=("diurnal", "poisson"),
+            seeds=(1, 2),
+            intervals=12,
+            interval_s=1.0,
+            request_ops=1000,
+        )
+        serial, _ = run_sweep(bed, jobs=1, **kwargs)
+        parallel, stats = run_sweep(bed, jobs=2, **kwargs)
+        assert serial.to_json() == parallel.to_json()
+        assert serial.digest() == parallel.digest()
+        assert stats.cells == 8
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        policies=st.lists(
+            st.sampled_from(sorted(GOVERNORS)), min_size=1, max_size=3, unique=True
+        ),
+        traces=st.lists(
+            st.sampled_from(("diurnal", "poisson", "step")),
+            min_size=1,
+            max_size=2,
+            unique=True,
+        ),
+        seeds=st.lists(
+            st.integers(min_value=0, max_value=50),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        ),
+    )
+    def test_digest_identical_jobs_1_vs_4(self, policies, traces, seeds):
+        bed = _toy_testbed(n=2)
+        kwargs = dict(
+            policies=tuple(policies),
+            traces=tuple(traces),
+            seeds=tuple(seeds),
+            intervals=8,
+            interval_s=1.0,
+            request_ops=1000,
+        )
+        one, _ = run_sweep(bed, jobs=1, **kwargs)
+        four, _ = run_sweep(bed, jobs=4, **kwargs)
+        assert one.digest() == four.digest()
+        assert one.to_json() == four.to_json()
+
+    def test_cells_match_single_cell_runs(self):
+        bed = _toy_testbed(n=2)
+        report, _ = run_sweep(
+            bed,
+            policies=("performance", "race-to-idle"),
+            traces=("diurnal",),
+            seeds=(5,),
+            intervals=16,
+            interval_s=1.0,
+            request_ops=1000,
+            jobs=2,
+        )
+        trace = make_trace(
+            "diurnal",
+            seed=5,
+            intervals=16,
+            interval_s=1.0,
+            machines=sorted(bed.machines),
+        )
+        for policy in ("performance", "race-to-idle"):
+            direct = FleetSimulator(bed, request_ops=1000).run_policy(
+                policy, trace
+            )
+            assert report.cell(policy, "diurnal", 5) == direct
+
+    def test_frontier_delta_na_without_performance(self):
+        report, _ = run_sweep(
+            _toy_testbed(),
+            policies=("powersave", "ondemand"),
+            traces=("diurnal",),
+            seeds=(1,),
+            intervals=8,
+            interval_s=1.0,
+            request_ops=1000,
+            jobs=1,
+        )
+        frontier = report.frontier()
+        assert all(
+            row["energy_delta_vs_performance"] is None
+            for row in frontier.values()
+        )
+        assert "n/a" in report.render_table()
+        payload = json.loads(report.to_json())
+        assert (
+            payload["frontier"]["powersave"]["energy_delta_vs_performance"]
+            is None
+        )
+
+    def test_prebuilt_catalog_is_not_rebuilt_by_workers(self):
+        bed = _toy_testbed(n=2)
+        catalog = {
+            name: frozenset({"sleep", "slow", "fast"}) for name in bed.machines
+        }
+        obs = Observer()
+        report, stats = run_sweep(
+            bed,
+            policies=("performance",),
+            traces=("diurnal",),
+            seeds=(1, 2),
+            intervals=8,
+            interval_s=1.0,
+            request_ops=1000,
+            jobs=2,
+            state_catalog=catalog,
+            observer=obs,
+        )
+        # The catalog was built by the caller: no worker rebuilds it, and
+        # every governor decision was still validated against it.
+        assert stats.counters.get("fleet.catalog_builds", 0) == 0
+        assert stats.counters["fleet.query.state_checks"] > 0
+        assert obs.counter("fleet.sweep.cells") == 2
+        assert report.cell("performance", "diurnal", 1).slo_attainment >= 0.0
+
+    def test_missing_cell_raises(self):
+        report, _ = run_sweep(
+            _toy_testbed(),
+            policies=("performance",),
+            traces=("diurnal",),
+            seeds=(1,),
+            intervals=8,
+            interval_s=1.0,
+            request_ops=1000,
+            jobs=1,
+        )
+        with pytest.raises(XpdlError):
+            report.cell("powersave", "diurnal", 1)
+
+    def test_validation_errors(self):
+        bed = _toy_testbed()
+        with pytest.raises(XpdlError):
+            run_sweep(bed, policies=(), traces=("diurnal",), seeds=(1,))
+        with pytest.raises(XpdlError):
+            run_sweep(bed, policies=("turbo",), traces=("diurnal",), seeds=(1,))
+        with pytest.raises(XpdlError):
+            run_sweep(
+                bed, policies=("performance",), traces=("tsunami",), seeds=(1,)
+            )
+        with pytest.raises(XpdlError):
+            run_sweep(
+                bed, policies=("performance",), traces=("diurnal",), seeds=()
+            )
+
+    def test_stats_shape(self):
+        _, stats = run_sweep(
+            _toy_testbed(),
+            policies=("performance",),
+            traces=("diurnal",),
+            seeds=(1, 2, 3),
+            intervals=8,
+            interval_s=1.0,
+            request_ops=1000,
+            jobs=2,
+        )
+        payload = stats.to_dict()
+        assert payload["cells"] == 3
+        assert payload["jobs"] == 2
+        assert payload["workers"] == 2
+        assert len(payload["worker_s"]) == 2
+        assert payload["cells_per_s"] >= 0.0
+        assert "fleet.sweep.cells" in payload["counters"]
+
+
+class TestSweepCli:
+    def test_sweep_jobs_invariant_end_to_end(self, capsys, tmp_path):
+        from tests.test_cli import run_cli
+
+        outs = {}
+        for jobs in ("1", "2"):
+            out_file = tmp_path / f"sweep_j{jobs}.json"
+            stats_file = tmp_path / f"stats_j{jobs}.json"
+            code, _out, err = run_cli(
+                capsys,
+                "fleet",
+                "sweep",
+                "--model",
+                "liu_gpu_server",
+                "--policy",
+                "performance,ondemand",
+                "--trace",
+                "diurnal",
+                "--seeds",
+                "1..2",
+                "--jobs",
+                jobs,
+                "--intervals",
+                "6",
+                "--no-cache",
+                "--format",
+                "json",
+                "-o",
+                str(out_file),
+                "--stats-out",
+                str(stats_file),
+            )
+            assert code == 0, err
+            outs[jobs] = out_file.read_bytes()
+            stats = json.loads(stats_file.read_text())
+            assert stats["cells"] == 4
+        assert outs["1"] == outs["2"]
+        payload = json.loads(outs["1"])
+        assert payload["policies"] == ["performance", "ondemand"]
+        assert payload["seeds"] == [1, 2]
+
+    def test_fleet_without_model_errors(self, capsys):
+        from tests.test_cli import run_cli
+
+        code, _out, err = run_cli(capsys, "fleet")
+        assert code == 2
+        assert "requires --model" in err
+
+    def test_bad_seed_spec_is_a_cli_error(self, capsys):
+        from tests.test_cli import run_cli
+
+        code, _out, err = run_cli(
+            capsys,
+            "fleet",
+            "sweep",
+            "--model",
+            "liu_gpu_server",
+            "--seeds",
+            "9..1",
+            "--no-cache",
+        )
+        assert code == 2
+        assert "seed range" in err
+
+
+class TestSweepImageReopen:
+    """Workers reopen the persisted XPDLRT02 image zero-copy."""
+
+    @pytest.fixture()
+    def image_setup(self, tmp_path):
+        from repro.modellib import standard_repository
+        from repro.simhw import testbed_from_model
+        from repro.toolchain import PersistentStageCache, ToolchainSession
+
+        cache = PersistentStageCache(str(tmp_path / "cache"))
+        session = ToolchainSession(standard_repository(), disk_cache=cache)
+        result = session.emit_ir("liu_gpu_server")
+        assert result.image_key
+        image_path = cache.find_image(result.image_key)
+        assert image_path is not None
+        bed = testbed_from_model(result.composed.root, name="liu_gpu_server")
+        return bed, image_path
+
+    def test_one_catalog_build_per_worker_no_index_rebuilds(self, image_setup):
+        bed, image_path = image_setup
+        obs = Observer()
+        report, stats = run_sweep(
+            bed,
+            policies=("performance", "ondemand"),
+            traces=("diurnal",),
+            seeds=(1, 2),
+            intervals=8,
+            interval_s=1.0,
+            request_ops=5_000,
+            jobs=2,
+            image_path=image_path,
+            observer=obs,
+        )
+        counters = stats.counters
+        assert counters["fleet.sweep.image_opens"] == stats.workers
+        assert counters["fleet.catalog_builds"] == stats.workers
+        assert counters.get("index.rebuilds", 0) == 0
+        assert counters["index.load_mmap"] == stats.workers
+        assert counters["fleet.query.state_checks"] > 0
+        # And the image-derived catalog run matches an in-process run.
+        direct, _ = run_sweep(
+            bed,
+            policies=("performance", "ondemand"),
+            traces=("diurnal",),
+            seeds=(1, 2),
+            intervals=8,
+            interval_s=1.0,
+            request_ops=5_000,
+            jobs=1,
+            image_path=image_path,
+        )
+        assert report.to_json() == direct.to_json()
